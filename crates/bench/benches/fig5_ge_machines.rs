@@ -1,0 +1,26 @@
+//! EXP-F5 — paper Figure 5: compiled Gaussian elimination across problem
+//! sizes on the iPSC/860 and nCUBE/2 models, 16 nodes. Criterion measures
+//! the wall-clock of the whole simulate-and-model pipeline per size; the
+//! *modelled* seconds (the figure's y-axis) are printed by
+//! `repro --exp fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f90d_bench::experiments::ge_compiled_time;
+use f90d_machine::MachineSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_ge_machines");
+    g.sample_size(10);
+    for &n in &[32i64, 64, 128] {
+        for spec in [MachineSpec::ipsc860(), MachineSpec::ncube2()] {
+            let label = format!("{}/N{n}", spec.name);
+            g.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, &n| {
+                b.iter(|| ge_compiled_time(n, 16, &spec, true));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

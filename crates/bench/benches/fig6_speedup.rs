@@ -1,0 +1,22 @@
+//! EXP-F6 — paper Figure 6: speedup of both GE codes against the
+//! sequential run. The modelled speedup series is printed by
+//! `repro --exp fig6`; this bench sweeps P so regressions in the
+//! scaling path (set_BOUND, tree broadcasts) show up as timing changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f90d_bench::experiments::table4_row;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_speedup");
+    g.sample_size(10);
+    let n = 96i64;
+    for &p in &[1i64, 2, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| table4_row(n, p));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! EXP-T3 — paper Table 3: one representative intrinsic per category on
+//! the 16-node iPSC/860 model (CSHIFT, SUM, SPREAD, TRANSPOSE, MATMUL).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use f90d_bench::experiments::table3_microbench;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_intrinsics");
+    g.sample_size(10);
+    g.bench_function("five_categories_16k", |b| {
+        b.iter(|| table3_microbench(1 << 14));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! EXP-T4 — paper Table 4: hand-written vs compiler-generated Gaussian
+//! elimination, column-distributed, iPSC/860 model. The headline numbers
+//! (modelled seconds and the hand/compiled ratio) come from
+//! `repro --exp table4`; this bench tracks the harness cost of both paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f90d_bench::experiments::{ge_compiled_time, ge_hand_time};
+use f90d_machine::MachineSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_ge");
+    g.sample_size(10);
+    let n = 96i64;
+    for &p in &[1i64, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("hand", p), &p, |b, &p| {
+            b.iter(|| ge_hand_time(n, p, &MachineSpec::ipsc860()));
+        });
+        g.bench_with_input(BenchmarkId::new("compiled", p), &p, |b, &p| {
+            b.iter(|| ge_compiled_time(n, p, &MachineSpec::ipsc860(), true));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

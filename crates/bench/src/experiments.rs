@@ -1,0 +1,310 @@
+//! Experiment runners — one per paper table/figure and ablation
+//! (DESIGN.md §5 index). Every function returns plain data so the
+//! `repro` binary, the criterion benches and EXPERIMENTS.md all draw
+//! from the same source.
+
+use f90d_core::{compile, CompileOptions, Executor, OptFlags};
+use f90d_distrib::ProcGrid;
+use f90d_machine::{ExecMode, Machine, MachineSpec};
+
+use crate::handwritten::ge_handwritten;
+use crate::workloads;
+
+/// Compile + run Gaussian elimination on `p` processors of `spec`;
+/// returns the modelled elimination time (initialization excluded the
+/// same way for both variants).
+pub fn ge_compiled_time(n: i64, p: i64, spec: &MachineSpec, merge_comm: bool) -> f64 {
+    let mut opts = CompileOptions::on_grid(&[p]);
+    opts.opt.merge_comm = merge_comm;
+    let compiled = compile(&workloads::gaussian(n), &opts).expect("gaussian compiles");
+    let mut m = Machine::new(spec.clone(), ProcGrid::new(&[p]));
+    // Execute the initialization FORALLs, reset the clock, then eliminate
+    // — Table 4 times the solver, not the data generation.
+    let init: Vec<_> = compiled.spmd.stmts[..2].to_vec();
+    let elim: Vec<_> = compiled.spmd.stmts[2..].to_vec();
+    let init_prog = f90d_core::ir::SProgram {
+        stmts: init,
+        ..compiled.spmd.clone()
+    };
+    let elim_prog = f90d_core::ir::SProgram {
+        stmts: elim,
+        ..compiled.spmd.clone()
+    };
+    // Run init with a throwaway executor sharing the machine arrays.
+    let mut ex0 = Executor::new(&init_prog, &mut m);
+    ex0.run(&mut m).expect("init runs");
+    m.reset_time();
+    let mut ex1 = Executor::new_preserving(&elim_prog, &mut m);
+    ex1.schedule_reuse = true;
+    ex1.run(&mut m).expect("elimination runs");
+    m.elapsed()
+}
+
+/// Hand-written GE time on `p` processors of `spec`.
+pub fn ge_hand_time(n: i64, p: i64, spec: &MachineSpec) -> f64 {
+    let mut m = Machine::new(spec.clone(), ProcGrid::new(&[p]));
+    ge_handwritten(&mut m, n)
+}
+
+/// Figure 5: compiled-GE execution time vs problem size on 16 nodes of
+/// the iPSC/860 and nCUBE/2 models. Returns `(n, t_ipsc, t_ncube)` rows.
+pub fn fig5(sizes: &[i64], p: i64) -> Vec<(i64, f64, f64)> {
+    let ipsc = MachineSpec::ipsc860();
+    let ncube = MachineSpec::ncube2();
+    sizes
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                ge_compiled_time(n, p, &ipsc, true),
+                ge_compiled_time(n, p, &ncube, true),
+            )
+        })
+        .collect()
+}
+
+/// One Table 4 row: `(p, hand_time, compiled_time)`.
+pub fn table4_row(n: i64, p: i64) -> (i64, f64, f64) {
+    let spec = MachineSpec::ipsc860();
+    (
+        p,
+        ge_hand_time(n, p, &spec),
+        ge_compiled_time(n, p, &spec, true),
+    )
+}
+
+/// Table 4: hand-written vs compiled GE, iPSC/860 model.
+pub fn table4(n: i64, procs: &[i64]) -> Vec<(i64, f64, f64)> {
+    procs.iter().map(|&p| table4_row(n, p)).collect()
+}
+
+/// Figure 6: speedups against the sequential (P = 1) run of each code.
+pub fn fig6(rows: &[(i64, f64, f64)]) -> Vec<(i64, f64, f64)> {
+    let (h1, c1) = (rows[0].1, rows[0].2);
+    rows.iter()
+        .map(|&(p, h, c)| (p, h1 / h, c1 / c))
+        .collect()
+}
+
+/// Table 3 microbenchmarks: modelled time of one representative intrinsic
+/// per category on a 16-node iPSC/860. Returns `(category, intrinsic,
+/// seconds)`.
+pub fn table3_microbench(n: i64) -> Vec<(&'static str, &'static str, f64)> {
+    use f90d_distrib::DistKind;
+    use f90d_machine::{ElemType, Value};
+    use f90d_runtime::{intrinsics as rt, DistArray};
+    let spec = MachineSpec::ipsc860();
+    let mut out = Vec::new();
+    // 1. structured communication: CSHIFT
+    {
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&[16]));
+        let a = DistArray::create(&mut m, "A", ElemType::Real, &[n], &[DistKind::Block]);
+        let b = DistArray::create(&mut m, "B", ElemType::Real, &[n], &[DistKind::Block]);
+        a.fill_with(&mut m, |g| Value::Real(g[0] as f64));
+        m.reset_time();
+        rt::cshift(&mut m, &a, &b, 0, 3);
+        out.push(("structured", "CSHIFT", m.elapsed()));
+    }
+    // 2. reduction: SUM
+    {
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&[16]));
+        let a = DistArray::create(&mut m, "A", ElemType::Real, &[n], &[DistKind::Block]);
+        a.fill_with(&mut m, |g| Value::Real(g[0] as f64));
+        m.reset_time();
+        let _ = rt::sum(&mut m, &a);
+        out.push(("reduction", "SUM", m.elapsed()));
+    }
+    // 3. multicasting: SPREAD
+    {
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&[4, 4]));
+        let v = DistArray::create(&mut m, "V", ElemType::Real, &[n.min(256)], &[DistKind::Block]);
+        let d = DistArray::create(
+            &mut m,
+            "D",
+            ElemType::Real,
+            &[16, n.min(256)],
+            &[DistKind::Block, DistKind::Block],
+        );
+        v.fill_with(&mut m, |g| Value::Real(g[0] as f64));
+        m.reset_time();
+        rt::spread(&mut m, &v, &d, 0);
+        out.push(("multicast", "SPREAD", m.elapsed()));
+    }
+    // 4. unstructured: TRANSPOSE
+    {
+        let side = (n as f64).sqrt() as i64;
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&[4, 4]));
+        let a = DistArray::create(
+            &mut m,
+            "A",
+            ElemType::Real,
+            &[side, side],
+            &[DistKind::Block, DistKind::Block],
+        );
+        let b = DistArray::create(
+            &mut m,
+            "B",
+            ElemType::Real,
+            &[side, side],
+            &[DistKind::Block, DistKind::Block],
+        );
+        a.fill_with(&mut m, |g| Value::Real((g[0] * side + g[1]) as f64));
+        m.reset_time();
+        rt::transpose(&mut m, &a, &b);
+        out.push(("unstructured", "TRANSPOSE", m.elapsed()));
+    }
+    // 5. special: MATMUL (Fox)
+    {
+        let side = ((n as f64).sqrt() as i64 / 4).max(1) * 4;
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&[4, 4]));
+        let dist = [DistKind::Block, DistKind::Block];
+        let a = DistArray::create(&mut m, "A", ElemType::Real, &[side, side], &dist);
+        let b = DistArray::create(&mut m, "B", ElemType::Real, &[side, side], &dist);
+        let c = DistArray::create(&mut m, "C", ElemType::Real, &[side, side], &dist);
+        a.fill_with(&mut m, |g| Value::Real((g[0] + g[1]) as f64));
+        b.fill_with(&mut m, |g| Value::Real((g[0] * 2 - g[1]) as f64));
+        m.reset_time();
+        rt::matmul(&mut m, &a, &b, &c);
+        out.push(("special", "MATMUL", m.elapsed()));
+    }
+    out
+}
+
+/// ABL-1 (§7(2) duplicate-communication elimination) on the GE kernel:
+/// `(messages_opt_on, messages_opt_off, t_on, t_off)`.
+pub fn ablation_merge_comm(n: i64, p: i64) -> (u64, u64, f64, f64) {
+    let spec = MachineSpec::ipsc860();
+    let run = |merge: bool| {
+        let mut opts = CompileOptions::on_grid(&[p]);
+        opts.opt.merge_comm = merge;
+        let compiled = compile(&workloads::gaussian(n), &opts).unwrap();
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&[p]));
+        let mut ex = Executor::new(&compiled.spmd, &mut m);
+        ex.run(&mut m).unwrap();
+        (m.transport.messages, m.elapsed())
+    };
+    let (msg_on, t_on) = run(true);
+    let (msg_off, t_off) = run(false);
+    (msg_on, msg_off, t_on, t_off)
+}
+
+/// ABL-2 (§7(3) schedule reuse) on the irregular kernel:
+/// `(t_reuse, t_no_reuse)`.
+pub fn ablation_schedule_reuse(n: i64, p: i64) -> (f64, f64) {
+    let spec = MachineSpec::ipsc860();
+    let run = |reuse: bool| {
+        let mut opts = CompileOptions::on_grid(&[p]);
+        opts.opt.schedule_reuse = reuse;
+        let compiled = compile(&workloads::irregular(n), &opts).unwrap();
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&[p]));
+        let mut ex = Executor::new(&compiled.spmd, &mut m);
+        ex.schedule_reuse = reuse;
+        ex.run(&mut m).unwrap();
+        m.elapsed()
+    };
+    (run(true), run(false))
+}
+
+/// ABL-3 (§5.3.1 fused multicast_shift): `(t_fused, t_two_step)`.
+pub fn ablation_multicast_shift(n: i64) -> (f64, f64) {
+    let spec = MachineSpec::ipsc860();
+    let src = format!(
+        "
+PROGRAM MCS
+INTEGER, PARAMETER :: N = {n}
+REAL A(N,N), B(N,N)
+INTEGER S, IT
+C$ TEMPLATE T(N,N)
+C$ ALIGN A(I,J) WITH T(I,J)
+C$ ALIGN B(I,J) WITH T(I,J)
+C$ DISTRIBUTE T(BLOCK,BLOCK)
+S = 2
+FORALL (I=1:N, J=1:N) B(I,J) = REAL(I*J)
+DO IT = 1, 16
+  FORALL (I=1:N, J=1:N-2) A(I,J) = B(3,J+S)
+END DO
+END
+"
+    );
+    let run = |fused: bool| {
+        let mut opts = CompileOptions::on_grid(&[4, 4]);
+        opts.opt.fuse_multicast_shift = fused;
+        opts.opt.hoist_invariant_comm = false;
+        let compiled = compile(&src, &opts).unwrap();
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&[4, 4]));
+        let mut ex = Executor::new(&compiled.spmd, &mut m);
+        ex.run(&mut m).unwrap();
+        m.elapsed()
+    };
+    (run(true), run(false))
+}
+
+/// ABL-4 (§5.1 overlap vs temporary shift) on Jacobi:
+/// `(t_overlap, t_temporary)`.
+pub fn ablation_overlap_shift(n: i64, iters: i64, p: i64) -> (f64, f64) {
+    let spec = MachineSpec::ipsc860();
+    let run = |overlap: bool| {
+        let mut opts = CompileOptions::on_grid(&[p, p]);
+        opts.opt.overlap_shift = overlap;
+        let compiled = compile(&workloads::jacobi(n, iters), &opts).unwrap();
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&[p, p]));
+        let mut ex = Executor::new(&compiled.spmd, &mut m);
+        ex.run(&mut m).unwrap();
+        m.elapsed()
+    };
+    (run(true), run(false))
+}
+
+/// Portability demonstration (paper §8.1): the same compiled program runs
+/// under every machine model; returns `(machine, time)` rows.
+pub fn portability(n: i64, p: i64) -> Vec<(String, f64)> {
+    [
+        MachineSpec::ipsc860(),
+        MachineSpec::ncube2(),
+        MachineSpec::paragon(4, 4),
+    ]
+    .into_iter()
+    .map(|spec| {
+        let name = spec.name.clone();
+        (name, ge_compiled_time(n, p, &spec, true))
+    })
+    .collect()
+}
+
+/// Threaded-executor smoke check: the Jacobi program runs identically in
+/// Sequential and Threaded local-phase modes (hand-written runtime path).
+pub fn threaded_equivalence(n: i64, p: i64) -> bool {
+    use f90d_distrib::DistKind;
+    use f90d_machine::{ElemType, Value};
+    use f90d_runtime::DistArray;
+    let run = |mode: ExecMode| {
+        let mut m = Machine::with_mode(MachineSpec::ideal(), ProcGrid::new(&[p]), mode);
+        let a = DistArray::create(&mut m, "A", ElemType::Real, &[n], &[DistKind::Block]);
+        a.fill_with(&mut m, |g| Value::Real(g[0] as f64));
+        m.local_phase(|rank, mem| {
+            let arr = mem.array_mut("A");
+            let cnt = arr.shape[0];
+            for l in 0..cnt {
+                let v = arr.get(&[l]).as_real();
+                arr.set(&[l], Value::Real(v * 2.0 + rank as f64));
+            }
+            cnt * 2
+        });
+        a.gather_host(&mut m)
+    };
+    run(ExecMode::Sequential) == run(ExecMode::Threaded)
+}
+
+/// Pretty table printer shared by the repro binary.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    println!("{}", header.join("\t"));
+    for r in rows {
+        println!("{}", r.join("\t"));
+    }
+}
+
+/// Keep the default optimization flags visible to binaries.
+pub fn default_flags() -> OptFlags {
+    OptFlags::default()
+}

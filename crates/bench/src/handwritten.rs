@@ -1,0 +1,164 @@
+//! The hand-written "Fortran 77 + MP" Gaussian elimination of Table 4.
+//!
+//! Written directly against the run-time system the way the paper's
+//! baseline was: column distribution `(*, BLOCK)`, the owner of column
+//! `k` computes the multiplier column locally, **one** binomial-tree
+//! broadcast ships it, and every node updates its own columns. The
+//! compiler-generated code performs one additional broadcast per
+//! iteration (the `A(K,K)` pivot read) unless duplicate-communication
+//! elimination is on — exactly the paper's "extra communication call
+//! that can be eliminated using optimizations".
+
+use f90d_comm::helpers::tree_broadcast;
+use f90d_distrib::DistKind;
+use f90d_machine::{ArrayData, ElemType, Machine, Value};
+use f90d_runtime::DistArray;
+
+/// Ops charged per inner-loop element update — matched to the compiled
+/// kernel's expression cost so that compute parallelism is identical and
+/// the measured difference is communication (as in the paper).
+pub const OPS_PER_UPDATE: i64 = 8;
+
+/// Run hand-written GE on `m` (1-D grid) for an `n × n` matrix; returns
+/// the modelled elapsed time.
+pub fn ge_handwritten(m: &mut Machine, n: i64) -> f64 {
+    assert_eq!(m.grid.rank(), 1, "hand-written GE uses a 1-D grid");
+    let a = DistArray::create(
+        m,
+        "HW_A",
+        ElemType::Real,
+        &[n, n],
+        &[DistKind::Collapsed, DistKind::Block],
+    );
+    // Same synthetic matrix as the compiled program.
+    a.fill_with(m, |g| {
+        let v = 1.0 / ((g[0] + g[1] + 1) as f64) + if g[0] == g[1] { 2.0 } else { 0.0 };
+        Value::Real(v)
+    });
+    // Zero the clock after initialization: Table 4 times elimination.
+    m.reset_time();
+    let p = m.nranks();
+    let dcol = &a.dad.dims[1].clone();
+    let block = dcol.dist.block_size();
+    for k in 0..n - 1 {
+        let owner = dcol.proc_of(k);
+        let kl = dcol.local_of(k);
+        // Owner computes the multiplier column M(i) = A(i,k)/A(k,k).
+        let mult: Vec<f64> = {
+            let arr = m.mems[owner as usize].array(&a.name);
+            let piv = arr.get(&[k, kl]).as_real();
+            ((k + 1)..n)
+                .map(|i| arr.get(&[i, kl]).as_real() / piv)
+                .collect()
+        };
+        m.transport.charge_elem_ops(owner, 2 * (n - k - 1));
+        // One broadcast of the multipliers (the hand optimization).
+        let payload = ArrayData::Real(mult.clone());
+        let members: Vec<i64> = (0..p).collect();
+        let mut received: Vec<Vec<f64>> = vec![Vec::new(); p as usize];
+        tree_broadcast(m, &members, owner as usize, payload, |_, r, data| {
+            received[r as usize] = match data {
+                ArrayData::Real(v) => v.clone(),
+                _ => unreachable!(),
+            };
+        });
+        // Local update of owned columns j > k.
+        for rank in 0..p {
+            let coord = rank; // 1-D grid
+            let mult = &received[rank as usize];
+            // Owned columns strictly greater than k.
+            let lo = coord * block;
+            let hi = (lo + dcol.dist.local_count(coord)).min(n);
+            let jlo = lo.max(k + 1);
+            if jlo >= hi {
+                continue;
+            }
+            let arr = m.mems[rank as usize].array_mut(&a.name);
+            let mut ops = 0i64;
+            for j in jlo..hi {
+                let jl = j - lo;
+                let akj = arr.get(&[k, jl]).as_real();
+                for (di, mi) in mult.iter().enumerate() {
+                    let i = k + 1 + di as i64;
+                    let prev = arr.get(&[i, jl]).as_real();
+                    arr.set(&[i, jl], Value::Real(prev - mi * akj));
+                }
+                ops += OPS_PER_UPDATE * mult.len() as i64;
+            }
+            m.transport.charge_elem_ops(rank, ops);
+        }
+    }
+    m.elapsed()
+}
+
+/// Result check: after elimination, the matrix must be (numerically)
+/// upper triangular below the pivots for the multiplier-free variant —
+/// here we simply verify against a host-side elimination.
+pub fn ge_reference_host(n: i64) -> Vec<f64> {
+    let mut a = vec![0.0f64; (n * n) as usize];
+    for i in 0..n {
+        for j in 0..n {
+            a[(i * n + j) as usize] =
+                1.0 / ((i + j + 1) as f64) + if i == j { 2.0 } else { 0.0 };
+        }
+    }
+    for k in 0..n - 1 {
+        let piv = a[(k * n + k) as usize];
+        for i in k + 1..n {
+            let mult = a[(i * n + k) as usize] / piv;
+            for j in k + 1..n {
+                a[(i * n + j) as usize] -= mult * a[(k * n + j) as usize];
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90d_distrib::ProcGrid;
+    use f90d_machine::MachineSpec;
+
+    #[test]
+    fn handwritten_matches_host_elimination() {
+        let n = 16;
+        let reference = ge_reference_host(n);
+        for p in [1i64, 2, 4, 8] {
+            let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[p]));
+            ge_handwritten(&mut m, n);
+            let a = DistArray {
+                name: "HW_A".into(),
+                dad: f90d_distrib::DadBuilder::new("HW_A", &[n, n])
+                    .distribute(&[f90d_distrib::DistKind::Collapsed, f90d_distrib::DistKind::Block])
+                    .grid(ProcGrid::new(&[p]))
+                    .build()
+                    .unwrap(),
+                ty: ElemType::Real,
+            };
+            let host = a.gather_host(&mut m);
+            for (k, &want) in reference.iter().enumerate() {
+                let got = host.get(k).as_real();
+                // Only j > k columns matter (multiplier columns are left
+                // in place by both variants identically... compiled keeps
+                // original column k; handwritten too).
+                let (i, j) = (k as i64 / n, k as i64 % n);
+                if j > i || i == j {
+                    assert!(
+                        (got - want).abs() < 1e-9 * (1.0 + want.abs()),
+                        "P={p} A({i},{j}) = {got}, want {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_broadcast_per_iteration() {
+        let n = 16i64;
+        let mut m = Machine::new(MachineSpec::ipsc860(), ProcGrid::new(&[4]));
+        ge_handwritten(&mut m, n);
+        // n-1 iterations × (P-1) tree messages.
+        assert_eq!(m.transport.messages, ((n - 1) * 3) as u64);
+    }
+}

@@ -1,0 +1,19 @@
+//! # f90d-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§8) plus
+//! the ablations DESIGN.md calls out:
+//!
+//! * [`workloads`] — the Fortran 90D/HPF benchmark programs (Gaussian
+//!   elimination from the Fortran D benchmark suite, Jacobi, the FFT
+//!   butterfly, an irregular kernel);
+//! * [`handwritten`] — the hand-coded "Fortran 77 + MP" Gaussian
+//!   elimination baseline of Table 4, written directly against the
+//!   run-time system;
+//! * [`experiments`] — runners producing each table/figure's series.
+//!
+//! `cargo run -p f90d-bench --bin repro --release` prints every
+//! reproduction; `cargo bench -p f90d-bench` runs the criterion wrappers.
+
+pub mod experiments;
+pub mod handwritten;
+pub mod workloads;

@@ -1,0 +1,367 @@
+//! Shared machinery: owned-local enumeration, slab packing, the generic
+//! vectorized pairwise exchange engine, and binomial trees.
+//!
+//! Every primitive vectorizes its messages — all elements travelling
+//! between one (source, destination) pair are packed into a single message
+//! (paper §7, optimization 1). Packing and unpacking charge the machine's
+//! per-byte copy cost; the wire charges α + β·bytes through the transport.
+
+use std::collections::BTreeMap;
+
+use f90d_distrib::Dad;
+use f90d_machine::{ArrayData, Machine, Transport, Value};
+
+/// Local indices (template-local numbering) of the elements of array
+/// dimension `d` owned by grid coordinate `coord`, in increasing global
+/// order.
+pub fn owned_dim_locals(dad: &Dad, d: usize, coord: i64) -> Vec<i64> {
+    let dm = &dad.dims[d];
+    if !dm.is_distributed() {
+        return (0..dm.extent).collect();
+    }
+    (0..dm.extent)
+        .filter(|&i| dm.proc_of(i) == coord)
+        .map(|i| dm.local_of(i))
+        .collect()
+}
+
+/// Per-dimension owned locals on the node at grid `coords`.
+pub fn owned_locals_per_dim(dad: &Dad, coords: &[i64]) -> Vec<Vec<i64>> {
+    (0..dad.rank())
+        .map(|d| {
+            let c = dad.dims[d].grid_axis.map_or(0, |a| coords[a]);
+            owned_dim_locals(dad, d, c)
+        })
+        .collect()
+}
+
+/// Iterate the cartesian product of per-dim index lists in row-major
+/// order, calling `f` with each combined index vector.
+pub fn cartesian(lists: &[Vec<i64>], mut f: impl FnMut(&[i64])) {
+    if lists.iter().any(|l| l.is_empty()) {
+        return;
+    }
+    let mut cursor = vec![0usize; lists.len()];
+    let mut idx: Vec<i64> = lists.iter().map(|l| l[0]).collect();
+    loop {
+        f(&idx);
+        let mut d = lists.len();
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            cursor[d] += 1;
+            if cursor[d] < lists[d].len() {
+                idx[d] = lists[d][cursor[d]];
+                break;
+            }
+            cursor[d] = 0;
+            idx[d] = lists[d][0];
+        }
+    }
+}
+
+/// One element movement between nodes: flat padded offsets into the
+/// source array on the source node and the destination array on the
+/// destination node.
+pub type PairMoves = BTreeMap<(i64, i64), Vec<(usize, usize)>>;
+
+/// Execute a set of vectorized pairwise element moves: for every
+/// `(from, to)` pair, pack the listed source elements into one message,
+/// send, and unpack into the listed destination offsets. `from == to`
+/// pairs are local copies charged at memcpy rate.
+///
+/// `src` and `dst` may name the same array only if no (from,to) pair has
+/// overlapping src/dst offsets on one node; redistribution avoids this by
+/// staging through a fresh array.
+pub fn exchange(m: &mut Machine, src: &str, dst: &str, moves: &PairMoves) {
+    let tag = m.fresh_tag();
+    let copy_rate = m.spec().time_copy_byte;
+    // Sends (and local copies) in deterministic pair order.
+    for (&(from, to), elems) in moves.iter() {
+        if elems.is_empty() {
+            continue;
+        }
+        if from == to {
+            let mem = &mut m.mems[from as usize];
+            if src == dst {
+                let vals: Vec<Value> = {
+                    let a = mem.array(src);
+                    elems.iter().map(|&(s, _)| a.get_flat(s)).collect()
+                };
+                let a = mem.array_mut(dst);
+                for (&(_, d), v) in elems.iter().zip(vals) {
+                    a.set_flat(d, v);
+                }
+            } else {
+                let (s_arr, d_arr) = mem.two_arrays_mut(src, dst);
+                for &(so, do_) in elems {
+                    d_arr.set_flat(do_, s_arr.get_flat(so));
+                }
+            }
+            let bytes = elems.len() as i64 * m.mems[from as usize].array(dst).elem_type().bytes();
+            m.transport
+                .charge_compute(from, copy_rate * bytes as f64);
+            continue;
+        }
+        // Pack.
+        let payload = {
+            let a = m.mems[from as usize].array(src);
+            let mut data = ArrayData::zeros(a.elem_type(), elems.len());
+            for (k, &(so, _)) in elems.iter().enumerate() {
+                data.set(k, a.get_flat(so));
+            }
+            data
+        };
+        let bytes = payload.len() as i64 * payload.elem_type().bytes();
+        m.transport
+            .charge_compute(from, copy_rate * bytes as f64);
+        m.transport.send(from, to, tag, payload);
+    }
+    // Receives.
+    for (&(from, to), elems) in moves.iter() {
+        if elems.is_empty() || from == to {
+            continue;
+        }
+        let payload = m.transport.recv(to, from, tag);
+        let bytes = payload.len() as i64 * payload.elem_type().bytes();
+        m.transport.charge_compute(to, copy_rate * bytes as f64);
+        let a = m.mems[to as usize].array_mut(dst);
+        for (k, &(_, do_)) in elems.iter().enumerate() {
+            a.set_flat(do_, payload.get(k));
+        }
+    }
+}
+
+/// Binomial-tree broadcast of a payload from `members[root_pos]` to every
+/// member, `O(log F)` message stages. `store` is invoked on every member
+/// (including the root) to deposit the payload into that node's memory.
+pub fn tree_broadcast(
+    m: &mut Machine,
+    members: &[i64],
+    root_pos: usize,
+    payload: ArrayData,
+    mut store: impl FnMut(&mut Machine, i64, &ArrayData),
+) {
+    let f = members.len();
+    assert!(root_pos < f);
+    let tag = m.fresh_tag();
+    store(m, members[root_pos], &payload);
+    if f <= 1 {
+        return;
+    }
+    let copy_rate = m.spec().time_copy_byte;
+    let bytes = payload.len() as i64 * payload.elem_type().bytes();
+    let rel = |pos: usize| members[(root_pos + pos) % f];
+    let mut step = 1;
+    while step < f {
+        for s in 0..step.min(f - step) {
+            let t = s + step;
+            if t < f {
+                let (from, to) = (rel(s), rel(t));
+                m.transport
+                    .charge_compute(from, copy_rate * bytes as f64);
+                m.transport.send(from, to, tag, payload.clone());
+                let got = m.transport.recv(to, from, tag);
+                m.transport.charge_compute(to, copy_rate * bytes as f64);
+                store(m, to, &got);
+            }
+        }
+        step *= 2;
+    }
+}
+
+/// Binomial-tree combine toward `members[0]`: `fold(acc, contribution)`
+/// merges payloads pairwise; returns the fully combined payload (present
+/// only at `members[0]`).
+pub fn tree_reduce(
+    m: &mut Machine,
+    members: &[i64],
+    mut contributions: Vec<ArrayData>,
+    fold: impl Fn(&mut ArrayData, &ArrayData),
+) -> ArrayData {
+    let f = members.len();
+    assert_eq!(contributions.len(), f);
+    assert!(f > 0);
+    let tag = m.fresh_tag();
+    let copy_rate = m.spec().time_copy_byte;
+    // Standard binomial: at each round, odd multiples of `step` send to
+    // the even multiple below them.
+    let mut step = 1;
+    while step < f {
+        let mut s = 0;
+        while s + step < f {
+            let (to, from) = (members[s], members[s + step]);
+            let payload = contributions[s + step].clone();
+            let bytes = payload.len() as i64 * payload.elem_type().bytes();
+            m.transport
+                .charge_compute(from, copy_rate * bytes as f64);
+            m.transport.send(from, to, tag, payload);
+            let got = m.transport.recv(to, from, tag);
+            // Charge the combine itself as element ops.
+            m.transport.charge_elem_ops(to, got.len() as i64);
+            let mut acc = std::mem::replace(&mut contributions[s], ArrayData::Int(vec![]));
+            fold(&mut acc, &got);
+            contributions[s] = acc;
+            s += step * 2;
+        }
+        step *= 2;
+    }
+    contributions.swap_remove(0)
+}
+
+/// The grid fiber (member ranks) along `axis` through the node at
+/// `coords`, plus this node's position in it.
+pub fn fiber_through(m: &Machine, coords: &[i64], axis: usize) -> (Vec<i64>, usize) {
+    let members = m.grid.fiber(coords, axis);
+    let me = m.grid.rank_of(coords);
+    let pos = members
+        .iter()
+        .position(|&r| r == me)
+        .expect("node lies on its own fiber");
+    (members, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90d_distrib::{DadBuilder, DistKind, ProcGrid};
+    use f90d_machine::{ElemType, LocalArray, MachineSpec};
+
+    fn mk_machine(p: i64) -> Machine {
+        Machine::new(MachineSpec::ideal(), ProcGrid::new(&[p]))
+    }
+
+    #[test]
+    fn owned_dim_locals_block() {
+        let dad = DadBuilder::new("A", &[10])
+            .distribute(&[DistKind::Block])
+            .grid(ProcGrid::new(&[4]))
+            .build()
+            .unwrap();
+        assert_eq!(owned_dim_locals(&dad, 0, 0), vec![0, 1, 2]);
+        assert_eq!(owned_dim_locals(&dad, 0, 3), vec![0]);
+    }
+
+    #[test]
+    fn cartesian_row_major() {
+        let lists = vec![vec![0, 1], vec![5, 6, 7]];
+        let mut seen = Vec::new();
+        cartesian(&lists, |idx| seen.push(idx.to_vec()));
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], vec![0, 5]);
+        assert_eq!(seen[1], vec![0, 6]);
+        assert_eq!(seen[3], vec![1, 5]);
+    }
+
+    #[test]
+    fn cartesian_empty_list_yields_nothing() {
+        let mut n = 0;
+        cartesian(&[vec![], vec![1]], |_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn exchange_moves_elements() {
+        let mut m = mk_machine(2);
+        for mem in &mut m.mems {
+            mem.insert_array("S", LocalArray::zeros(ElemType::Real, &[4]));
+            mem.insert_array("D", LocalArray::zeros(ElemType::Real, &[4]));
+        }
+        m.mems[0]
+            .array_mut("S")
+            .set(&[1], Value::Real(42.0));
+        let mut moves = PairMoves::new();
+        moves.insert((0, 1), vec![(1, 2)]);
+        exchange(&mut m, "S", "D", &moves);
+        assert_eq!(m.mems[1].array("D").get(&[2]), Value::Real(42.0));
+        assert_eq!(m.transport.messages, 1);
+    }
+
+    #[test]
+    fn exchange_local_copy_same_array() {
+        let mut m = mk_machine(1);
+        m.mems[0].insert_array("A", LocalArray::zeros(ElemType::Int, &[3]));
+        m.mems[0].array_mut("A").set(&[0], Value::Int(9));
+        let mut moves = PairMoves::new();
+        moves.insert((0, 0), vec![(0, 2)]);
+        exchange(&mut m, "A", "A", &moves);
+        assert_eq!(m.mems[0].array("A").get(&[2]), Value::Int(9));
+        assert_eq!(m.transport.messages, 0);
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_everyone_logarithmically() {
+        for p in [1i64, 2, 3, 5, 8, 16] {
+            let mut m = mk_machine(p);
+            for mem in &mut m.mems {
+                mem.insert_array("X", LocalArray::zeros(ElemType::Real, &[1]));
+            }
+            let mut payload = ArrayData::zeros(ElemType::Real, 1);
+            payload.set(0, Value::Real(7.0));
+            let members: Vec<i64> = (0..p).collect();
+            tree_broadcast(&mut m, &members, 0, payload, |m, r, data| {
+                let v = data.get(0);
+                m.mems[r as usize].array_mut("X").set(&[0], v);
+            });
+            for r in 0..p {
+                assert_eq!(m.mems[r as usize].array("X").get(&[0]), Value::Real(7.0));
+            }
+            assert_eq!(m.transport.messages, (p - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_nonzero_root() {
+        let mut m = mk_machine(4);
+        for mem in &mut m.mems {
+            mem.insert_array("X", LocalArray::zeros(ElemType::Int, &[1]));
+        }
+        let mut payload = ArrayData::zeros(ElemType::Int, 1);
+        payload.set(0, Value::Int(5));
+        tree_broadcast(&mut m, &[0, 1, 2, 3], 2, payload, |m, r, d| {
+            let v = d.get(0);
+            m.mems[r as usize].array_mut("X").set(&[0], v);
+        });
+        for r in 0..4 {
+            assert_eq!(m.mems[r as usize].array("X").get(&[0]), Value::Int(5));
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_log_depth_cost() {
+        // With ideal spec both alpha and beta are zero; use ipsc to check
+        // the elapsed time is O(log P) startups, not O(P).
+        let mut m = Machine::new(MachineSpec::ipsc860(), ProcGrid::new(&[16]));
+        let payload = ArrayData::zeros(ElemType::Real, 1);
+        let members: Vec<i64> = (0..16).collect();
+        tree_broadcast(&mut m, &members, 0, payload, |_, _, _| {});
+        let alpha = m.spec().alpha;
+        // 4 stages of (alpha + small) each; definitely below 6 alphas and
+        // above 3.
+        assert!(m.elapsed() < 6.0 * (alpha + 50e-6));
+        assert!(m.elapsed() > 3.0 * alpha);
+    }
+
+    #[test]
+    fn tree_reduce_combines_all() {
+        for p in [1usize, 2, 3, 7, 8] {
+            let mut m = mk_machine(p as i64);
+            let members: Vec<i64> = (0..p as i64).collect();
+            let contributions: Vec<ArrayData> = (0..p)
+                .map(|r| {
+                    let mut d = ArrayData::zeros(ElemType::Real, 1);
+                    d.set(0, Value::Real(r as f64));
+                    d
+                })
+                .collect();
+            let total = tree_reduce(&mut m, &members, contributions, |acc, x| {
+                let s = acc.get(0).as_real() + x.get(0).as_real();
+                acc.set(0, Value::Real(s));
+            });
+            let expect = (0..p).sum::<usize>() as f64;
+            assert_eq!(total.get(0).as_real(), expect, "P={p}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # f90d-comm — the collective communication library
+//!
+//! The Fortran 90D/HPF compiler "produces calls to collective
+//! communication routines instead of generating individual processor send
+//! and receive calls inside the compiled code" (paper §5). This crate is
+//! that library. Everything here is written against the point-to-point
+//! [`f90d_machine::Transport`] only, reproducing the paper's portability
+//! layering: to move to another transport (their Express → PVM example),
+//! only this crate's substrate changes.
+//!
+//! **Structured** primitives (paper §5.1) exploit the logical-grid
+//! relationship between sender and receiver, so they need no preprocessing:
+//!
+//! * [`structured::transfer`] — single source grid line to single
+//!   destination grid line (Fig. 4a);
+//! * [`structured::multicast`] — broadcast along a grid dimension
+//!   (Fig. 4b), binomial tree, `O(log P)` stages;
+//! * [`structured::overlap_shift`] — shift boundary strips into the
+//!   receiver's *overlap areas* (ghost cells) when the shift amount is a
+//!   compile-time constant, avoiding intra-processor copies;
+//! * [`structured::temporary_shift`] — shift by a runtime amount into a
+//!   temporary;
+//! * [`structured::multicast_shift`] — the fused composition of the two
+//!   (paper §5.3.1 example 3);
+//! * [`structured::concatenation`] — gather a distributed array onto every
+//!   participating processor.
+//!
+//! **Reduction** trees ([`reduce`]) serve both the compiler (e.g. the
+//! pivot search of Gaussian elimination) and the Table-3 reduction
+//! intrinsics.
+//!
+//! **Unstructured** primitives (paper §5.3.2, after PARTI) use an
+//! inspector/executor [`schedule::Schedule`]: `schedule1` needs only local
+//! preprocessing (`precomp_read` / `postcomp_write`), `schedule2/3` must
+//! exchange request lists first (`gather` / `scatter`). Messages are
+//! *vectorized*: all elements for one (src, dst) pair travel in a single
+//! message (paper §7 optimization 1). Schedules are reusable; executing a
+//! saved schedule skips the preprocessing cost entirely (§7 optimization 3).
+//!
+//! [`redist`] implements the block↔cyclic redistribution primitives used
+//! at subroutine boundaries (paper §6).
+
+#![warn(missing_docs)]
+
+pub mod helpers;
+pub mod redist;
+pub mod reduce;
+pub mod schedule;
+pub mod structured;
+
+pub use reduce::ReduceOp;
+pub use schedule::{Schedule, ScheduleKind};

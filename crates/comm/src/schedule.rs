@@ -1,0 +1,360 @@
+//! Unstructured communication: inspector/executor schedules
+//! (paper §5.3.2, after the PARTI runtime of Saltz et al.).
+//!
+//! The *inspector* (preprocessing loop) computes, per processor, the
+//! send/receive processor lists and local index lists; the *executor*
+//! carries out the exchange with fully vectorized messages. Three
+//! schedule builders mirror the paper:
+//!
+//! * `schedule1` — `precomp_read`/`postcomp_write`: the subscript is an
+//!   invertible function `f(i)`, so both senders and receivers enumerate
+//!   their lists from **local** information only;
+//! * `schedule2` — `gather`: receivers know what they need, senders don't;
+//!   the inspector performs a fan-in exchange of request lists;
+//! * `schedule3` — `scatter`: senders know what they produce, receivers
+//!   don't; the inspector exchanges counts only (no separate local-index
+//!   message, as the paper notes).
+//!
+//! A built [`Schedule`] is *reusable*: executing it again performs only
+//! the data exchange, amortizing the inspector (paper §7, optimization 3).
+//! The compiler's schedule-reuse optimization keys schedules by their
+//! request pattern — see [`Schedule::signature`].
+
+use std::collections::BTreeMap;
+
+use f90d_machine::{ArrayData, Machine, Transport};
+
+use crate::helpers::PairMoves;
+
+/// Which inspector built the schedule (affects modelled preprocessing
+/// cost, not executor semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// `schedule1`: local-only preprocessing (invertible subscript).
+    LocalOnly,
+    /// `schedule2`: receivers fan requests in to owners.
+    FanInRequests,
+    /// `schedule3`: senders announce counts to receivers.
+    SenderDriven,
+}
+
+/// An executable communication schedule: vectorized element moves plus
+/// bookkeeping for reuse.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    kind: ScheduleKind,
+    /// (src_rank, dst_rank) → ordered (src flat offset, dst flat offset).
+    moves: PairMoves,
+    /// Structural signature for reuse detection.
+    sig: u64,
+}
+
+impl Schedule {
+    /// The inspector family that built this schedule.
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+
+    /// A structural hash of the move pattern: two FORALLs with identical
+    /// access patterns over identically-distributed arrays produce equal
+    /// signatures, which is what makes schedule reuse sound.
+    pub fn signature(&self) -> u64 {
+        self.sig
+    }
+
+    /// Total number of elements moved between distinct nodes.
+    pub fn remote_elements(&self) -> usize {
+        self.moves
+            .iter()
+            .filter(|((f, t), _)| f != t)
+            .map(|(_, v)| v.len())
+            .sum()
+    }
+
+    /// Number of point-to-point messages the executor will send.
+    pub fn message_count(&self) -> usize {
+        self.moves
+            .iter()
+            .filter(|((f, t), v)| f != t && !v.is_empty())
+            .count()
+    }
+}
+
+fn hash_moves(moves: &PairMoves) -> u64 {
+    // FNV-1a over the move structure; deterministic across runs.
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for (&(f, t), elems) in moves {
+        mix(f as u64);
+        mix(t as u64);
+        for &(s, d) in elems {
+            mix(s as u64);
+            mix(d as u64 ^ 0x9e3779b97f4a7c15);
+        }
+    }
+    h
+}
+
+/// One element request: rank `requester` wants the element at flat offset
+/// `src_off` on rank `owner` placed at flat offset `dst_off` in its
+/// destination array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElementReq {
+    /// Rank that will receive the element.
+    pub requester: i64,
+    /// Rank that owns the element.
+    pub owner: i64,
+    /// Flat offset in the owner's source array.
+    pub src_off: usize,
+    /// Flat offset in the requester's destination array.
+    pub dst_off: usize,
+}
+
+fn build(kind: ScheduleKind, reqs: &[ElementReq]) -> Schedule {
+    let mut moves: PairMoves = BTreeMap::new();
+    for r in reqs {
+        moves
+            .entry((r.owner, r.requester))
+            .or_default()
+            .push((r.src_off, r.dst_off));
+    }
+    let sig = hash_moves(&moves);
+    Schedule { kind, moves, sig }
+}
+
+/// Inspector cost model shared by the builders: each request element
+/// costs a few ops in the preprocessing loop on its *requester* (for
+/// reads) or *producer* (for writes); fan-in/count exchanges add real
+/// messages through the transport.
+fn charge_inspector(m: &mut Machine, kind: ScheduleKind, reqs: &[ElementReq], read_side: bool) {
+    // Local preprocessing loop: ~4 ops per element (proc-of, local-of,
+    // list appends), charged where the loop runs.
+    let mut per_rank: BTreeMap<i64, i64> = BTreeMap::new();
+    for r in reqs {
+        let runner = if read_side { r.requester } else { r.owner };
+        *per_rank.entry(runner).or_insert(0) += 4;
+    }
+    for (rank, ops) in per_rank {
+        m.transport.charge_elem_ops(rank, ops);
+    }
+    match kind {
+        ScheduleKind::LocalOnly => {}
+        ScheduleKind::FanInRequests => {
+            // Receivers transmit their index lists to owners: one message
+            // of 8 bytes per element per (requester → owner) pair.
+            let tag = m.fresh_tag();
+            let mut pairs: BTreeMap<(i64, i64), usize> = BTreeMap::new();
+            for r in reqs {
+                if r.requester != r.owner {
+                    *pairs.entry((r.requester, r.owner)).or_insert(0) += 1;
+                }
+            }
+            for (&(from, to), &n) in &pairs {
+                m.transport
+                    .send(from, to, tag, ArrayData::Int(vec![0; n]));
+            }
+            for &(from, to) in pairs.keys() {
+                m.transport.recv(to, from, tag);
+            }
+        }
+        ScheduleKind::SenderDriven => {
+            // Senders announce counts: one 8-byte message per pair.
+            let tag = m.fresh_tag();
+            let mut pairs: Vec<(i64, i64)> = reqs
+                .iter()
+                .filter(|r| r.requester != r.owner)
+                .map(|r| (r.owner, r.requester))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            for &(from, to) in &pairs {
+                m.transport.send(from, to, tag, ArrayData::Int(vec![0]));
+            }
+            for &(from, to) in &pairs {
+                m.transport.recv(to, from, tag);
+            }
+        }
+    }
+}
+
+/// `schedule1` (paper §5.3.2 example 1): invertible subscript — both
+/// sides preprocess locally, no inspector communication.
+pub fn schedule1(m: &mut Machine, reqs: &[ElementReq]) -> Schedule {
+    m.stats.record("schedule1");
+    charge_inspector(m, ScheduleKind::LocalOnly, reqs, true);
+    build(ScheduleKind::LocalOnly, reqs)
+}
+
+/// `schedule2` (paper §5.3.2 example 2): gather — receivers fan their
+/// request lists in to the owners.
+pub fn schedule2(m: &mut Machine, reqs: &[ElementReq]) -> Schedule {
+    m.stats.record("schedule2");
+    charge_inspector(m, ScheduleKind::FanInRequests, reqs, true);
+    build(ScheduleKind::FanInRequests, reqs)
+}
+
+/// `schedule3` (paper §5.3.2 example 3): scatter — senders know targets;
+/// only counts are exchanged.
+pub fn schedule3(m: &mut Machine, reqs: &[ElementReq]) -> Schedule {
+    m.stats.record("schedule3");
+    charge_inspector(m, ScheduleKind::SenderDriven, reqs, false);
+    build(ScheduleKind::SenderDriven, reqs)
+}
+
+/// Executor for read-side schedules: `precomp_read` when the schedule
+/// came from `schedule1`, `gather` when from `schedule2`. Moves elements
+/// from `src` (on owners) into `dst` (on requesters), one vectorized
+/// message per processor pair.
+pub fn execute_read(m: &mut Machine, sched: &Schedule, src: &str, dst: &str) {
+    m.stats.record(match sched.kind {
+        ScheduleKind::LocalOnly => "precomp_read",
+        _ => "gather",
+    });
+    crate::helpers::exchange(m, src, dst, &sched.moves);
+}
+
+/// Executor for write-side schedules: `postcomp_write` (`schedule1`) or
+/// `scatter` (`schedule3`). Identical data motion with roles swapped:
+/// producers send computed elements to the owners of the LHS.
+pub fn execute_write(m: &mut Machine, sched: &Schedule, src: &str, dst: &str) {
+    m.stats.record(match sched.kind {
+        ScheduleKind::LocalOnly => "postcomp_write",
+        _ => "scatter",
+    });
+    crate::helpers::exchange(m, src, dst, &sched.moves);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90d_distrib::ProcGrid;
+    use f90d_machine::{ElemType, LocalArray, MachineSpec, Value};
+
+    fn machine(p: i64) -> Machine {
+        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[p]));
+        for r in 0..p {
+            let mut src = LocalArray::zeros(ElemType::Real, &[8]);
+            for l in 0..8 {
+                src.set(&[l], Value::Real((r * 100 + l) as f64));
+            }
+            m.mems[r as usize].insert_array("SRC", src);
+            m.mems[r as usize].insert_array("DST", LocalArray::zeros(ElemType::Real, &[8]));
+        }
+        m
+    }
+
+    #[test]
+    fn gather_moves_requested_elements() {
+        let mut m = machine(3);
+        // rank 0 wants SRC[2] of rank 1 into DST[0], SRC[3] of rank 2 into DST[1]
+        let reqs = vec![
+            ElementReq { requester: 0, owner: 1, src_off: 2, dst_off: 0 },
+            ElementReq { requester: 0, owner: 2, src_off: 3, dst_off: 1 },
+            ElementReq { requester: 2, owner: 0, src_off: 5, dst_off: 7 },
+        ];
+        let sched = schedule2(&mut m, &reqs);
+        assert_eq!(sched.message_count(), 3);
+        assert_eq!(sched.remote_elements(), 3);
+        execute_read(&mut m, &sched, "SRC", "DST");
+        assert_eq!(m.mems[0].array("DST").get(&[0]), Value::Real(102.0));
+        assert_eq!(m.mems[0].array("DST").get(&[1]), Value::Real(203.0));
+        assert_eq!(m.mems[2].array("DST").get(&[7]), Value::Real(5.0));
+    }
+
+    #[test]
+    fn messages_are_vectorized_per_pair() {
+        let mut m = machine(2);
+        // 5 elements all from rank 1 to rank 0 → exactly one data message.
+        let reqs: Vec<ElementReq> = (0..5)
+            .map(|k| ElementReq { requester: 0, owner: 1, src_off: k, dst_off: k })
+            .collect();
+        let sched = schedule1(&mut m, &reqs);
+        let before = m.transport.messages;
+        execute_read(&mut m, &sched, "SRC", "DST");
+        assert_eq!(m.transport.messages - before, 1, "vectorization failed");
+    }
+
+    #[test]
+    fn schedule1_inspector_is_local() {
+        let mut m = machine(4);
+        let reqs = vec![ElementReq { requester: 0, owner: 3, src_off: 0, dst_off: 0 }];
+        let msgs_before = m.transport.messages;
+        schedule1(&mut m, &reqs);
+        assert_eq!(m.transport.messages, msgs_before, "schedule1 must not communicate");
+    }
+
+    #[test]
+    fn schedule2_inspector_communicates() {
+        let mut m = machine(4);
+        let reqs = vec![ElementReq { requester: 0, owner: 3, src_off: 0, dst_off: 0 }];
+        let msgs_before = m.transport.messages;
+        schedule2(&mut m, &reqs);
+        assert!(m.transport.messages > msgs_before, "schedule2 fans in requests");
+    }
+
+    #[test]
+    fn reuse_skips_inspector_cost() {
+        let mut m = machine(4);
+        let reqs: Vec<ElementReq> = (0..32)
+            .map(|k| ElementReq {
+                requester: k % 4,
+                owner: (k + 1) % 4,
+                src_off: (k / 4) as usize,
+                dst_off: (k / 4) as usize,
+            })
+            .collect();
+        let sched = schedule2(&mut m, &reqs);
+        m.reset_time();
+        execute_read(&mut m, &sched, "SRC", "DST");
+        let exec_only = m.elapsed();
+        m.reset_time();
+        let sched2 = schedule2(&mut m, &reqs);
+        execute_read(&mut m, &sched2, "SRC", "DST");
+        let with_inspector = m.elapsed();
+        assert!(with_inspector > exec_only, "inspector must cost something");
+        assert_eq!(sched.signature(), sched2.signature());
+    }
+
+    #[test]
+    fn signatures_differ_for_different_patterns() {
+        let mut m = machine(2);
+        let a = schedule1(
+            &mut m,
+            &[ElementReq { requester: 0, owner: 1, src_off: 0, dst_off: 0 }],
+        );
+        let b = schedule1(
+            &mut m,
+            &[ElementReq { requester: 0, owner: 1, src_off: 1, dst_off: 0 }],
+        );
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn scatter_writes_to_owners() {
+        let mut m = machine(2);
+        // rank 0 produced DST-values in SRC[0..2] destined for rank 1.
+        let reqs = vec![
+            ElementReq { requester: 1, owner: 0, src_off: 0, dst_off: 4 },
+            ElementReq { requester: 1, owner: 0, src_off: 1, dst_off: 5 },
+        ];
+        let sched = schedule3(&mut m, &reqs);
+        execute_write(&mut m, &sched, "SRC", "DST");
+        assert_eq!(m.mems[1].array("DST").get(&[4]), Value::Real(0.0));
+        assert_eq!(m.mems[1].array("DST").get(&[5]), Value::Real(1.0));
+    }
+
+    #[test]
+    fn local_requests_cost_no_messages() {
+        let mut m = machine(2);
+        let reqs = vec![ElementReq { requester: 0, owner: 0, src_off: 1, dst_off: 2 }];
+        let sched = schedule2(&mut m, &reqs);
+        let before = m.transport.messages;
+        execute_read(&mut m, &sched, "SRC", "DST");
+        assert_eq!(m.transport.messages, before);
+        assert_eq!(m.mems[0].array("DST").get(&[2]), Value::Real(1.0));
+        assert_eq!(sched.message_count(), 0);
+    }
+}

@@ -1,0 +1,735 @@
+//! Structured communication primitives (paper §5.1).
+//!
+//! These exploit the logical-grid relationship between communicating
+//! processors, so send/receive sets are implicit — no preprocessing loop
+//! is needed. All primitives assume the communicated arrays are aligned to
+//! a common template (the condition under which the compiler's detection
+//! algorithm emits them, §5.2 Algorithm 1).
+//!
+//! Conventions shared by `transfer` / `multicast` / `*_shift`:
+//!
+//! * `dim` names an **array** dimension of the source; its grid axis comes
+//!   from the source's [`Dad`].
+//! * Slab results (`transfer`, `multicast`) land in a temporary whose rank
+//!   is the source rank minus one — the paper's `TMP(I)` — indexed by the
+//!   local indices of the remaining dimensions.
+//! * Shift results either fill the ghost cells of the array itself
+//!   (`overlap_shift`) or a same-shape temporary (`temporary_shift`),
+//!   indexed so that the local loop body reads `TMP(i)` for `B(i ± s)`.
+
+use f90d_distrib::Dad;
+use f90d_machine::{ArrayData, ElemType, LocalArray, Machine, Transport, Value};
+
+use crate::helpers::{
+    cartesian, exchange, fiber_through, owned_locals_per_dim, tree_broadcast, PairMoves,
+};
+
+/// Allocate (on every node) the slab temporary for `transfer`/`multicast`
+/// over dimension `dim` of `dad`: rank `r-1`, shaped by the local
+/// allocation of the remaining dimensions.
+pub fn alloc_slab_tmp(m: &mut Machine, name: &str, dad: &Dad, dim: usize, ty: ElemType) {
+    let shape: Vec<i64> = dad
+        .local_shape()
+        .iter()
+        .enumerate()
+        .filter(|&(d, _)| d != dim)
+        .map(|(_, &e)| e)
+        .collect();
+    let shape = if shape.is_empty() { vec![1] } else { shape };
+    for mem in &mut m.mems {
+        mem.insert_array(name, LocalArray::zeros(ty, &shape));
+    }
+}
+
+fn slab_pack(
+    m: &Machine,
+    src: &str,
+    dad: &Dad,
+    coords: &[i64],
+    dim: usize,
+    src_g: i64,
+) -> (ArrayData, Vec<usize>) {
+    let rank = m.grid.rank_of(coords);
+    let mem = &m.mems[rank as usize];
+    let arr = mem.array(src);
+    let l_fix = dad.dims[dim].local_of(src_g);
+    let mut lists = owned_locals_per_dim(dad, coords);
+    lists[dim] = vec![l_fix];
+    let mut vals = Vec::new();
+    let mut tmp_offsets = Vec::new();
+    // tmp is rank-1 lower: offsets computed over remaining dims in the
+    // same row-major order.
+    let tmp_shape: Vec<i64> = dad
+        .local_shape()
+        .iter()
+        .enumerate()
+        .filter(|&(d, _)| d != dim)
+        .map(|(_, &e)| e)
+        .collect();
+    cartesian(&lists, |idx| {
+        vals.push(arr.get(idx));
+        let rest: Vec<i64> = idx
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != dim)
+            .map(|(_, &l)| l)
+            .collect();
+        let mut off: i64 = 0;
+        if tmp_shape.is_empty() {
+            tmp_offsets.push(0);
+            return;
+        }
+        for (d, &l) in rest.iter().enumerate() {
+            off = off * tmp_shape[d] + l;
+        }
+        tmp_offsets.push(off as usize);
+    });
+    let mut data = ArrayData::zeros(arr.elem_type(), vals.len());
+    for (k, v) in vals.into_iter().enumerate() {
+        data.set(k, v);
+    }
+    (data, tmp_offsets)
+}
+
+fn slab_unpack(m: &mut Machine, tmp: &str, rank: i64, data: &ArrayData, offsets: &[usize]) {
+    let arr = m.mems[rank as usize].array_mut(tmp);
+    for (k, &off) in offsets.iter().enumerate() {
+        arr.set_flat(off, data.get(k));
+    }
+}
+
+/// `transfer` (paper §5.3.1 example 1, Fig. 4a): move the slab
+/// `src[.., src_g, ..]` (global index `src_g` on dimension `dim`) from its
+/// owner grid line to the grid line at coordinate `dst_coord` along the
+/// same axis, depositing it into the rank-`r-1` temporary `tmp` on every
+/// receiving node.
+pub fn transfer(
+    m: &mut Machine,
+    src: &str,
+    dad: &Dad,
+    tmp: &str,
+    dim: usize,
+    src_g: i64,
+    dst_coord: i64,
+) {
+    m.stats.record("transfer");
+    let axis = dad.dims[dim]
+        .grid_axis
+        .expect("transfer source dimension must be distributed");
+    let src_coord = dad.dims[dim].proc_of(src_g);
+    let tag = m.fresh_tag();
+    let copy_rate = m.spec().time_copy_byte;
+    // Enumerate the owner grid line: all coordinate tuples with
+    // coords[axis] == src_coord.
+    for rank in 0..m.nranks() {
+        let coords = m.grid.coords_of(rank);
+        if coords[axis] != src_coord {
+            continue;
+        }
+        let (payload, offsets) = slab_pack(m, src, dad, &coords, dim, src_g);
+        let mut dst_c = coords.clone();
+        dst_c[axis] = dst_coord;
+        let dst_rank = m.grid.rank_of(&dst_c);
+        if dst_rank == rank {
+            slab_unpack(m, tmp, rank, &payload, &offsets);
+            let bytes = payload.len() as i64 * payload.elem_type().bytes();
+            m.transport
+                .charge_compute(rank, copy_rate * bytes as f64);
+        } else {
+            let bytes = payload.len() as i64 * payload.elem_type().bytes();
+            m.transport
+                .charge_compute(rank, copy_rate * bytes as f64);
+            m.transport.send(rank, dst_rank, tag, payload);
+            let got = m.transport.recv(dst_rank, rank, tag);
+            m.transport
+                .charge_compute(dst_rank, copy_rate * bytes as f64);
+            slab_unpack(m, tmp, dst_rank, &got, &offsets);
+        }
+    }
+}
+
+/// `multicast` (paper §5.3.1 example 2, Fig. 4b): broadcast the slab
+/// `src[.., src_g, ..]` from its owner grid line along the grid axis of
+/// `dim`, into `tmp` on every node. Binomial tree per fiber: `O(log P)`.
+pub fn multicast(m: &mut Machine, src: &str, dad: &Dad, tmp: &str, dim: usize, src_g: i64) {
+    m.stats.record("multicast");
+    let axis = dad.dims[dim]
+        .grid_axis
+        .expect("multicast source dimension must be distributed");
+    let src_coord = dad.dims[dim].proc_of(src_g);
+    // One broadcast per fiber; fibers are identified by the owner-line
+    // nodes (coords with coords[axis] == src_coord).
+    let mut owners = Vec::new();
+    for rank in 0..m.nranks() {
+        let coords = m.grid.coords_of(rank);
+        if coords[axis] == src_coord {
+            owners.push(coords);
+        }
+    }
+    for coords in owners {
+        let (payload, offsets) = slab_pack(m, src, dad, &coords, dim, src_g);
+        let (members, root_pos) = fiber_through(m, &coords, axis);
+        tree_broadcast(m, &members, root_pos, payload, |m, rank, data| {
+            slab_unpack(m, tmp, rank, data, &offsets);
+        });
+    }
+}
+
+/// `overlap_shift` (paper §5.1): for a compile-time shift constant `c`,
+/// move each node's boundary strip of width `|c|` along `dim` into the
+/// neighbouring node's ghost cells, so the local loop can read
+/// `A(i + c)` directly with **no** temporary and no intra-processor
+/// copying. The array must have been allocated with ghost width ≥ `|c|`
+/// on `dim`. With `periodic`, edges wrap (CSHIFT); otherwise edge nodes
+/// simply do not send past the array ends (FORALL boundary semantics).
+///
+/// Supports BLOCK distributions — the only case the paper's Table 1 emits
+/// it for (shifts on CYCLIC layouts route through the unstructured path).
+pub fn overlap_shift(m: &mut Machine, arr: &str, dad: &Dad, dim: usize, c: i64, periodic: bool) {
+    m.stats.record("overlap_shift");
+    if c == 0 {
+        return;
+    }
+    let dm = &dad.dims[dim];
+    let axis = dm.grid_axis.expect("overlap_shift needs a distributed dim");
+    assert!(
+        matches!(dm.dist.kind, f90d_distrib::DistKind::Block),
+        "overlap_shift supports BLOCK distributions"
+    );
+    let n = dm.extent;
+    // Receiver-centric: each node needs, for interior local l with global
+    // g, the value at g + c when it falls outside its own block; those
+    // form a strip of width |c| owned by the neighbour at +sign(c).
+    let mut moves: PairMoves = PairMoves::new();
+    for rank in 0..m.nranks() {
+        let coords = m.grid.coords_of(rank);
+        let lists = owned_locals_per_dim(dad, &coords);
+        if lists[dim].is_empty() {
+            continue;
+        }
+        // Ghost cells to fill: local indices just past the owned range.
+        let lo = *lists[dim].first().unwrap();
+        let hi = *lists[dim].last().unwrap();
+        let ghost_locals: Vec<i64> = if c > 0 {
+            (hi + 1..=hi + c).collect()
+        } else {
+            (lo + c..lo).collect()
+        };
+        for gl in ghost_locals {
+            // Global index this ghost cell mirrors.
+            let interior_l = if c > 0 { hi } else { lo };
+            let interior_g = dm
+                .array_index_of(coords[axis], interior_l)
+                .expect("interior local maps to a global");
+            let g = interior_g + (gl - interior_l);
+            let g_eff = if periodic {
+                g.rem_euclid(n)
+            } else if (0..n).contains(&g) {
+                g
+            } else {
+                continue;
+            };
+            let owner = dm.proc_of(g_eff);
+            let src_l = dm.local_of(g_eff);
+            let mut src_c = coords.clone();
+            src_c[axis] = owner;
+            let src_rank = m.grid.rank_of(&src_c);
+            // Pair each ghost cell with its source over all other dims.
+            let mut src_idx_lists = lists.clone();
+            src_idx_lists[dim] = vec![src_l];
+            let mut dst_idx_lists = lists.clone();
+            dst_idx_lists[dim] = vec![gl];
+            let src_arr = m.mems[src_rank as usize].array(arr);
+            let dst_arr = m.mems[rank as usize].array(arr);
+            let mut pairs = Vec::new();
+            let mut dst_offsets = Vec::new();
+            cartesian(&src_idx_lists, |idx| pairs.push(src_arr.offset(idx)));
+            cartesian(&dst_idx_lists, |idx| dst_offsets.push(dst_arr.offset(idx)));
+            let entry = moves.entry((src_rank, rank)).or_default();
+            entry.extend(pairs.into_iter().zip(dst_offsets));
+        }
+    }
+    exchange(m, arr, arr, &moves);
+}
+
+/// `temporary_shift` (paper §5.1): shift by a (possibly runtime) amount
+/// `s` into the same-local-shape temporary `tmp`: after the call,
+/// `tmp(l) = src(global(l) + s)` on every node, for every owned local `l`
+/// whose shifted global stays in range (`periodic` wraps instead).
+/// Unlike `overlap_shift` this may require intra-processor copying — the
+/// cost difference is the ablation ABL-4 measures.
+pub fn temporary_shift(
+    m: &mut Machine,
+    src: &str,
+    dad: &Dad,
+    tmp: &str,
+    dim: usize,
+    s: i64,
+    periodic: bool,
+) {
+    m.stats.record("temporary_shift");
+    let dm = &dad.dims[dim];
+    let axis = dm.grid_axis.expect("temporary_shift needs a distributed dim");
+    let n = dm.extent;
+    let mut moves: PairMoves = PairMoves::new();
+    for rank in 0..m.nranks() {
+        let coords = m.grid.coords_of(rank);
+        let lists = owned_locals_per_dim(dad, &coords);
+        let dst_arr = m.mems[rank as usize].array(tmp);
+        for &l in &lists[dim] {
+            let g = dm
+                .array_index_of(coords[axis], l)
+                .expect("owned local maps to global");
+            let gs = g + s;
+            let g_eff = if periodic {
+                gs.rem_euclid(n)
+            } else if (0..n).contains(&gs) {
+                gs
+            } else {
+                continue;
+            };
+            let owner = dm.proc_of(g_eff);
+            let src_l = dm.local_of(g_eff);
+            let mut src_c = coords.clone();
+            src_c[axis] = owner;
+            let src_rank = m.grid.rank_of(&src_c);
+            let src_arr = m.mems[src_rank as usize].array(src);
+            let mut src_lists = lists.clone();
+            src_lists[dim] = vec![src_l];
+            let mut dst_lists = lists.clone();
+            dst_lists[dim] = vec![l];
+            let mut src_offs = Vec::new();
+            let mut dst_offs = Vec::new();
+            cartesian(&src_lists, |idx| src_offs.push(src_arr.offset(idx)));
+            cartesian(&dst_lists, |idx| dst_offs.push(dst_arr.offset(idx)));
+            let entry = moves.entry((src_rank, rank)).or_default();
+            entry.extend(src_offs.into_iter().zip(dst_offs));
+        }
+    }
+    exchange(m, src, tmp, &moves);
+}
+
+/// Fused `multicast_shift` (paper §5.3.1 example 3): for
+/// `A(I,J) = B(g, J+s)`, combine the multicast of row `g` along
+/// `mcast_dim`'s axis with the shift by `s` along `shift_dim` — one
+/// communication structure, no intermediate temporary, less packing.
+/// Result lands in the rank-`r-1` slab temporary `tmp` such that
+/// `tmp(l_J) = B(g, global(l_J) + s)`.
+pub fn multicast_shift(
+    m: &mut Machine,
+    src: &str,
+    dad: &Dad,
+    tmp: &str,
+    mcast_dim: usize,
+    src_g: i64,
+    shift_dim: usize,
+    s: i64,
+) {
+    m.stats.record("multicast_shift");
+    assert_ne!(mcast_dim, shift_dim);
+    let axis = dad.dims[mcast_dim]
+        .grid_axis
+        .expect("multicast dimension must be distributed");
+    let src_coord = dad.dims[mcast_dim].proc_of(src_g);
+    let sdm = &dad.dims[shift_dim];
+    let n = sdm.extent;
+    // Step 1 (intra-line shift): on the owner line, build the shifted slab
+    // values each owner-line node will broadcast. The shift sources may
+    // live on a different node of the SAME owner line (other coords of the
+    // shift axis), so this is a pairwise exchange within the line into a
+    // hidden staging vector — but fused: we stage values directly in pack
+    // order without materializing a named temporary.
+    let l_fix = dad.dims[mcast_dim].local_of(src_g);
+    let mut owner_coords = Vec::new();
+    for rank in 0..m.nranks() {
+        let coords = m.grid.coords_of(rank);
+        if coords[axis] == src_coord {
+            owner_coords.push(coords);
+        }
+    }
+    for coords in owner_coords {
+        let rank = m.grid.rank_of(&coords);
+        let lists = owned_locals_per_dim(dad, &coords);
+        // For each owned local l on shift_dim, the needed global is
+        // global(l) + s; fetch from its owner (same line, differing on the
+        // shift axis if distributed).
+        let mut shifted_lists = lists.clone();
+        shifted_lists[mcast_dim] = vec![l_fix];
+        // Build the payload in row-major order over remaining dims.
+        let tmp_shape: Vec<i64> = dad
+            .local_shape()
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != mcast_dim)
+            .map(|(_, &e)| e)
+            .collect();
+        let mut vals: Vec<Value> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::new();
+        let ty = m.mems[rank as usize].array(src).elem_type();
+        cartesian(&shifted_lists, |idx| {
+            // Destination tmp offset from remaining dims.
+            let rest: Vec<i64> = idx
+                .iter()
+                .enumerate()
+                .filter(|&(d, _)| d != mcast_dim)
+                .map(|(_, &l)| l)
+                .collect();
+            let mut off: i64 = 0;
+            for (d, &l) in rest.iter().enumerate() {
+                off = off * tmp_shape[d] + l;
+            }
+            // Source value: shift idx[shift_dim] by s in global space.
+            let l_shift = idx[shift_dim];
+            let own_c = sdm.grid_axis.map_or(0, |sax| coords[sax]);
+            let g = match sdm.array_index_of(own_c, l_shift) {
+                Some(g) => g,
+                None => return,
+            };
+            let gs = g + s;
+            if !(0..n).contains(&gs) {
+                return;
+            }
+            let (owner, src_l) = (sdm.proc_of(gs), sdm.local_of(gs));
+            let mut src_c = coords.clone();
+            if let Some(sax) = sdm.grid_axis {
+                src_c[sax] = owner;
+            }
+            let src_rank = m.grid.rank_of(&src_c);
+            let mut sidx = idx.to_vec();
+            sidx[shift_dim] = src_l;
+            let v = m.mems[src_rank as usize].array(src).get(&sidx);
+            vals.push(v);
+            offsets.push(off as usize);
+        });
+        // Charge the intra-line fetches as one vectorized neighbour
+        // exchange when the shift axis is distributed.
+        if let Some(sax) = sdm.grid_axis {
+            if sdm.is_distributed() && s != 0 {
+                let bytes = vals.len() as i64 * ty.bytes();
+                let neigh = m.grid.neighbor_wrap(&coords, sax, if s > 0 { 1 } else { -1 });
+                if neigh != rank {
+                    let t = m.spec().msg_time(neigh, rank, bytes);
+                    m.transport.charge_compute(rank, t);
+                }
+            }
+        }
+        let mut payload = ArrayData::zeros(ty, vals.len());
+        for (k, v) in vals.into_iter().enumerate() {
+            payload.set(k, v);
+        }
+        let (members, root_pos) = fiber_through(m, &coords, axis);
+        let offs = offsets.clone();
+        tree_broadcast(m, &members, root_pos, payload, |m, r, data| {
+            slab_unpack(m, tmp, r, data, &offs);
+        });
+    }
+}
+
+/// `concatenation` (paper §5.1): gather a distributed array onto **every**
+/// processor — used when the LHS of a FORALL is not distributed
+/// (Algorithm 1 step 11). `dst` must be allocated with the array's full
+/// global shape on every node.
+pub fn concatenation(m: &mut Machine, src: &str, dad: &Dad, dst: &str) {
+    m.stats.record("concatenation");
+    let tag = m.fresh_tag();
+    let copy_rate = m.spec().time_copy_byte;
+    let nranks = m.nranks();
+    // Phase 1: everyone sends owned (global, value) runs to rank 0.
+    let mut assembled: Vec<(Vec<i64>, Value)> = Vec::new();
+    for rank in 0..nranks {
+        let coords = m.grid.coords_of(rank);
+        // Skip non-canonical replicas (they hold the same data).
+        if dad
+            .replicated_axes
+            .iter()
+            .any(|&ax| coords[ax] != 0)
+        {
+            continue;
+        }
+        let owned = dad.owned_elements(&coords);
+        if owned.is_empty() {
+            continue;
+        }
+        let arr = m.mems[rank as usize].array(src);
+        let ty = arr.elem_type();
+        let mut payload = ArrayData::zeros(ty, owned.len());
+        for (k, (_, l)) in owned.iter().enumerate() {
+            payload.set(k, arr.get(l));
+        }
+        if rank == 0 {
+            for ((g, _), k) in owned.iter().zip(0..) {
+                assembled.push((g.clone(), payload.get(k)));
+            }
+        } else {
+            let bytes = payload.len() as i64 * ty.bytes();
+            m.transport
+                .charge_compute(rank, copy_rate * bytes as f64);
+            m.transport.send(rank, 0, tag, payload);
+            let got = m.transport.recv(0, rank, tag);
+            m.transport
+                .charge_compute(0, copy_rate * bytes as f64);
+            for ((g, _), k) in owned.iter().zip(0..) {
+                assembled.push((g.clone(), got.get(k)));
+            }
+        }
+    }
+    // Phase 2: rank 0 assembles the full array and tree-broadcasts it.
+    {
+        let full = m.mems[0].array_mut(dst);
+        for (g, v) in &assembled {
+            full.set(g, *v);
+        }
+    }
+    let ty = m.mems[0].array(dst).elem_type();
+    let mut payload = ArrayData::zeros(ty, assembled.len());
+    for (k, (_, v)) in assembled.iter().enumerate() {
+        payload.set(k, *v);
+    }
+    let members: Vec<i64> = (0..nranks).collect();
+    let globals: Vec<Vec<i64>> = assembled.iter().map(|(g, _)| g.clone()).collect();
+    tree_broadcast(m, &members, 0, payload, |m, r, data| {
+        if r == 0 {
+            return;
+        }
+        let arr = m.mems[r as usize].array_mut(dst);
+        for (k, g) in globals.iter().enumerate() {
+            arr.set(g, data.get(k));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90d_distrib::{DadBuilder, DistKind, ProcGrid};
+    use f90d_machine::MachineSpec;
+
+    /// 2-D machine + (BLOCK, BLOCK) array initialized to A(i,j) = 100i + j.
+    fn setup_2d(n: i64, p: i64, q: i64) -> (Machine, Dad) {
+        let grid = ProcGrid::new(&[p, q]);
+        let mut m = Machine::new(MachineSpec::ideal(), grid.clone());
+        let dad = DadBuilder::new("B", &[n, n])
+            .distribute(&[DistKind::Block, DistKind::Block])
+            .grid(grid)
+            .build()
+            .unwrap();
+        for rank in 0..m.nranks() {
+            let coords = m.grid.coords_of(rank);
+            let mut la = LocalArray::zeros(ElemType::Real, &dad.local_shape());
+            for (g, l) in dad.owned_elements(&coords) {
+                la.set(&l, Value::Real((100 * g[0] + g[1]) as f64));
+            }
+            m.mems[rank as usize].insert_array("B", la);
+        }
+        (m, dad)
+    }
+
+    fn setup_1d(n: i64, p: i64, kind: DistKind) -> (Machine, Dad) {
+        let grid = ProcGrid::new(&[p]);
+        let mut m = Machine::new(MachineSpec::ideal(), grid.clone());
+        let dad = DadBuilder::new("B", &[n])
+            .distribute(&[kind])
+            .grid(grid)
+            .build()
+            .unwrap();
+        for rank in 0..m.nranks() {
+            let coords = m.grid.coords_of(rank);
+            let mut la =
+                LocalArray::with_ghost(ElemType::Real, &dad.local_shape(), &[4], &[4]);
+            for (g, l) in dad.owned_elements(&coords) {
+                la.set(&l, Value::Real(g[0] as f64));
+            }
+            m.mems[rank as usize].insert_array("B", la);
+        }
+        (m, dad)
+    }
+
+    #[test]
+    fn transfer_moves_column() {
+        // A(I,8)=B(I,3) on a 2x2 grid over 8x8: column 3 → owners of col 6.
+        let (mut m, dad) = setup_2d(8, 2, 2);
+        alloc_slab_tmp(&mut m, "TMP", &dad, 1, ElemType::Real);
+        let dst_coord = dad.dims[1].proc_of(6);
+        transfer(&mut m, "B", &dad, "TMP", 1, 3, dst_coord);
+        // Owners of column 6 (axis-1 coord 1) must now hold B(i,3) in TMP.
+        for rank in 0..m.nranks() {
+            let coords = m.grid.coords_of(rank);
+            if coords[1] != dst_coord {
+                continue;
+            }
+            let tmp = m.mems[rank as usize].array("TMP");
+            for l in owned_dim_locals_pub(&dad, 0, coords[0]) {
+                let g = dad.dims[0].array_index_of(coords[0], l).unwrap();
+                assert_eq!(
+                    tmp.get(&[l]),
+                    Value::Real((100 * g + 3) as f64),
+                    "rank {rank} row local {l}"
+                );
+            }
+        }
+        assert_eq!(m.stats.count("transfer"), 1);
+    }
+
+    fn owned_dim_locals_pub(dad: &Dad, d: usize, c: i64) -> Vec<i64> {
+        crate::helpers::owned_dim_locals(dad, d, c)
+    }
+
+    #[test]
+    fn multicast_reaches_whole_axis() {
+        // A(I,J)=B(I,3): column 3 broadcast along grid axis 1.
+        let (mut m, dad) = setup_2d(8, 2, 2);
+        alloc_slab_tmp(&mut m, "TMP", &dad, 1, ElemType::Real);
+        multicast(&mut m, "B", &dad, "TMP", 1, 3);
+        for rank in 0..m.nranks() {
+            let coords = m.grid.coords_of(rank);
+            let tmp = m.mems[rank as usize].array("TMP");
+            for l in owned_dim_locals_pub(&dad, 0, coords[0]) {
+                let g = dad.dims[0].array_index_of(coords[0], l).unwrap();
+                assert_eq!(tmp.get(&[l]), Value::Real((100 * g + 3) as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_message_count_is_tree() {
+        let grid = ProcGrid::new(&[16]);
+        let mut m = Machine::new(MachineSpec::ideal(), grid.clone());
+        let dad = DadBuilder::new("B", &[64])
+            .distribute(&[DistKind::Block])
+            .grid(grid)
+            .build()
+            .unwrap();
+        for rank in 0..16 {
+            let coords = m.grid.coords_of(rank);
+            let mut la = LocalArray::zeros(ElemType::Real, &dad.local_shape());
+            for (g, l) in dad.owned_elements(&coords) {
+                la.set(&l, Value::Real(g[0] as f64));
+            }
+            m.mems[rank as usize].insert_array("B", la);
+        }
+        // multicast over a rank-1 array: slab is a scalar; 15 messages in
+        // 4 stages.
+        alloc_slab_tmp(&mut m, "TMP", &dad, 0, ElemType::Real);
+        multicast(&mut m, "B", &dad, "TMP", 0, 5);
+        assert_eq!(m.transport.messages, 15);
+        for rank in 0..16 {
+            assert_eq!(
+                m.mems[rank as usize].array("TMP").get(&[0]),
+                Value::Real(5.0)
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_shift_fills_ghosts_block() {
+        let (mut m, dad) = setup_1d(16, 4, DistKind::Block);
+        overlap_shift(&mut m, "B", &dad, 0, 2, false);
+        // Node p owns globals 4p..4p+4; ghost cells l=4,5 must hold
+        // globals 4p+4, 4p+5 (when in range).
+        for p in 0..4i64 {
+            let arr = m.mems[p as usize].array("B");
+            for k in 0..2i64 {
+                let g = 4 * p + 4 + k;
+                if g < 16 {
+                    assert_eq!(arr.get(&[4 + k]), Value::Real(g as f64), "p{p} ghost {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_shift_negative_and_periodic() {
+        let (mut m, dad) = setup_1d(16, 4, DistKind::Block);
+        overlap_shift(&mut m, "B", &dad, 0, -1, true);
+        // Ghost l = -1 on node p holds global (4p - 1) mod 16.
+        for p in 0..4i64 {
+            let arr = m.mems[p as usize].array("B");
+            let g = (4 * p - 1).rem_euclid(16);
+            assert_eq!(arr.get(&[-1]), Value::Real(g as f64), "p{p}");
+        }
+    }
+
+    #[test]
+    fn overlap_shift_nonperiodic_edge_unfilled() {
+        let (mut m, dad) = setup_1d(16, 4, DistKind::Block);
+        overlap_shift(&mut m, "B", &dad, 0, 1, false);
+        // Last node's ghost must stay zero (global 16 does not exist).
+        let arr = m.mems[3].array("B");
+        assert_eq!(arr.get(&[4]), Value::Real(0.0));
+    }
+
+    #[test]
+    fn temporary_shift_matches_semantics() {
+        for kind in [DistKind::Block, DistKind::Cyclic] {
+            let (mut m, dad) = setup_1d(12, 3, kind);
+            for mem in &mut m.mems {
+                mem.insert_array("TMP", LocalArray::zeros(ElemType::Real, &dad.local_shape()));
+            }
+            temporary_shift(&mut m, "B", &dad, "TMP", 0, 3, false);
+            for rank in 0..3 {
+                let coords = m.grid.coords_of(rank);
+                let tmp = m.mems[rank as usize].array("TMP");
+                for l in owned_dim_locals_pub(&dad, 0, coords[0]) {
+                    let g = dad.dims[0].array_index_of(coords[0], l).unwrap();
+                    if g + 3 < 12 {
+                        assert_eq!(
+                            tmp.get(&[l]),
+                            Value::Real((g + 3) as f64),
+                            "{kind:?} rank {rank} l {l}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn temporary_shift_periodic_wraps() {
+        let (mut m, dad) = setup_1d(12, 3, DistKind::Block);
+        for mem in &mut m.mems {
+            mem.insert_array("TMP", LocalArray::zeros(ElemType::Real, &dad.local_shape()));
+        }
+        temporary_shift(&mut m, "B", &dad, "TMP", 0, -1, true);
+        // tmp(l) = B((g - 1) mod 12)
+        let tmp0 = m.mems[0].array("TMP");
+        assert_eq!(tmp0.get(&[0]), Value::Real(11.0));
+        assert_eq!(tmp0.get(&[1]), Value::Real(0.0));
+    }
+
+    #[test]
+    fn concatenation_replicates_everywhere() {
+        let (mut m, dad) = setup_1d(12, 3, DistKind::Cyclic);
+        for mem in &mut m.mems {
+            mem.insert_array("FULL", LocalArray::zeros(ElemType::Real, &[12]));
+        }
+        concatenation(&mut m, "B", &dad, "FULL");
+        for rank in 0..3 {
+            let full = m.mems[rank as usize].array("FULL");
+            for g in 0..12 {
+                assert_eq!(full.get(&[g]), Value::Real(g as f64), "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_shift_fused_semantics() {
+        // A(I,J) = B(3, J+1): tmp(l_J) = B(3, global(l_J)+1)
+        let (mut m, dad) = setup_2d(8, 2, 2);
+        alloc_slab_tmp(&mut m, "TMP", &dad, 0, ElemType::Real);
+        multicast_shift(&mut m, "B", &dad, "TMP", 0, 3, 1, 1);
+        for rank in 0..m.nranks() {
+            let coords = m.grid.coords_of(rank);
+            let tmp = m.mems[rank as usize].array("TMP");
+            for l in owned_dim_locals_pub(&dad, 1, coords[1]) {
+                let g = dad.dims[1].array_index_of(coords[1], l).unwrap();
+                if g + 1 < 8 {
+                    assert_eq!(
+                        tmp.get(&[l]),
+                        Value::Real((300 + g + 1) as f64),
+                        "rank {rank} col local {l}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1193 @@
+//! The loosely synchronous executor: walks the SPMD IR once, running
+//! local statements per rank and communication statements machine-wide,
+//! charging the machine's cost model as it goes (DESIGN.md §4).
+
+use std::collections::HashMap;
+
+
+use f90d_comm::schedule::{self, ElementReq, Schedule};
+use f90d_comm::structured;
+use f90d_distrib::{set_bound, Dad, DistKind};
+use f90d_machine::{ElemType, LocalArray, Machine, Value};
+use f90d_frontend::ast::{BinOp, UnOp};
+use f90d_runtime::intrinsics as rt;
+use f90d_runtime::DistArray;
+
+use crate::ir::*;
+
+/// Execution error (runtime faults in the compiled program).
+#[derive(Debug, Clone)]
+pub struct ExecError(pub String);
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+type EResult<T> = Result<T, ExecError>;
+
+fn eerr<T>(msg: impl Into<String>) -> EResult<T> {
+    Err(ExecError(msg.into()))
+}
+
+/// Result of one execution.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Modelled elapsed time (seconds on the simulated machine).
+    pub elapsed: f64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Collected PRINT output.
+    pub printed: Vec<String>,
+}
+
+/// Executor state.
+pub struct Executor<'p> {
+    prog: &'p SProgram,
+    /// Runtime descriptors (REDISTRIBUTE may change them).
+    dads: Vec<Dad>,
+    scalars: HashMap<String, Value>,
+    printed: Vec<String>,
+    sched_cache: HashMap<u64, Schedule>,
+    /// §7(3) flag: reuse schedules across executions of the same pattern.
+    pub schedule_reuse: bool,
+}
+
+/// Loop-variable bindings (global Fortran-value semantics).
+#[derive(Debug, Clone, Default)]
+struct Env {
+    vars: Vec<(String, i64)>,
+}
+
+impl Env {
+    fn get(&self, name: &str) -> Option<i64> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    fn push(&mut self, name: &str, v: i64) {
+        self.vars.push((name.to_string(), v));
+    }
+
+    fn pop(&mut self) {
+        self.vars.pop();
+    }
+}
+
+impl<'p> Executor<'p> {
+    /// Prepare an executor and allocate every array on the machine.
+    pub fn new(prog: &'p SProgram, m: &mut Machine) -> Self {
+        assert_eq!(
+            m.grid.shape, prog.grid_shape,
+            "machine grid must match the compiled grid"
+        );
+        for decl in &prog.arrays {
+            let shape = decl.dad.local_shape();
+            let g: Vec<i64> = decl
+                .dad
+                .dims
+                .iter()
+                .map(|d| if d.is_distributed() { decl.ghost } else { 0 })
+                .collect();
+            for mem in &mut m.mems {
+                mem.insert_array(
+                    decl.name.clone(),
+                    LocalArray::with_ghost(decl.ty, &shape, &g, &g),
+                );
+            }
+        }
+        let mut scalars = HashMap::new();
+        for (name, ty) in &prog.scalars {
+            scalars.insert(name.clone(), ty.zero());
+        }
+        Executor {
+            prog,
+            dads: prog.arrays.iter().map(|a| a.dad.clone()).collect(),
+            scalars,
+            printed: Vec::new(),
+            sched_cache: HashMap::new(),
+            schedule_reuse: true,
+        }
+    }
+
+    /// Like [`Executor::new`] but reuses existing array segments on the
+    /// machine instead of reallocating them — for running a program
+    /// fragment over state produced by an earlier fragment (the
+    /// benchmark harness times elimination separately from data
+    /// generation this way).
+    pub fn new_preserving(prog: &'p SProgram, m: &mut Machine) -> Self {
+        for decl in &prog.arrays {
+            if !m.mems[0].has_array(&decl.name) {
+                let shape = decl.dad.local_shape();
+                let g: Vec<i64> = decl
+                    .dad
+                    .dims
+                    .iter()
+                    .map(|d| if d.is_distributed() { decl.ghost } else { 0 })
+                    .collect();
+                for mem in &mut m.mems {
+                    mem.insert_array(
+                        decl.name.clone(),
+                        LocalArray::with_ghost(decl.ty, &shape, &g, &g),
+                    );
+                }
+            }
+        }
+        let mut scalars = HashMap::new();
+        for (name, ty) in &prog.scalars {
+            scalars.insert(name.clone(), ty.zero());
+        }
+        Executor {
+            prog,
+            dads: prog.arrays.iter().map(|a| a.dad.clone()).collect(),
+            scalars,
+            printed: Vec::new(),
+            sched_cache: HashMap::new(),
+            schedule_reuse: true,
+        }
+    }
+
+    /// Run the whole program.
+    pub fn run(&mut self, m: &mut Machine) -> EResult<ExecReport> {
+        let stmts = &self.prog.stmts;
+        let mut env = Env::default();
+        self.exec_stmts(stmts, m, &mut env)?;
+        Ok(ExecReport {
+            elapsed: m.elapsed(),
+            messages: m.transport.messages,
+            bytes: m.transport.bytes,
+            printed: std::mem::take(&mut self.printed),
+        })
+    }
+
+    /// Read a scalar by name (post-run inspection).
+    pub fn scalar(&self, name: &str) -> Option<Value> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Current runtime descriptor of array `id`.
+    pub fn dad(&self, id: ArrId) -> &Dad {
+        &self.dads[id]
+    }
+
+    /// Seed a named array from a host row-major buffer before running
+    /// (the input-distribution step of the paper's benchmark programs).
+    pub fn seed_array(&self, m: &mut Machine, name: &str, data: &f90d_machine::ArrayData) -> bool {
+        let Some(id) = self.prog.array_id(name) else {
+            return false;
+        };
+        let h = DistArray {
+            name: self.prog.arrays[id].name.clone(),
+            dad: self.dads[id].clone(),
+            ty: self.prog.arrays[id].ty,
+        };
+        h.scatter_host(m, data);
+        true
+    }
+
+    /// Gather a named array to a host buffer (inspection).
+    pub fn gather_array(&self, m: &mut Machine, name: &str) -> Option<f90d_machine::ArrayData> {
+        let id = self.prog.array_id(name)?;
+        let h = DistArray {
+            name: self.prog.arrays[id].name.clone(),
+            dad: self.dads[id].clone(),
+            ty: self.prog.arrays[id].ty,
+        };
+        Some(h.gather_host(m))
+    }
+
+    fn exec_stmts(&mut self, stmts: &[SStmt], m: &mut Machine, env: &mut Env) -> EResult<()> {
+        for s in stmts {
+            self.exec_stmt(s, m, env)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &SStmt, m: &mut Machine, env: &mut Env) -> EResult<()> {
+        match s {
+            SStmt::Comm(c) => self.exec_comm(c, m, env),
+            SStmt::Forall(f) => self.exec_forall(f, m, env),
+            SStmt::ScalarAssign { name, rhs } => {
+                let ops = rhs.op_count();
+                let v = self.eval_scalar(rhs, m, env)?;
+                self.scalars.insert(name.clone(), v);
+                for r in 0..m.nranks() {
+                    m.transport.charge_elem_ops(r, ops.max(1));
+                }
+                Ok(())
+            }
+            SStmt::OwnerAssign { arr, subs, rhs } => {
+                let g: Vec<i64> = subs
+                    .iter()
+                    .map(|e| self.eval_scalar(e, m, env).map(|v| v.as_int()))
+                    .collect::<EResult<_>>()?;
+                let v = self.eval_scalar(rhs, m, env)?;
+                let dad = &self.dads[*arr];
+                let l = dad.local_index(&g);
+                let name = &self.prog.arrays[*arr].name;
+                for rank in dad.owner_ranks(&g) {
+                    m.mems[rank as usize].array_mut(name).set(&l, v);
+                    m.transport.charge_elem_ops(rank, rhs.op_count().max(1));
+                }
+                Ok(())
+            }
+            SStmt::DoSeq { var, lb, ub, st, body } => {
+                let lb = self.eval_scalar(lb, m, env)?.as_int();
+                let ub = self.eval_scalar(ub, m, env)?.as_int();
+                let st = self.eval_scalar(st, m, env)?.as_int();
+                if st == 0 {
+                    return eerr("DO stride of zero");
+                }
+                let mut v = lb;
+                while (st > 0 && v <= ub) || (st < 0 && v >= ub) {
+                    env.push(var, v);
+                    let r = self.exec_stmts(body, m, env);
+                    env.pop();
+                    r?;
+                    for rank in 0..m.nranks() {
+                        m.transport.charge_elem_ops(rank, 1); // loop control
+                    }
+                    v += st;
+                }
+                Ok(())
+            }
+            SStmt::If { cond, then, else_ } => {
+                let c = self.eval_scalar(cond, m, env)?.as_bool();
+                for rank in 0..m.nranks() {
+                    m.transport.charge_elem_ops(rank, cond.op_count().max(1));
+                }
+                if c {
+                    self.exec_stmts(then, m, env)
+                } else {
+                    self.exec_stmts(else_, m, env)
+                }
+            }
+            SStmt::Print { items } => {
+                let mut line = String::new();
+                for (k, e) in items.iter().enumerate() {
+                    if k > 0 {
+                        line.push(' ');
+                    }
+                    match e {
+                        PrintItem::Text(t) => line.push_str(t),
+                        PrintItem::Val(v) => {
+                            let v = self.eval_scalar(v, m, env)?;
+                            line.push_str(&v.to_string());
+                        }
+                    }
+                }
+                self.printed.push(line);
+                Ok(())
+            }
+            SStmt::Runtime(call) => self.exec_runtime(call, m, env),
+        }
+    }
+
+    fn dist_array(&self, id: ArrId) -> DistArray {
+        DistArray {
+            name: self.prog.arrays[id].name.clone(),
+            dad: self.dads[id].clone(),
+            ty: self.prog.arrays[id].ty,
+        }
+    }
+
+    fn exec_runtime(&mut self, call: &RtCall, m: &mut Machine, env: &mut Env) -> EResult<()> {
+        match call {
+            RtCall::CShift { src, dst, dim, shift } => {
+                let s = self.eval_scalar(shift, m, env)?.as_int();
+                let (a, b) = (self.dist_array(*src), self.dist_array(*dst));
+                rt::cshift(m, &a, &b, *dim, s);
+                Ok(())
+            }
+            RtCall::EoShift { src, dst, dim, shift, boundary } => {
+                let s = self.eval_scalar(shift, m, env)?.as_int();
+                let bv = self.eval_scalar(boundary, m, env)?;
+                let (a, b) = (self.dist_array(*src), self.dist_array(*dst));
+                rt::eoshift(m, &a, &b, *dim, s, bv);
+                Ok(())
+            }
+            RtCall::Transpose { src, dst } => {
+                let (a, b) = (self.dist_array(*src), self.dist_array(*dst));
+                rt::transpose(m, &a, &b);
+                Ok(())
+            }
+            RtCall::Matmul { a, b, c } => {
+                let (aa, bb, cc) = (self.dist_array(*a), self.dist_array(*b), self.dist_array(*c));
+                rt::matmul(m, &aa, &bb, &cc);
+                Ok(())
+            }
+            RtCall::Redistribute { arr, new_dad } => {
+                let old = self.dist_array(*arr);
+                let staging = format!("__REDIST_{}", old.name);
+                let mut nd = new_dad.clone();
+                nd.name = old.name.clone();
+                let target = DistArray::from_dad(m, staging.clone(), old.ty, nd.clone(), 0);
+                f90d_comm::redist::redistribute(m, &old.name, &old.dad, &staging, &target.dad);
+                // Move staged segments under the original name.
+                for mem in &mut m.mems {
+                    let seg = mem.remove_array(&staging).expect("staging allocated");
+                    mem.insert_array(old.name.clone(), seg);
+                }
+                self.dads[*arr] = nd;
+                Ok(())
+            }
+            RtCall::RemapCopy { src, dst } => {
+                let s = self.dist_array(*src);
+                let d = self.dist_array(*dst);
+                f90d_comm::redist::redistribute(m, &s.name, &s.dad, &d.name, &d.dad);
+                Ok(())
+            }
+        }
+    }
+
+    fn exec_comm(&mut self, c: &CommStmt, m: &mut Machine, env: &mut Env) -> EResult<()> {
+        match c {
+            CommStmt::Multicast { src, tmp, dim, src_g } => {
+                let g = self.eval_scalar(src_g, m, env)?.as_int();
+                let dad = self.dads[*src].clone();
+                structured::multicast(
+                    m,
+                    &self.prog.arrays[*src].name,
+                    &dad,
+                    &self.prog.arrays[*tmp].name,
+                    *dim,
+                    g,
+                );
+                Ok(())
+            }
+            CommStmt::Transfer { src, tmp, dim, src_g, dst_g, dst_arr, dst_dim } => {
+                let sg = self.eval_scalar(src_g, m, env)?.as_int();
+                let dg = self.eval_scalar(dst_g, m, env)?.as_int();
+                let dst_coord = self.dads[*dst_arr].dims[*dst_dim].proc_of(dg);
+                let dad = self.dads[*src].clone();
+                structured::transfer(
+                    m,
+                    &self.prog.arrays[*src].name,
+                    &dad,
+                    &self.prog.arrays[*tmp].name,
+                    *dim,
+                    sg,
+                    dst_coord,
+                );
+                Ok(())
+            }
+            CommStmt::OverlapShift { arr, dim, c } => {
+                let dad = self.dads[*arr].clone();
+                structured::overlap_shift(m, &self.prog.arrays[*arr].name, &dad, *dim, *c, false);
+                Ok(())
+            }
+            CommStmt::TempShift { src, tmp, dim, amount } => {
+                let s = self.eval_scalar(amount, m, env)?.as_int();
+                let dad = self.dads[*src].clone();
+                structured::temporary_shift(
+                    m,
+                    &self.prog.arrays[*src].name,
+                    &dad,
+                    &self.prog.arrays[*tmp].name,
+                    *dim,
+                    s,
+                    false,
+                );
+                Ok(())
+            }
+            CommStmt::MulticastShift { src, tmp, mdim, src_g, sdim, amount } => {
+                let g = self.eval_scalar(src_g, m, env)?.as_int();
+                let s = self.eval_scalar(amount, m, env)?.as_int();
+                let dad = self.dads[*src].clone();
+                structured::multicast_shift(
+                    m,
+                    &self.prog.arrays[*src].name,
+                    &dad,
+                    &self.prog.arrays[*tmp].name,
+                    *mdim,
+                    g,
+                    *sdim,
+                    s,
+                );
+                Ok(())
+            }
+            CommStmt::Concat { src, tmp } => {
+                let dad = self.dads[*src].clone();
+                structured::concatenation(
+                    m,
+                    &self.prog.arrays[*src].name,
+                    &dad,
+                    &self.prog.arrays[*tmp].name,
+                );
+                Ok(())
+            }
+            CommStmt::BroadcastElem { arr, subs, target } => {
+                let g: Vec<i64> = subs
+                    .iter()
+                    .map(|e| self.eval_scalar(e, m, env).map(|v| v.as_int()))
+                    .collect::<EResult<_>>()?;
+                let dad = &self.dads[*arr];
+                let owner = dad.owner_ranks(&g)[0];
+                let l = dad.local_index(&g);
+                let v = m.mems[owner as usize].array(&self.prog.arrays[*arr].name).get(&l);
+                // Tree broadcast of one element to all ranks.
+                let members: Vec<i64> = (0..m.nranks()).collect();
+                let root_pos = members.iter().position(|&r| r == owner).unwrap();
+                let mut payload = f90d_machine::ArrayData::zeros(v.elem_type(), 1);
+                payload.set(0, v);
+                m.stats.record("broadcast_elem");
+                f90d_comm::helpers::tree_broadcast(m, &members, root_pos, payload, |_, _, _| {});
+                self.scalars.insert(target.clone(), v);
+                Ok(())
+            }
+            CommStmt::ReduceScalar { kind, arr, arr2, target } => {
+                let a = self.dist_array(*arr);
+                let v = match kind {
+                    ReduceKind::Sum => Value::Real(rt::sum(m, &a)),
+                    ReduceKind::Product => Value::Real(rt::product(m, &a)),
+                    ReduceKind::MaxVal => Value::Real(rt::maxval(m, &a)),
+                    ReduceKind::MinVal => Value::Real(rt::minval(m, &a)),
+                    ReduceKind::Count => Value::Int(rt::count(m, &a)),
+                    ReduceKind::All => Value::Bool(rt::all(m, &a)),
+                    ReduceKind::Any => Value::Bool(rt::any(m, &a)),
+                    ReduceKind::DotProduct => {
+                        let b = self.dist_array(arr2.expect("dotproduct second operand"));
+                        Value::Real(rt::dotproduct(m, &a, &b))
+                    }
+                };
+                let v = if self.prog.arrays[*arr].ty == ElemType::Int
+                    && matches!(kind, ReduceKind::Sum | ReduceKind::Product | ReduceKind::MaxVal | ReduceKind::MinVal)
+                {
+                    Value::Int(v.as_real() as i64)
+                } else {
+                    v
+                };
+                self.scalars.insert(target.clone(), v);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- FORALL ------------------------------------------------------------
+
+    fn exec_forall(&mut self, f: &ForallNode, m: &mut Machine, env: &mut Env) -> EResult<()> {
+        // Communication prelude.
+        for c in &f.pre {
+            self.exec_comm(c, m, env)?;
+        }
+        // Owner filter: which ranks participate.
+        let mut active = vec![true; m.nranks() as usize];
+        for (arr, dim, idx) in &f.owner_filter {
+            let g = self.eval_scalar(idx, m, env)?.as_int();
+            let dad = &self.dads[*arr];
+            let dm = &dad.dims[*dim];
+            let axis = dm.grid_axis.expect("owner filter on distributed dim");
+            let owner = dm.proc_of(g);
+            for rank in 0..m.nranks() {
+                if m.grid.coords_of(rank)[axis] != owner {
+                    active[rank as usize] = false;
+                }
+            }
+        }
+        // Per-rank iteration lists.
+        let mut iter_lists: Vec<Vec<Vec<i64>>> = Vec::with_capacity(m.nranks() as usize);
+        for rank in 0..m.nranks() {
+            if !active[rank as usize] {
+                iter_lists.push(vec![vec![]; f.vars.len()]);
+                continue;
+            }
+            let mut lists = Vec::with_capacity(f.vars.len());
+            for spec in &f.vars {
+                lists.push(self.iterations_for(spec, m, rank, env)?);
+            }
+            iter_lists.push(lists);
+        }
+        // Unstructured reads: inspector + vectorized executor.
+        for (slot, g) in f.gathers.iter().enumerate() {
+            self.exec_gather(f, g, slot, m, env, &iter_lists)?;
+        }
+        // Main loop, rank by rank (loosely synchronous local phase).
+        let scatter = f
+            .body
+            .iter()
+            .find_map(|b| match &b.write {
+                WritePlan::ScatterSeq { invertible } => Some(*invertible),
+                WritePlan::Owned => None,
+            });
+        let mut scatter_out: Vec<Vec<(Vec<i64>, Value)>> = vec![Vec::new(); m.nranks() as usize];
+        let var_names: Vec<String> = f.vars.iter().map(|v| v.var.clone()).collect();
+        let mask_ops = f.mask.as_ref().map_or(0, |m| m.op_count_cse(&var_names));
+        let body_ops: Vec<i64> = f
+            .body
+            .iter()
+            .map(|b| b.rhs.op_count_cse(&var_names) + 2)
+            .collect();
+        for rank in 0..m.nranks() {
+            let lists = &iter_lists[rank as usize];
+            if lists.iter().any(|l| l.is_empty()) {
+                continue;
+            }
+            let mut staged: Vec<(usize, Value)> = Vec::new();
+            let mut seq_counters = vec![0usize; f.gathers.len()];
+            let mut ops: i64 = 0;
+            let mut cursor = vec![0usize; lists.len()];
+            'iter: loop {
+                for (spec, (&c, list)) in f.vars.iter().zip(cursor.iter().zip(lists)) {
+                    env.push(&spec.var, list[c]);
+                }
+                let mut run = true;
+                if let Some(mask) = &f.mask {
+                    ops += mask_ops;
+                    run = self
+                        .eval_elem(mask, m, rank, env, &mut seq_counters)?
+                        .as_bool();
+                }
+                if run {
+                    for (bi, b) in f.body.iter().enumerate() {
+                        let v = self.eval_elem(&b.rhs, m, rank, env, &mut seq_counters)?;
+                        ops += body_ops[bi];
+                        let g: Vec<i64> = b
+                            .subs
+                            .iter()
+                            .map(|e| self.eval_elem(e, m, rank, env, &mut seq_counters).map(|x| x.as_int()))
+                            .collect::<EResult<_>>()?;
+                        match &b.write {
+                            WritePlan::Owned => {
+                                let off = self.owned_offset(b.arr, m, rank, &g)?;
+                                staged.push((off, v));
+                            }
+                            WritePlan::ScatterSeq { .. } => {
+                                scatter_out[rank as usize].push((g, v));
+                            }
+                        }
+                    }
+                }
+                for _ in 0..f.vars.len() {
+                    env.pop();
+                }
+                // advance cartesian cursor (last var fastest)
+                let mut d = lists.len();
+                loop {
+                    if d == 0 {
+                        break 'iter;
+                    }
+                    d -= 1;
+                    cursor[d] += 1;
+                    if cursor[d] < lists[d].len() {
+                        break;
+                    }
+                    cursor[d] = 0;
+                }
+            }
+            // Commit staged owned writes (FORALL RHS-before-LHS semantics
+            // within the rank).
+            if !staged.is_empty() {
+                let name = &self.prog.arrays[f.body[0].arr].name;
+                let arr = m.mems[rank as usize].array_mut(name);
+                for (off, v) in staged {
+                    arr.set_flat(off, v);
+                }
+            }
+            m.transport.charge_elem_ops(rank, ops);
+        }
+        // Post-loop scatter (paper §4 cases 3/4).
+        if let Some(invertible) = scatter {
+            self.exec_scatter(f, m, invertible, &scatter_out)?;
+        }
+        Ok(())
+    }
+
+    /// The iterations of `spec` assigned to `rank` — the `set_BOUND`
+    /// computation (paper §4), returning **global** iteration values.
+    fn iterations_for(
+        &mut self,
+        spec: &LoopSpec,
+        m: &Machine,
+        rank: i64,
+        env: &mut Env,
+    ) -> EResult<Vec<i64>> {
+        let lb = self.eval_scalar_m(&spec.lb, m, env)?.as_int();
+        let ub = self.eval_scalar_m(&spec.ub, m, env)?.as_int();
+        let st = self.eval_scalar_m(&spec.st, m, env)?.as_int();
+        if st <= 0 {
+            return eerr("FORALL stride must be positive");
+        }
+        if lb > ub {
+            return Ok(vec![]);
+        }
+        match &spec.part {
+            Partition::Replicate => Ok((0..)
+                .map(|k| lb + k * st)
+                .take_while(|&v| v <= ub)
+                .collect()),
+            Partition::BlockIter => {
+                let count = (ub - lb) / st + 1;
+                let p = m.nranks();
+                let chunk = (count + p - 1) / p;
+                let first = rank * chunk;
+                let last = ((rank + 1) * chunk).min(count);
+                Ok((first..last).map(|k| lb + k * st).collect())
+            }
+            Partition::OwnerDim { arr, dim, a, b } => {
+                let dad = &self.dads[*arr];
+                let dm = &dad.dims[*dim];
+                if !dm.is_distributed() {
+                    return Ok((0..)
+                        .map(|k| lb + k * st)
+                        .take_while(|&v| v <= ub)
+                        .collect());
+                }
+                let coord = m.grid.coords_of(rank)[dm.grid_axis.unwrap()];
+                // Template progression t(v) = S*v + O.
+                let s_align = dm.align.stride;
+                let o_align = dm.align.offset;
+                let s = s_align * a;
+                let o = s_align * b + o_align;
+                let t1 = s * lb + o;
+                let t2 = s * ub + o;
+                let (tlo, thi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+                let tstep = (s * st).abs();
+                let li = set_bound(&dm.dist, coord, tlo, thi, tstep);
+                let mut out = Vec::with_capacity(li.len() as usize);
+                for l in li.to_vec() {
+                    let t = dm
+                        .dist
+                        .global_of(coord, l)
+                        .expect("set_bound local maps to global");
+                    let num = t - o;
+                    if num % s != 0 {
+                        continue;
+                    }
+                    let v = num / s;
+                    if v >= lb && v <= ub && (v - lb) % st == 0 {
+                        out.push(v);
+                    }
+                }
+                out.sort_unstable();
+                Ok(out)
+            }
+        }
+    }
+
+    fn exec_gather(
+        &mut self,
+        f: &ForallNode,
+        g: &GatherSpec,
+        _slot: usize,
+        m: &mut Machine,
+        env: &mut Env,
+        iter_lists: &[Vec<Vec<i64>>],
+    ) -> EResult<()> {
+        let src_name = self.prog.arrays[g.src].name.clone();
+        let tmp_name = self.prog.arrays[g.tmp].name.clone();
+        let src_dad = self.dads[g.src].clone();
+        // Inspector: per rank, evaluate the subscripts for every local
+        // iteration (in iteration order), forming the request list.
+        let mut reqs: Vec<ElementReq> = Vec::new();
+        let mut counts = vec![0usize; m.nranks() as usize];
+        for rank in 0..m.nranks() {
+            let lists = &iter_lists[rank as usize];
+            if lists.iter().any(|l| l.is_empty()) {
+                continue;
+            }
+            let mut dummy_counters = vec![usize::MAX; f.gathers.len()];
+            let mut cursor = vec![0usize; lists.len()];
+            let mut insp_ops = 0i64;
+            'iter: loop {
+                for (spec, (&c, list)) in f.vars.iter().zip(cursor.iter().zip(lists)) {
+                    env.push(&spec.var, list[c]);
+                }
+                let mut run = true;
+                if let Some(mask) = &f.mask {
+                    // Masks must not depend on gathered values.
+                    run = self
+                        .eval_elem(mask, m, rank, env, &mut dummy_counters)?
+                        .as_bool();
+                }
+                if run {
+                    let gidx: Vec<i64> = g
+                        .subs
+                        .iter()
+                        .map(|e| {
+                            self.eval_elem(e, m, rank, env, &mut dummy_counters)
+                                .map(|x| x.as_int())
+                        })
+                        .collect::<EResult<_>>()?;
+                    insp_ops += 4;
+                    let owner = src_dad.owner_ranks(&gidx)[0];
+                    let l = src_dad.local_index(&gidx);
+                    let src_off = m.mems[owner as usize].array(&src_name).offset(&l);
+                    reqs.push(ElementReq {
+                        requester: rank,
+                        owner,
+                        src_off,
+                        dst_off: counts[rank as usize],
+                    });
+                    counts[rank as usize] += 1;
+                }
+                for _ in 0..f.vars.len() {
+                    env.pop();
+                }
+                let mut d = lists.len();
+                loop {
+                    if d == 0 {
+                        break 'iter;
+                    }
+                    d -= 1;
+                    cursor[d] += 1;
+                    if cursor[d] < lists[d].len() {
+                        break;
+                    }
+                    cursor[d] = 0;
+                }
+            }
+            m.transport.charge_elem_ops(rank, insp_ops);
+        }
+        // Size the sequential buffers.
+        let ty = self.prog.arrays[g.tmp].ty;
+        for rank in 0..m.nranks() {
+            let n = counts[rank as usize].max(1) as i64;
+            m.mems[rank as usize]
+                .insert_array(tmp_name.clone(), LocalArray::zeros(ty, &[n]));
+        }
+        // Schedule (with §7(3) reuse).
+        let sig = req_signature(&reqs);
+        let sched = if self.schedule_reuse {
+            if let Some(s) = self.sched_cache.get(&sig) {
+                s.clone()
+            } else {
+                let s = if g.local_only {
+                    schedule::schedule1(m, &reqs)
+                } else {
+                    schedule::schedule2(m, &reqs)
+                };
+                self.sched_cache.insert(sig, s.clone());
+                s
+            }
+        } else if g.local_only {
+            schedule::schedule1(m, &reqs)
+        } else {
+            schedule::schedule2(m, &reqs)
+        };
+        schedule::execute_read(m, &sched, &src_name, &tmp_name);
+        Ok(())
+    }
+
+    fn exec_scatter(
+        &mut self,
+        f: &ForallNode,
+        m: &mut Machine,
+        invertible: bool,
+        outputs: &[Vec<(Vec<i64>, Value)>],
+    ) -> EResult<()> {
+        let body = &f.body[0];
+        let dst = body.arr;
+        let dst_name = self.prog.arrays[dst].name.clone();
+        let dst_dad = self.dads[dst].clone();
+        let ty = self.prog.arrays[dst].ty;
+        // Stage values into per-rank sequential source buffers.
+        let buf_name = format!("__SCATBUF_{}", dst_name);
+        for rank in 0..m.nranks() {
+            let vals = &outputs[rank as usize];
+            let mut la = LocalArray::zeros(ty, &[vals.len().max(1) as i64]);
+            for (k, (_, v)) in vals.iter().enumerate() {
+                la.set(&[k as i64], *v);
+            }
+            m.mems[rank as usize].insert_array(buf_name.clone(), la);
+        }
+        let mut reqs = Vec::new();
+        for rank in 0..m.nranks() {
+            for (k, (g, _)) in outputs[rank as usize].iter().enumerate() {
+                let src_off = m.mems[rank as usize].array(&buf_name).offset(&[k as i64]);
+                for owner in dst_dad.owner_ranks(g) {
+                    let l = dst_dad.local_index(g);
+                    let dst_off = m.mems[owner as usize].array(&dst_name).offset(&l);
+                    reqs.push(ElementReq {
+                        // For write schedules the "requester" is the
+                        // receiving owner and the "owner" the producer.
+                        requester: owner,
+                        owner: rank,
+                        src_off,
+                        dst_off,
+                    });
+                }
+            }
+        }
+        let sig = req_signature(&reqs).wrapping_add(1);
+        let sched = if self.schedule_reuse {
+            if let Some(s) = self.sched_cache.get(&sig) {
+                s.clone()
+            } else {
+                let s = if invertible {
+                    schedule::schedule1(m, &reqs)
+                } else {
+                    schedule::schedule3(m, &reqs)
+                };
+                self.sched_cache.insert(sig, s.clone());
+                s
+            }
+        } else if invertible {
+            schedule::schedule1(m, &reqs)
+        } else {
+            schedule::schedule3(m, &reqs)
+        };
+        schedule::execute_write(m, &sched, &buf_name, &dst_name);
+        Ok(())
+    }
+
+    // ---- evaluation ----------------------------------------------------------
+
+    /// Offset of global index `g` in `rank`'s segment of array `arr`,
+    /// allowing ghost positions on BLOCK dimensions.
+    fn owned_offset(&self, arr: ArrId, m: &Machine, rank: i64, g: &[i64]) -> EResult<usize> {
+        let dad = &self.dads[arr];
+        let coords = m.grid.coords_of(rank);
+        let name = &self.prog.arrays[arr].name;
+        let la = m.mems[rank as usize].array(name);
+        let mut idx = Vec::with_capacity(g.len());
+        for (d, (&gd, dm)) in g.iter().zip(&dad.dims).enumerate() {
+            if !(0..dm.extent).contains(&gd) {
+                return eerr(format!(
+                    "subscript {} out of bounds on dim {d} of {name} (extent {})",
+                    gd + 1,
+                    dm.extent
+                ));
+            }
+            if !dm.is_distributed() {
+                idx.push(gd);
+                continue;
+            }
+            let coord = coords[dm.grid_axis.unwrap()];
+            let t = dm.align.apply(gd);
+            let l = match dm.dist.kind {
+                DistKind::Block => t - coord * dm.dist.block_size(),
+                _ => {
+                    if dm.dist.proc_of(t) != coord {
+                        return eerr(format!(
+                            "rank {rank} reads unowned element {:?} of {name}",
+                            g
+                        ));
+                    }
+                    dm.dist.local_of(t)
+                }
+            };
+            idx.push(l);
+        }
+        Ok(la.offset(&idx))
+    }
+
+    /// Evaluate in scalar (replicated) context.
+    fn eval_scalar(&self, e: &SExpr, m: &Machine, env: &Env) -> EResult<Value> {
+        self.eval_scalar_m(e, m, env)
+    }
+
+    fn eval_scalar_m(&self, e: &SExpr, m: &Machine, env: &Env) -> EResult<Value> {
+        match e {
+            SExpr::Const(v) => Ok(*v),
+            SExpr::Scalar(n) => {
+                // Enclosing DO variables shadow declared scalars.
+                if let Some(v) = env.get(n) {
+                    return Ok(Value::Int(v));
+                }
+                self.scalars
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| ExecError(format!("undefined scalar `{n}`")))
+            }
+            SExpr::LoopVar(n) => env
+                .get(n)
+                .map(Value::Int)
+                .ok_or_else(|| ExecError(format!("loop variable `{n}` not in scope"))),
+            SExpr::Bin(op, l, r) => {
+                let a = self.eval_scalar_m(l, m, env)?;
+                let b = self.eval_scalar_m(r, m, env)?;
+                eval_bin(*op, a, b)
+            }
+            SExpr::Un(op, x) => eval_un(*op, self.eval_scalar_m(x, m, env)?),
+            SExpr::Elemental(name, args) => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval_scalar_m(a, m, env))
+                    .collect::<EResult<_>>()?;
+                eval_elemental(name, &vals)
+            }
+            SExpr::Read { arr, plan, subs } => {
+                // Scalar-context reads are only emitted for replicated
+                // arrays: every rank holds the value; read from rank 0.
+                if !matches!(plan, ReadPlan::Replicated | ReadPlan::Owned) {
+                    return eerr("non-replicated read in scalar context");
+                }
+                let g: Vec<i64> = subs
+                    .iter()
+                    .map(|s| self.eval_scalar_m(s, m, env).map(|v| v.as_int()))
+                    .collect::<EResult<_>>()?;
+                let dad = &self.dads[*arr];
+                let rank = dad.owner_ranks(&g)[0];
+                let l = dad.local_index(&g);
+                Ok(m.mems[rank as usize]
+                    .array(&self.prog.arrays[*arr].name)
+                    .get(&l))
+            }
+        }
+    }
+
+    /// Evaluate in element (per-rank, per-iteration) context.
+    fn eval_elem(
+        &self,
+        e: &SExpr,
+        m: &Machine,
+        rank: i64,
+        env: &Env,
+        seq_counters: &mut [usize],
+    ) -> EResult<Value> {
+        match e {
+            SExpr::Const(v) => Ok(*v),
+            SExpr::Scalar(n) => {
+                if let Some(v) = env.get(n) {
+                    return Ok(Value::Int(v));
+                }
+                self.scalars
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| ExecError(format!("undefined scalar `{n}`")))
+            }
+            SExpr::LoopVar(n) => env
+                .get(n)
+                .map(Value::Int)
+                .ok_or_else(|| ExecError(format!("loop variable `{n}` not in scope"))),
+            SExpr::Bin(op, l, r) => {
+                let a = self.eval_elem(l, m, rank, env, seq_counters)?;
+                let b = self.eval_elem(r, m, rank, env, seq_counters)?;
+                eval_bin(*op, a, b)
+            }
+            SExpr::Un(op, x) => eval_un(*op, self.eval_elem(x, m, rank, env, seq_counters)?),
+            SExpr::Elemental(name, args) => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval_elem(a, m, rank, env, seq_counters))
+                    .collect::<EResult<_>>()?;
+                eval_elemental(name, &vals)
+            }
+            SExpr::Read { arr, plan, subs } => match plan {
+                ReadPlan::Owned | ReadPlan::Replicated => {
+                    let g: Vec<i64> = subs
+                        .iter()
+                        .map(|s| {
+                            self.eval_elem(s, m, rank, env, seq_counters).map(|v| v.as_int())
+                        })
+                        .collect::<EResult<_>>()?;
+                    let off = self.owned_offset(*arr, m, rank, &g)?;
+                    Ok(m.mems[rank as usize]
+                        .array(&self.prog.arrays[*arr].name)
+                        .get_flat(off))
+                }
+                ReadPlan::SlabTmp { tmp, fixed_dim } => {
+                    let g: Vec<i64> = subs
+                        .iter()
+                        .enumerate()
+                        .filter(|&(d, _)| d != *fixed_dim)
+                        .map(|(_, s)| {
+                            self.eval_elem(s, m, rank, env, seq_counters).map(|v| v.as_int())
+                        })
+                        .collect::<EResult<_>>()?;
+                    let off = self.owned_offset(*tmp, m, rank, &g)?;
+                    Ok(m.mems[rank as usize]
+                        .array(&self.prog.arrays[*tmp].name)
+                        .get_flat(off))
+                }
+                ReadPlan::SameTmp { tmp } => {
+                    let g: Vec<i64> = subs
+                        .iter()
+                        .map(|s| {
+                            self.eval_elem(s, m, rank, env, seq_counters).map(|v| v.as_int())
+                        })
+                        .collect::<EResult<_>>()?;
+                    let off = self.owned_offset(*tmp, m, rank, &g)?;
+                    Ok(m.mems[rank as usize]
+                        .array(&self.prog.arrays[*tmp].name)
+                        .get_flat(off))
+                }
+                ReadPlan::Seq { tmp, slot } => {
+                    let k = seq_counters[*slot];
+                    seq_counters[*slot] += 1;
+                    Ok(m.mems[rank as usize]
+                        .array(&self.prog.arrays[*tmp].name)
+                        .get(&[k as i64]))
+                }
+            },
+        }
+    }
+}
+
+fn req_signature(reqs: &[ElementReq]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for r in reqs {
+        mix(r.requester as u64);
+        mix(r.owner as u64);
+        mix(r.src_off as u64);
+        mix(r.dst_off as u64 ^ 0x9e37);
+    }
+    h
+}
+
+// ---- value operators ---------------------------------------------------
+
+/// Public alias of the value-level binary evaluator (shared with the
+/// sequential reference interpreter).
+pub fn eval_bin_pub(op: BinOp, a: Value, b: Value) -> EResult<Value> {
+    eval_bin(op, a, b)
+}
+
+/// Public alias of the unary evaluator.
+pub fn eval_un_pub(op: UnOp, v: Value) -> EResult<Value> {
+    eval_un(op, v)
+}
+
+/// Public alias of the elemental-intrinsic evaluator.
+pub fn eval_elemental_pub(name: &str, args: &[Value]) -> EResult<Value> {
+    eval_elemental(name, args)
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> EResult<Value> {
+    use BinOp::*;
+    if op.is_logical() {
+        let (x, y) = (a.as_bool(), b.as_bool());
+        return Ok(Value::Bool(match op {
+            And => x && y,
+            Or => x || y,
+            _ => unreachable!(),
+        }));
+    }
+    if op.is_comparison() {
+        // Numeric comparison with promotion.
+        let (x, y) = (a.as_real(), b.as_real());
+        return Ok(Value::Bool(match op {
+            Eq => x == y,
+            Ne => x != y,
+            Lt => x < y,
+            Le => x <= y,
+            Gt => x > y,
+            Ge => x >= y,
+            _ => unreachable!(),
+        }));
+    }
+    // Arithmetic with Fortran promotion.
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => {
+                if y == 0 {
+                    return eerr("integer division by zero");
+                }
+                x / y
+            }
+            Pow => {
+                if y < 0 {
+                    return eerr("negative integer exponent");
+                }
+                x.pow(y.min(62) as u32)
+            }
+            _ => unreachable!(),
+        })),
+        (Value::Complex(xr, xi), y) => {
+            let (yr, yi) = match y {
+                Value::Complex(r, i) => (r, i),
+                other => (other.as_real(), 0.0),
+            };
+            complex_bin(op, (xr, xi), (yr, yi))
+        }
+        (x, Value::Complex(yr, yi)) => complex_bin(op, (x.as_real(), 0.0), (yr, yi)),
+        (x, y) => {
+            let (x, y) = (x.as_real(), y.as_real());
+            Ok(Value::Real(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Pow => x.powf(y),
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+fn complex_bin(op: BinOp, (ar, ai): (f64, f64), (br, bi): (f64, f64)) -> EResult<Value> {
+    use BinOp::*;
+    let v = match op {
+        Add => (ar + br, ai + bi),
+        Sub => (ar - br, ai - bi),
+        Mul => (ar * br - ai * bi, ar * bi + ai * br),
+        Div => {
+            let d = br * br + bi * bi;
+            ((ar * br + ai * bi) / d, (ai * br - ar * bi) / d)
+        }
+        _ => return eerr("unsupported complex operation"),
+    };
+    Ok(Value::Complex(v.0, v.1))
+}
+
+fn eval_un(op: UnOp, v: Value) -> EResult<Value> {
+    Ok(match op {
+        UnOp::Neg => match v {
+            Value::Int(x) => Value::Int(-x),
+            Value::Real(x) => Value::Real(-x),
+            Value::Complex(r, i) => Value::Complex(-r, -i),
+            Value::Bool(_) => return eerr("negating a LOGICAL"),
+        },
+        UnOp::Not => Value::Bool(!v.as_bool()),
+    })
+}
+
+fn eval_elemental(name: &str, args: &[Value]) -> EResult<Value> {
+    let f1 = |f: fn(f64) -> f64| -> EResult<Value> { Ok(Value::Real(f(args[0].as_real()))) };
+    match name {
+        "ABS" => match args[0] {
+            Value::Int(x) => Ok(Value::Int(x.abs())),
+            other => Ok(Value::Real(other.as_real().abs())),
+        },
+        "SQRT" => f1(f64::sqrt),
+        "EXP" => f1(f64::exp),
+        "LOG" => f1(f64::ln),
+        "SIN" => f1(f64::sin),
+        "COS" => f1(f64::cos),
+        "TAN" => f1(f64::tan),
+        "MOD" => match (args[0], args[1]) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a % b)),
+            (a, b) => Ok(Value::Real(a.as_real() % b.as_real())),
+        },
+        "MIN" => Ok(fold_minmax(args, true)),
+        "MAX" => Ok(fold_minmax(args, false)),
+        "REAL" | "FLOAT" | "DBLE" => Ok(Value::Real(args[0].as_real())),
+        "INT" => Ok(Value::Int(args[0].as_int())),
+        "NINT" => Ok(Value::Int(args[0].as_real().round() as i64)),
+        "SIGN" => {
+            let (a, b) = (args[0].as_real(), args[1].as_real());
+            Ok(Value::Real(if b >= 0.0 { a.abs() } else { -a.abs() }))
+        }
+        other => eerr(format!("unknown elemental intrinsic `{other}`")),
+    }
+}
+
+fn fold_minmax(args: &[Value], min: bool) -> Value {
+    let all_int = args.iter().all(|v| matches!(v, Value::Int(_)));
+    if all_int {
+        let it = args.iter().map(|v| v.as_int());
+        Value::Int(if min { it.min().unwrap() } else { it.max().unwrap() })
+    } else {
+        let it = args.iter().map(|v| v.as_real());
+        Value::Real(if min {
+            it.fold(f64::INFINITY, f64::min)
+        } else {
+            it.fold(f64::NEG_INFINITY, f64::max)
+        })
+    }
+}

@@ -1,0 +1,314 @@
+//! Communication optimizations on the SPMD IR (paper §7).
+//!
+//! * **Duplicate-communication elimination** (§7 optimization 2): two RHS
+//!   references that induce the same primitive with the same arguments
+//!   inside one FORALL share a single call and temporary — e.g.
+//!   `A(I) = B(I+2) + B(I+3)` needs only the wider of the two overlap
+//!   shifts, and the Gaussian-elimination kernel's `A(I,K)` and `A(K,K)`
+//!   share one column multicast.
+//! * **Invariant-communication hoisting** (§7 optimization 4): collective
+//!   calls whose arguments do not depend on an enclosing sequential DO
+//!   variable and whose source is not written in the loop move out of the
+//!   loop (definition-use code motion).
+//!
+//! (§7 optimization 1, message vectorization, is inherent in the
+//! collective primitives; §7 optimization 3, schedule reuse, lives in the
+//! executor's schedule cache.)
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::*;
+use crate::options::OptFlags;
+
+/// Run the enabled passes.
+pub fn optimize(prog: &mut SProgram, flags: &OptFlags) {
+    if flags.merge_comm {
+        merge_comm(prog);
+    }
+    if flags.hoist_invariant_comm {
+        let mut stmts = std::mem::take(&mut prog.stmts);
+        hoist_stmts(&mut stmts, prog);
+        prog.stmts = stmts;
+    }
+}
+
+// ---- duplicate-communication elimination --------------------------------
+
+fn merge_comm(prog: &mut SProgram) {
+    let mut stmts = std::mem::take(&mut prog.stmts);
+    merge_in(&mut stmts);
+    prog.stmts = stmts;
+}
+
+fn merge_in(stmts: &mut [SStmt]) {
+    for s in stmts {
+        match s {
+            SStmt::Forall(f) => merge_forall(f),
+            SStmt::DoSeq { body, .. } => merge_in(body),
+            SStmt::If { then, else_, .. } => {
+                merge_in(then);
+                merge_in(else_);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Key identifying a comm statement up to its temporary.
+fn comm_key(c: &CommStmt) -> Option<(String, Option<ArrId>)> {
+    match c {
+        CommStmt::Multicast { src, dim, src_g, .. } => {
+            Some((format!("mc:{src}:{dim}:{src_g:?}"), None))
+        }
+        CommStmt::Transfer { src, dim, src_g, dst_g, dst_arr, dst_dim, .. } => Some((
+            format!("xf:{src}:{dim}:{src_g:?}:{dst_g:?}:{dst_arr}:{dst_dim}"),
+            None,
+        )),
+        CommStmt::TempShift { src, dim, amount, .. } => {
+            Some((format!("ts:{src}:{dim}:{amount:?}"), None))
+        }
+        CommStmt::MulticastShift { src, mdim, src_g, sdim, amount, .. } => Some((
+            format!("ms:{src}:{mdim}:{src_g:?}:{sdim}:{amount:?}"),
+            None,
+        )),
+        CommStmt::Concat { src, .. } => Some((format!("cc:{src}"), None)),
+        // Overlap shifts merge by (arr, dim, sign) keeping the widest.
+        CommStmt::OverlapShift { .. } => None,
+        CommStmt::BroadcastElem { .. } | CommStmt::ReduceScalar { .. } => None,
+    }
+}
+
+fn comm_tmp(c: &CommStmt) -> Option<ArrId> {
+    match c {
+        CommStmt::Multicast { tmp, .. }
+        | CommStmt::Transfer { tmp, .. }
+        | CommStmt::TempShift { tmp, .. }
+        | CommStmt::MulticastShift { tmp, .. }
+        | CommStmt::Concat { tmp, .. } => Some(*tmp),
+        _ => None,
+    }
+}
+
+fn merge_forall(f: &mut ForallNode) {
+    let mut seen: HashMap<String, ArrId> = HashMap::new();
+    let mut remap: HashMap<ArrId, ArrId> = HashMap::new();
+    let mut kept: Vec<CommStmt> = Vec::new();
+    // Widest overlap shift per (arr, dim, sign).
+    let mut widest: HashMap<(ArrId, usize, bool), i64> = HashMap::new();
+    for c in &f.pre {
+        if let CommStmt::OverlapShift { arr, dim, c: amount } = c {
+            let key = (*arr, *dim, *amount > 0);
+            let e = widest.entry(key).or_insert(0);
+            if amount.abs() > e.abs() {
+                *e = *amount;
+            }
+        }
+    }
+    let mut emitted_shift: HashSet<(ArrId, usize, bool)> = HashSet::new();
+    for c in f.pre.drain(..) {
+        match &c {
+            CommStmt::OverlapShift { arr, dim, c: amount } => {
+                let key = (*arr, *dim, *amount > 0);
+                if emitted_shift.insert(key) {
+                    kept.push(CommStmt::OverlapShift {
+                        arr: *arr,
+                        dim: *dim,
+                        c: widest[&key],
+                    });
+                }
+            }
+            other => match comm_key(other) {
+                Some((key, _)) => {
+                    let tmp = comm_tmp(other);
+                    if let Some(&prev_tmp) = seen.get(&key) {
+                        if let Some(t) = tmp {
+                            remap.insert(t, prev_tmp);
+                        }
+                    } else {
+                        if let Some(t) = tmp {
+                            seen.insert(key, t);
+                        }
+                        kept.push(c);
+                    }
+                }
+                None => kept.push(c),
+            },
+        }
+    }
+    f.pre = kept;
+    if remap.is_empty() {
+        return;
+    }
+    // Rewrite reads of dropped temporaries.
+    for b in &mut f.body {
+        remap_expr(&mut b.rhs, &remap);
+        for s in &mut b.subs {
+            remap_expr(s, &remap);
+        }
+    }
+    if let Some(mask) = &mut f.mask {
+        remap_expr(mask, &remap);
+    }
+}
+
+fn remap_expr(e: &mut SExpr, remap: &HashMap<ArrId, ArrId>) {
+    match e {
+        SExpr::Read { arr, plan, subs } => {
+            if let Some(&n) = remap.get(arr) {
+                *arr = n;
+            }
+            match plan {
+                ReadPlan::SlabTmp { tmp, .. }
+                | ReadPlan::SameTmp { tmp }
+                | ReadPlan::Seq { tmp, .. } => {
+                    if let Some(&n) = remap.get(tmp) {
+                        *tmp = n;
+                    }
+                }
+                _ => {}
+            }
+            for s in subs {
+                remap_expr(s, remap);
+            }
+        }
+        SExpr::Bin(_, l, r) => {
+            remap_expr(l, remap);
+            remap_expr(r, remap);
+        }
+        SExpr::Un(_, x) => remap_expr(x, remap),
+        SExpr::Elemental(_, args) => {
+            for a in args {
+                remap_expr(a, remap);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---- invariant-communication hoisting ------------------------------------
+
+fn hoist_stmts(stmts: &mut Vec<SStmt>, prog: &SProgram) {
+    let mut k = 0;
+    while k < stmts.len() {
+        // Recurse first (innermost loops hoist before outer ones).
+        match &mut stmts[k] {
+            SStmt::DoSeq { body, .. } => hoist_stmts(body, prog),
+            SStmt::If { then, else_, .. } => {
+                hoist_stmts(then, prog);
+                hoist_stmts(else_, prog);
+            }
+            _ => {}
+        }
+        if let SStmt::DoSeq { var, body, .. } = &mut stmts[k] {
+            let written = written_arrays(body);
+            let var = var.clone();
+            let mut hoisted: Vec<SStmt> = Vec::new();
+            let mut hoisted_tmps: HashSet<ArrId> = HashSet::new();
+            for st in body.iter_mut() {
+                if let SStmt::Forall(f) = st {
+                    let mut keep = Vec::new();
+                    for c in f.pre.drain(..) {
+                        if comm_invariant(&c, &var, &written, &hoisted_tmps, prog) {
+                            if let Some(t) = comm_tmp(&c) {
+                                hoisted_tmps.insert(t);
+                            }
+                            hoisted.push(SStmt::Comm(c));
+                        } else {
+                            keep.push(c);
+                        }
+                    }
+                    f.pre = keep;
+                }
+            }
+            if !hoisted.is_empty() {
+                for (off, h) in hoisted.into_iter().enumerate() {
+                    stmts.insert(k + off, h);
+                    k += 1;
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+fn comm_invariant(
+    c: &CommStmt,
+    do_var: &str,
+    written: &HashSet<ArrId>,
+    hoisted_tmps: &HashSet<ArrId>,
+    prog: &SProgram,
+) -> bool {
+    let src_ok = |id: ArrId| {
+        !written.contains(&id) && (!prog.arrays[id].is_temp || hoisted_tmps.contains(&id))
+    };
+    let args_invariant: bool = match c {
+        CommStmt::Multicast { src, src_g, .. } => src_ok(*src) && !uses_var(src_g, do_var),
+        CommStmt::Transfer { src, src_g, dst_g, .. } => {
+            src_ok(*src) && !uses_var(src_g, do_var) && !uses_var(dst_g, do_var)
+        }
+        CommStmt::OverlapShift { arr, .. } => src_ok(*arr),
+        CommStmt::TempShift { src, amount, .. } => src_ok(*src) && !uses_var(amount, do_var),
+        CommStmt::MulticastShift { src, src_g, amount, .. } => {
+            src_ok(*src) && !uses_var(src_g, do_var) && !uses_var(amount, do_var)
+        }
+        CommStmt::Concat { src, .. } => src_ok(*src),
+        CommStmt::BroadcastElem { .. } | CommStmt::ReduceScalar { .. } => false,
+    };
+    args_invariant
+}
+
+fn uses_var(e: &SExpr, var: &str) -> bool {
+    match e {
+        SExpr::LoopVar(n) | SExpr::Scalar(n) => n == var,
+        SExpr::Bin(_, l, r) => uses_var(l, var) || uses_var(r, var),
+        SExpr::Un(_, x) => uses_var(x, var),
+        SExpr::Elemental(_, args) => args.iter().any(|a| uses_var(a, var)),
+        SExpr::Read { subs, .. } => subs.iter().any(|s| uses_var(s, var)),
+        SExpr::Const(_) => false,
+    }
+}
+
+fn written_arrays(stmts: &[SStmt]) -> HashSet<ArrId> {
+    let mut out = HashSet::new();
+    fn walk(stmts: &[SStmt], out: &mut HashSet<ArrId>) {
+        for s in stmts {
+            match s {
+                SStmt::Forall(f) => {
+                    for b in &f.body {
+                        out.insert(b.arr);
+                    }
+                }
+                SStmt::OwnerAssign { arr, .. } => {
+                    out.insert(*arr);
+                }
+                SStmt::DoSeq { body, .. } => walk(body, out),
+                SStmt::If { then, else_, .. } => {
+                    walk(then, out);
+                    walk(else_, out);
+                }
+                SStmt::Runtime(call) => {
+                    match call {
+                        RtCall::CShift { dst, .. } | RtCall::EoShift { dst, .. } => {
+                            out.insert(*dst);
+                        }
+                        RtCall::Transpose { dst, .. } => {
+                            out.insert(*dst);
+                        }
+                        RtCall::Matmul { c, .. } => {
+                            out.insert(*c);
+                        }
+                        RtCall::Redistribute { arr, .. } => {
+                            out.insert(*arr);
+                        }
+                        RtCall::RemapCopy { dst, .. } => {
+                            out.insert(*dst);
+                        }
+                    };
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(stmts, &mut out);
+    out
+}

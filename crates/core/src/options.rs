@@ -1,0 +1,67 @@
+//! Compilation options and optimization flags (paper §7).
+
+/// Optimization switches — each corresponds to one of the paper's §7
+/// communication optimizations and is exercised by an ablation benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptFlags {
+    /// §7(2): replace the union of overlapping communications by a single
+    /// primitive (duplicate-comm elimination inside one FORALL).
+    pub merge_comm: bool,
+    /// §7(3): reuse unstructured schedules when the access pattern
+    /// repeats (amortizes the inspector).
+    pub schedule_reuse: bool,
+    /// §5.3.1 ex. 3: fuse `multicast` ∘ `temporary_shift` into
+    /// `multicast_shift`.
+    pub fuse_multicast_shift: bool,
+    /// §7(4): hoist loop-invariant communication out of sequential DO
+    /// loops (definition-use based code motion).
+    pub hoist_invariant_comm: bool,
+    /// §5.1: use `overlap_shift` into ghost areas for compile-time shift
+    /// constants (off ⇒ every shift goes through a temporary).
+    pub overlap_shift: bool,
+}
+
+impl Default for OptFlags {
+    fn default() -> Self {
+        OptFlags {
+            merge_comm: true,
+            schedule_reuse: true,
+            fuse_multicast_shift: true,
+            hoist_invariant_comm: true,
+            overlap_shift: true,
+        }
+    }
+}
+
+impl OptFlags {
+    /// Everything off — the unoptimized baseline of the ablations.
+    pub fn none() -> Self {
+        OptFlags {
+            merge_comm: false,
+            schedule_reuse: false,
+            fuse_multicast_shift: false,
+            hoist_invariant_comm: false,
+            overlap_shift: false,
+        }
+    }
+}
+
+/// Options for one compilation.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// Override the `PROCESSORS` grid shape (the benchmarks sweep P
+    /// without editing source).
+    pub grid_shape: Option<Vec<i64>>,
+    /// Optimization flags.
+    pub opt: OptFlags,
+}
+
+impl CompileOptions {
+    /// Default options on an explicit grid.
+    pub fn on_grid(shape: &[i64]) -> Self {
+        CompileOptions {
+            grid_shape: Some(shape.to_vec()),
+            opt: OptFlags::default(),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Golden tests: the Fortran 77 + MP listings for each of the paper's
+//! §5.3 communication-generation examples must contain the same call
+//! shapes as the paper's generated-code listings.
+
+use f90d_core::{compile, CompileOptions};
+
+fn f77(src: &str, grid: &[i64]) -> String {
+    compile(src, &CompileOptions::on_grid(grid))
+        .unwrap_or_else(|e| panic!("{e}\n{src}"))
+        .fortran77()
+}
+
+const HEADER_2D: &str = "
+PROGRAM EX
+INTEGER, PARAMETER :: N = 16
+REAL A(N,N), B(N,N)
+INTEGER S
+C$ PROCESSORS P(2,2)
+C$ TEMPLATE TEMPL(N,N)
+C$ ALIGN A(I,J) WITH TEMPL(I,J)
+C$ ALIGN B(I,J) WITH TEMPL(I,J)
+C$ DISTRIBUTE TEMPL(BLOCK,BLOCK)
+";
+
+#[test]
+fn example1_transfer_shape() {
+    // Paper §5.3.1 example 1: FORALL(I=1:N) A(I,8)=B(I,3)
+    let src = format!("{HEADER_2D}FORALL (I=1:N) A(I,8) = B(I,3)\nEND\n");
+    let out = f77(&src, &[2, 2]);
+    assert!(out.contains("call transfer(B, B_DAD"), "{out}");
+    assert!(out.contains("call set_BOUND("), "{out}");
+    assert!(out.contains("source=global_to_proc("), "{out}");
+}
+
+#[test]
+fn example2_multicast_shape() {
+    // Paper §5.3.1 example 2: FORALL(I=1:N,J=1:M) A(I,J)=B(I,3)
+    let src = format!("{HEADER_2D}FORALL (I=1:N, J=1:N) A(I,J) = B(I,3)\nEND\n");
+    let out = f77(&src, &[2, 2]);
+    assert!(out.contains("call multicast(B, B_DAD"), "{out}");
+    assert!(out.contains("source_proc=global_to_proc("), "{out}");
+    // Two nested local loops.
+    assert_eq!(out.matches("END DO").count(), 2, "{out}");
+}
+
+#[test]
+fn example3_multicast_shift_shape() {
+    // Paper §5.3.1 example 3: FORALL(I=1:N,J=1:M) A(I,J)=B(3,J+s) fused.
+    let src = format!("{HEADER_2D}S = 2\nFORALL (I=1:N, J=1:N-2) A(I,J) = B(3,J+S)\nEND\n");
+    let out = f77(&src, &[2, 2]);
+    assert!(out.contains("call multicast_shift(B, B_DAD"), "{out}");
+    assert!(out.contains("multicast_dim=1, shift_dim=2"), "{out}");
+}
+
+#[test]
+fn example3_unfused_two_calls() {
+    let src = format!("{HEADER_2D}S = 2\nFORALL (I=1:N, J=1:N-2) A(I,J) = B(3,J+S)\nEND\n");
+    let mut opts = CompileOptions::on_grid(&[2, 2]);
+    opts.opt.fuse_multicast_shift = false;
+    let out = compile(&src, &opts).unwrap().fortran77();
+    assert!(out.contains("call temporary_shift("), "{out}");
+    assert!(out.contains("call multicast("), "{out}");
+    assert!(!out.contains("call multicast_shift("), "{out}");
+}
+
+#[test]
+fn unstructured_example1_precomp_read_shape() {
+    // Paper §5.3.2 example 1: FORALL(I=1:N) A(I)=B(2*I+1)
+    let src = "
+PROGRAM EX
+INTEGER, PARAMETER :: N = 16
+REAL A(N), B(N)
+C$ TEMPLATE T(N)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+C$ DISTRIBUTE T(BLOCK)
+FORALL (I=1:7) A(I) = B(2*I+1)
+END
+";
+    let out = f77(src, &[4]);
+    assert!(out.contains("isch = schedule1(receive_list, send_list, local_list, count)"), "{out}");
+    assert!(out.contains("call precomp_read(isch,"), "{out}");
+    // The body reads the buffer with the running counter idiom.
+    assert!(out.contains("(count); count = count+1"), "{out}");
+}
+
+#[test]
+fn unstructured_example2_gather_shape() {
+    // Paper §5.3.2 example 2: FORALL(I=1:N) A(I)=B(V(I))
+    let src = "
+PROGRAM EX
+INTEGER, PARAMETER :: N = 16
+REAL A(N), B(N)
+INTEGER V(N)
+C$ TEMPLATE T(N)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+C$ DISTRIBUTE T(BLOCK)
+FORALL (I=1:N) A(I) = B(V(I))
+END
+";
+    let out = f77(src, &[4]);
+    assert!(out.contains("schedule2("), "{out}");
+    assert!(out.contains("call gather(isch,"), "{out}");
+}
+
+#[test]
+fn unstructured_example3_scatter_shape() {
+    // Paper §5.3.2 example 3: FORALL(I=1:N) A(U(I))=B(I)
+    let src = "
+PROGRAM EX
+INTEGER, PARAMETER :: N = 16
+REAL A(N), B(N)
+INTEGER U(N)
+C$ TEMPLATE T(N)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+C$ DISTRIBUTE T(BLOCK)
+FORALL (I=1:N) A(U(I)) = B(I)
+END
+";
+    let out = f77(src, &[4]);
+    assert!(out.contains("isch = schedule3(proc_to, local_to, count)"), "{out}");
+    assert!(out.contains("call scatter(isch,"), "{out}");
+    assert!(out.contains("call set_BOUND_block_iter("), "{out}");
+}
+
+#[test]
+fn jacobi_overlap_shift_shape() {
+    // Paper §4 example 1 canonical Jacobi reads compile into overlap
+    // shifts plus a plain local loop over set_BOUND bounds.
+    let src = "
+PROGRAM EX
+INTEGER, PARAMETER :: N = 16
+REAL A(N,N), B(N,N)
+C$ TEMPLATE T(N,N)
+C$ ALIGN A(I,J) WITH T(I,J)
+C$ ALIGN B(I,J) WITH T(I,J)
+C$ DISTRIBUTE T(BLOCK,BLOCK)
+FORALL (I=2:N-1, J=2:N-1) B(I,J) = 0.25*(A(I-1,J)+A(I+1,J)+A(I,J-1)+A(I,J+1))
+END
+";
+    let out = f77(src, &[2, 2]);
+    assert!(out.contains("call overlap_shift(A, dim=1, width=-1)"), "{out}");
+    assert!(out.contains("call overlap_shift(A, dim=1, width=1)"), "{out}");
+    assert!(out.contains("call overlap_shift(A, dim=2, width=-1)"), "{out}");
+    assert!(out.contains("call overlap_shift(A, dim=2, width=1)"), "{out}");
+    assert!(out.contains("overlap(1)"), "ghost allocation comment: {out}");
+}
+
+#[test]
+fn ge_listing_single_merged_multicast() {
+    let src = "
+PROGRAM GE
+INTEGER, PARAMETER :: N = 8
+REAL A(N,N)
+INTEGER K
+C$ DISTRIBUTE A(*, BLOCK)
+FORALL (I=1:N, J=1:N) A(I,J) = 1.0
+DO K = 1, N-1
+  FORALL (I=K+1:N, J=K+1:N) A(I,J) = A(I,J) - A(I,K)/A(K,K)*A(K,J)
+END DO
+END
+";
+    let out = f77(src, &[4]);
+    // Exactly one multicast inside the DO (A(I,K) and A(K,K) merged).
+    assert_eq!(out.matches("call multicast(").count(), 1, "{out}");
+    assert!(out.contains("DO K = 1, 7, 1"), "{out}");
+}

@@ -1,0 +1,282 @@
+//! Stage 1 — alignment of arrays to templates (the `ALIGN` directive).
+//!
+//! `ALIGN A(I, J) WITH T(f1(I), f2(J))` maps each array element onto a
+//! template cell through per-dimension affine functions `f(i) = a*i + b`.
+//! The compiler computes `f` and `f⁻¹` (paper §3, stage 1); `f` carries
+//! array indices onto the common template index domain, `f⁻¹` recovers the
+//! original indices when needed.
+
+use serde::{Deserialize, Serialize};
+
+/// An affine one-dimensional alignment function `f(i) = stride * i + offset`.
+///
+/// `stride` may be negative (reversal alignment) but never zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlignExpr {
+    /// Multiplier `a` in `f(i) = a*i + b`.
+    pub stride: i64,
+    /// Offset `b` in `f(i) = a*i + b`.
+    pub offset: i64,
+}
+
+impl AlignExpr {
+    /// The identity alignment `f(i) = i`.
+    pub const IDENTITY: AlignExpr = AlignExpr {
+        stride: 1,
+        offset: 0,
+    };
+
+    /// Build `f(i) = stride*i + offset`.
+    ///
+    /// # Panics
+    /// Panics when `stride == 0`: a zero stride collapses the whole array
+    /// dimension onto one template cell, which Fortran D expresses with a
+    /// *replicated/collapsed* alignment instead (see [`AxisAlign`]).
+    pub fn new(stride: i64, offset: i64) -> Self {
+        assert!(stride != 0, "alignment stride must be non-zero");
+        AlignExpr { stride, offset }
+    }
+
+    /// Apply `f` to an array index, yielding a template index.
+    #[inline]
+    pub fn apply(&self, i: i64) -> i64 {
+        self.stride * i + self.offset
+    }
+
+    /// Apply `f⁻¹` to a template index. Returns `None` when the template
+    /// cell is not the image of any array index (i.e. `(t - b)` is not a
+    /// multiple of `a`).
+    #[inline]
+    pub fn invert(&self, t: i64) -> Option<i64> {
+        let num = t - self.offset;
+        if num % self.stride == 0 {
+            Some(num / self.stride)
+        } else {
+            None
+        }
+    }
+
+    /// `true` for the identity alignment.
+    pub fn is_identity(&self) -> bool {
+        *self == Self::IDENTITY
+    }
+}
+
+/// How one axis of an array relates to the template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AxisAlign {
+    /// The array axis is aligned to template dimension `template_dim`
+    /// through the affine function `expr`.
+    Aligned {
+        /// Index of the template dimension this axis maps to.
+        template_dim: usize,
+        /// The affine alignment function.
+        expr: AlignExpr,
+    },
+    /// The array axis does not correspond to any template dimension; the
+    /// whole axis is co-located wherever the remaining axes place it
+    /// (written `A(I, *)` on the array side of an ALIGN in Fortran D).
+    Collapsed,
+}
+
+/// The complete alignment of an array to a template.
+///
+/// In addition to per-axis mappings, a template dimension that no array
+/// axis maps to *replicates* the array along that dimension (each processor
+/// row/column along it holds a full copy). `replicated_template_dims` lists
+/// those dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// One entry per array dimension.
+    pub axes: Vec<AxisAlign>,
+    /// Template dimensions that replicate the array.
+    pub replicated_template_dims: Vec<usize>,
+}
+
+impl Alignment {
+    /// The identity alignment of a rank-`rank` array onto a rank-`rank`
+    /// template: axis `d` ↦ template dim `d` with `f(i) = i`.
+    pub fn identity(rank: usize) -> Self {
+        Alignment {
+            axes: (0..rank)
+                .map(|d| AxisAlign::Aligned {
+                    template_dim: d,
+                    expr: AlignExpr::IDENTITY,
+                })
+                .collect(),
+            replicated_template_dims: Vec::new(),
+        }
+    }
+
+    /// Number of array dimensions described.
+    pub fn rank(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// The template dimension array axis `axis` is aligned with, if any.
+    pub fn template_dim_of(&self, axis: usize) -> Option<usize> {
+        match self.axes[axis] {
+            AxisAlign::Aligned { template_dim, .. } => Some(template_dim),
+            AxisAlign::Collapsed => None,
+        }
+    }
+
+    /// The array axis aligned with template dimension `tdim`, if any.
+    pub fn axis_of_template_dim(&self, tdim: usize) -> Option<usize> {
+        self.axes.iter().position(|a| {
+            matches!(a, AxisAlign::Aligned { template_dim, .. } if *template_dim == tdim)
+        })
+    }
+
+    /// Map a full array index vector to the template cells it occupies on
+    /// the aligned dimensions. Returns `(template_dim, template_index)`
+    /// pairs, one per aligned axis.
+    pub fn apply(&self, index: &[i64]) -> Vec<(usize, i64)> {
+        assert_eq!(index.len(), self.rank());
+        self.axes
+            .iter()
+            .zip(index)
+            .filter_map(|(ax, &i)| match ax {
+                AxisAlign::Aligned { template_dim, expr } => Some((*template_dim, expr.apply(i))),
+                AxisAlign::Collapsed => None,
+            })
+            .collect()
+    }
+
+    /// Check structural validity against template and array shapes:
+    /// every aligned axis must land inside the template for all of
+    /// `0..extent` and no two axes may target the same template dimension.
+    pub fn validate(&self, array_extents: &[i64], template_extents: &[i64]) -> Result<(), String> {
+        if array_extents.len() != self.rank() {
+            return Err(format!(
+                "alignment rank {} does not match array rank {}",
+                self.rank(),
+                array_extents.len()
+            ));
+        }
+        let mut seen = vec![false; template_extents.len()];
+        for (axis, ax) in self.axes.iter().enumerate() {
+            if let AxisAlign::Aligned { template_dim, expr } = ax {
+                if *template_dim >= template_extents.len() {
+                    return Err(format!(
+                        "axis {axis} aligned to non-existent template dim {template_dim}"
+                    ));
+                }
+                if seen[*template_dim] {
+                    return Err(format!(
+                        "two array axes aligned to template dim {template_dim}"
+                    ));
+                }
+                seen[*template_dim] = true;
+                let n = array_extents[axis];
+                let lo = expr.apply(0);
+                let hi = expr.apply(n - 1);
+                let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                let text = template_extents[*template_dim];
+                if lo < 0 || hi >= text {
+                    return Err(format!(
+                        "axis {axis} maps [0,{}) to [{lo},{hi}] outside template dim {template_dim} extent {text}",
+                        n
+                    ));
+                }
+            }
+        }
+        for &r in &self.replicated_template_dims {
+            if r >= template_extents.len() {
+                return Err(format!("replication over non-existent template dim {r}"));
+            }
+            if seen[r] {
+                return Err(format!(
+                    "template dim {r} both aligned and marked replicated"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_roundtrip() {
+        let f = AlignExpr::new(2, 1);
+        for i in -10..10 {
+            assert_eq!(f.invert(f.apply(i)), Some(i));
+        }
+        // 2i + 1 is always odd, so even template cells have no preimage.
+        assert_eq!(f.invert(4), None);
+    }
+
+    #[test]
+    fn negative_stride_reversal() {
+        let f = AlignExpr::new(-1, 9); // f(i) = 9 - i maps 0..10 onto 9..=0
+        assert_eq!(f.apply(0), 9);
+        assert_eq!(f.apply(9), 0);
+        assert_eq!(f.invert(0), Some(9));
+    }
+
+    #[test]
+    fn identity_alignment_maps_straight_through() {
+        let a = Alignment::identity(2);
+        assert_eq!(a.apply(&[3, 5]), vec![(0, 3), (1, 5)]);
+        assert_eq!(a.template_dim_of(0), Some(0));
+        assert_eq!(a.axis_of_template_dim(1), Some(1));
+    }
+
+    #[test]
+    fn collapsed_axis_is_skipped() {
+        let a = Alignment {
+            axes: vec![
+                AxisAlign::Aligned {
+                    template_dim: 0,
+                    expr: AlignExpr::IDENTITY,
+                },
+                AxisAlign::Collapsed,
+            ],
+            replicated_template_dims: vec![],
+        };
+        assert_eq!(a.apply(&[3, 77]), vec![(0, 3)]);
+        assert_eq!(a.template_dim_of(1), None);
+    }
+
+    #[test]
+    fn validate_catches_out_of_bounds() {
+        let a = Alignment {
+            axes: vec![AxisAlign::Aligned {
+                template_dim: 0,
+                expr: AlignExpr::new(1, 5),
+            }],
+            replicated_template_dims: vec![],
+        };
+        // array 0..10 shifted by 5 needs template extent >= 15
+        assert!(a.validate(&[10], &[14]).is_err());
+        assert!(a.validate(&[10], &[15]).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_double_alignment() {
+        let a = Alignment {
+            axes: vec![
+                AxisAlign::Aligned {
+                    template_dim: 0,
+                    expr: AlignExpr::IDENTITY,
+                },
+                AxisAlign::Aligned {
+                    template_dim: 0,
+                    expr: AlignExpr::IDENTITY,
+                },
+            ],
+            replicated_template_dims: vec![],
+        };
+        assert!(a.validate(&[4, 4], &[4, 4]).is_err());
+    }
+
+    #[test]
+    fn validate_catches_replicated_and_aligned() {
+        let mut a = Alignment::identity(1);
+        a.replicated_template_dims.push(0);
+        assert!(a.validate(&[4], &[4]).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! The `set_BOUND` primitive (paper §4).
+//!
+//! `set_BOUND(llb, lub, lst, glb, gub, gst, DIST, dim)` takes a global
+//! iteration range (lower bound, upper bound, stride) and statically
+//! distributes it over the processors of one grid axis, returning each
+//! processor's *local* loop bounds. Processors with no iterations receive
+//! an empty range — this is how the compiler masks inactive processors.
+//!
+//! For BLOCK and CYCLIC the owned iterations always form an arithmetic
+//! progression in local index space, so the result is a `(llb, lub, lst)`
+//! triple exactly as in the paper. For `CYCLIC(K)` with a non-unit global
+//! stride that is no longer true; [`set_bound`] then falls back to an
+//! explicit index list (an extension the paper did not need).
+
+use crate::dist::{DimDist, DistKind};
+use crate::ext_gcd;
+
+/// A local iteration range `llb..=lub step lst` (empty when `llb > lub`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalRange {
+    /// Local lower bound.
+    pub lb: i64,
+    /// Local upper bound (inclusive, Fortran-style).
+    pub ub: i64,
+    /// Local stride (positive).
+    pub st: i64,
+}
+
+impl LocalRange {
+    /// The canonical empty range.
+    pub const EMPTY: LocalRange = LocalRange { lb: 0, ub: -1, st: 1 };
+
+    /// `true` when the range contains no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.lb > self.ub
+    }
+
+    /// Number of iterations.
+    pub fn len(&self) -> i64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.ub - self.lb) / self.st + 1
+        }
+    }
+
+    /// Iterate the local indices.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        let (lb, ub, st) = (self.lb, self.ub, self.st);
+        (0..self.len()).map(move |k| lb + k * st).filter(move |&l| l <= ub)
+    }
+}
+
+/// Result of [`set_bound`]: an arithmetic local range when one exists,
+/// otherwise an explicit list of local indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalIter {
+    /// Arithmetic progression of local indices.
+    Range(LocalRange),
+    /// Explicit local index list (only for `CYCLIC(K)` with stride > 1).
+    List(Vec<i64>),
+}
+
+impl LocalIter {
+    /// Number of local iterations.
+    pub fn len(&self) -> i64 {
+        match self {
+            LocalIter::Range(r) => r.len(),
+            LocalIter::List(v) => v.len() as i64,
+        }
+    }
+
+    /// `true` when there are no local iterations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collect the local indices.
+    pub fn to_vec(&self) -> Vec<i64> {
+        match self {
+            LocalIter::Range(r) => r.iter().collect(),
+            LocalIter::List(v) => v.clone(),
+        }
+    }
+}
+
+/// The paper's `set_BOUND`: local loop bounds on processor `p` for the
+/// global iteration space `glb..=gub step gst` over distribution `dist`.
+///
+/// `gst` must be positive (the front end normalizes negative strides by
+/// reversing the range). `glb`/`gub` are clamped to the dimension extent;
+/// a backwards range yields the empty result.
+pub fn set_bound(dist: &DimDist, p: i64, glb: i64, gub: i64, gst: i64) -> LocalIter {
+    assert!(gst > 0, "set_bound requires a positive global stride");
+    assert!((0..dist.nprocs).contains(&p), "processor out of range");
+    let glb = glb.max(0);
+    let gub = gub.min(dist.extent - 1);
+    if glb > gub {
+        return LocalIter::Range(LocalRange::EMPTY);
+    }
+    match dist.kind {
+        DistKind::Collapsed => {
+            // Every processor owns the whole dimension; the "local" range is
+            // the global one. (Iterations of a collapsed dim are replicated
+            // unless the caller partitions some other dim.)
+            LocalIter::Range(LocalRange {
+                lb: glb,
+                ub: gub,
+                st: gst,
+            })
+        }
+        DistKind::Block => {
+            let b = dist.block_size();
+            let own_lo = p * b;
+            let own_hi = own_lo + dist.local_count(p) - 1;
+            if own_hi < own_lo {
+                return LocalIter::Range(LocalRange::EMPTY);
+            }
+            // First iterate >= own_lo, last <= own_hi.
+            let lo = own_lo.max(glb);
+            let first_k = crate::ceil_div(lo - glb, gst);
+            let first_g = glb + first_k * gst;
+            if first_g > own_hi || first_g > gub {
+                return LocalIter::Range(LocalRange::EMPTY);
+            }
+            let last_g = {
+                let hi = own_hi.min(gub);
+                glb + ((hi - glb) / gst) * gst
+            };
+            LocalIter::Range(LocalRange {
+                lb: first_g - own_lo,
+                ub: last_g - own_lo,
+                st: gst,
+            })
+        }
+        DistKind::Cyclic => {
+            let np = dist.nprocs;
+            // Solve glb + k*gst ≡ p (mod np) for the smallest k >= 0.
+            let (g, x, _) = ext_gcd(gst, np);
+            let rhs = (p - glb).rem_euclid(np);
+            if rhs % g != 0 {
+                return LocalIter::Range(LocalRange::EMPTY);
+            }
+            let np_g = np / g;
+            // k ≡ x * (rhs / g)  (mod np/g)
+            let k0 = ((x.rem_euclid(np_g)) * ((rhs / g).rem_euclid(np_g))).rem_euclid(np_g);
+            let first_g = glb + k0 * gst;
+            if first_g > gub {
+                return LocalIter::Range(LocalRange::EMPTY);
+            }
+            // Successive owned iterations are np/g global steps of gst apart.
+            let gstep = gst * np_g;
+            let count = (gub - first_g) / gstep + 1;
+            let last_g = first_g + (count - 1) * gstep;
+            // Local index of global g on cyclic proc p is g / np; the local
+            // stride is gstep / np = gst / g.
+            debug_assert_eq!(gstep % np, 0);
+            LocalIter::Range(LocalRange {
+                lb: first_g / np,
+                ub: last_g / np,
+                st: gstep / np,
+            })
+        }
+        DistKind::BlockCyclic(_) => {
+            if gst == 1 {
+                // Stride-1 ranges map to a contiguous local interval because
+                // local order preserves global order.
+                let mut lo = None;
+                let mut hi = None;
+                for gl in dist.owned_globals(p) {
+                    if (glb..=gub).contains(&gl) {
+                        let l = dist.local_of(gl);
+                        if lo.is_none() {
+                            lo = Some(l);
+                        }
+                        hi = Some(l);
+                    }
+                }
+                match (lo, hi) {
+                    (Some(lb), Some(ub)) => LocalIter::Range(LocalRange { lb, ub, st: 1 }),
+                    _ => LocalIter::Range(LocalRange::EMPTY),
+                }
+            } else {
+                let list: Vec<i64> = (0..)
+                    .map(|k| glb + k * gst)
+                    .take_while(|&gl| gl <= gub)
+                    .filter(|&gl| dist.proc_of(gl) == p)
+                    .map(|gl| dist.local_of(gl))
+                    .collect();
+                if list.is_empty() {
+                    LocalIter::Range(LocalRange::EMPTY)
+                } else {
+                    LocalIter::List(list)
+                }
+            }
+        }
+    }
+}
+
+/// Reference (slow) implementation of `set_BOUND` used by tests: walk the
+/// global range and keep the iterations `p` owns.
+pub fn set_bound_reference(dist: &DimDist, p: i64, glb: i64, gub: i64, gst: i64) -> Vec<i64> {
+    let glb = glb.max(0);
+    let gub = gub.min(dist.extent - 1);
+    let mut out = Vec::new();
+    if matches!(dist.kind, DistKind::Collapsed) {
+        let mut g = glb;
+        while g <= gub {
+            out.push(g);
+            g += gst;
+        }
+        return out;
+    }
+    let mut g = glb;
+    while g <= gub {
+        if dist.proc_of(g) == p {
+            out.push(dist.local_of(g));
+        }
+        g += gst;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_full_range() {
+        let d = DimDist::new(DistKind::Block, 16, 4);
+        for p in 0..4 {
+            let li = set_bound(&d, p, 0, 15, 1);
+            assert_eq!(li.to_vec(), vec![0, 1, 2, 3], "proc {p}");
+        }
+    }
+
+    #[test]
+    fn block_partial_range_masks_procs() {
+        // paper §4: global bounds not covering the whole array mask
+        // processors that own no iterations.
+        let d = DimDist::new(DistKind::Block, 16, 4);
+        let li = set_bound(&d, 0, 6, 11, 1);
+        assert!(li.is_empty() || li.to_vec().iter().all(|&l| l >= 0)); // p0 owns 0..4
+        assert!(set_bound(&d, 0, 6, 11, 1).is_empty());
+        assert_eq!(set_bound(&d, 1, 6, 11, 1).to_vec(), vec![2, 3]); // g 6,7
+        assert_eq!(set_bound(&d, 2, 6, 11, 1).to_vec(), vec![0, 1, 2, 3]); // g 8..12
+        assert!(set_bound(&d, 3, 6, 11, 1).is_empty());
+    }
+
+    #[test]
+    fn cyclic_with_stride() {
+        let d = DimDist::new(DistKind::Cyclic, 20, 4);
+        // globals 1,4,7,10,13,16,19; proc of g is g%4
+        // p0 owns 4,16 → locals 1,4 stride 3
+        let li = set_bound(&d, 0, 1, 19, 3);
+        assert_eq!(li.to_vec(), vec![1, 4]);
+        match li {
+            LocalIter::Range(r) => assert_eq!(r.st, 3),
+            _ => panic!("cyclic must give a range"),
+        }
+    }
+
+    #[test]
+    fn cyclic_stride_sharing_factor_with_p() {
+        // gst=2, P=4: only even-residue procs get work from an even start.
+        let d = DimDist::new(DistKind::Cyclic, 32, 4);
+        assert!(!set_bound(&d, 0, 0, 31, 2).is_empty());
+        assert!(set_bound(&d, 1, 0, 31, 2).is_empty());
+        assert!(!set_bound(&d, 2, 0, 31, 2).is_empty());
+        assert!(set_bound(&d, 3, 0, 31, 2).is_empty());
+    }
+
+    #[test]
+    fn matches_reference_exhaustively() {
+        for kind in [DistKind::Block, DistKind::Cyclic, DistKind::BlockCyclic(3)] {
+            for n in [7i64, 16, 23] {
+                for p in [1i64, 2, 3, 4] {
+                    let d = DimDist::new(kind, n, p);
+                    for glb in 0..n {
+                        for gub in glb..n {
+                            for gst in 1..=4 {
+                                for proc in 0..p {
+                                    let fast = set_bound(&d, proc, glb, gub, gst).to_vec();
+                                    let slow = set_bound_reference(&d, proc, glb, gub, gst);
+                                    assert_eq!(
+                                        fast, slow,
+                                        "{kind:?} n={n} p={p} proc={proc} range={glb}..={gub}:{gst}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_extent_bounds_clamped() {
+        let d = DimDist::new(DistKind::Block, 10, 2);
+        let li = set_bound(&d, 1, 0, 99, 1);
+        assert_eq!(li.to_vec(), vec![0, 1, 2, 3, 4]); // g 5..10
+    }
+
+    #[test]
+    fn empty_global_range() {
+        let d = DimDist::new(DistKind::Block, 10, 2);
+        assert!(set_bound(&d, 0, 5, 4, 1).is_empty());
+    }
+
+    #[test]
+    fn local_range_len_and_iter() {
+        let r = LocalRange { lb: 2, ub: 10, st: 3 };
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![2, 5, 8]);
+        assert!(LocalRange::EMPTY.is_empty());
+        assert_eq!(LocalRange::EMPTY.len(), 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Stage 2 — distribution of template dimensions over the logical grid
+//! (the `DISTRIBUTE` directive).
+//!
+//! `BLOCK` divides a template dimension into contiguous chunks; `CYCLIC`
+//! deals elements round-robin; `CYCLIC(K)` (HPF extension, not in the
+//! paper's Table set) deals blocks of `K` round-robin. The mapping
+//! functions `μ` (global → (proc, local)) and `μ⁻¹` (proc, local → global)
+//! of paper §3 stage 2 live here.
+
+use serde::{Deserialize, Serialize};
+
+/// The distribution attribute of one template dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistKind {
+    /// Contiguous chunks of size `ceil(N/P)`.
+    Block,
+    /// Round-robin single elements: global `g` lives on proc `g mod P`.
+    Cyclic,
+    /// Round-robin blocks of `K` elements (HPF `CYCLIC(K)`).
+    BlockCyclic(i64),
+    /// `*` — the dimension is not distributed; every processor along the
+    /// corresponding grid axis (if any) holds the whole extent.
+    Collapsed,
+}
+
+impl DistKind {
+    /// `true` when this dimension is actually spread over processors.
+    pub fn is_distributed(&self) -> bool {
+        !matches!(self, DistKind::Collapsed)
+    }
+}
+
+/// The concrete distribution of one template dimension over `nprocs`
+/// processors of one logical-grid axis: the `μ` / `μ⁻¹` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimDist {
+    /// Distribution attribute.
+    pub kind: DistKind,
+    /// Global extent `N` of the dimension.
+    pub extent: i64,
+    /// Number of processors `P` along the grid axis this dimension maps to
+    /// (1 for collapsed dimensions).
+    pub nprocs: i64,
+}
+
+impl DimDist {
+    /// Build a distribution; normalizes `CYCLIC(1)` to `CYCLIC` and any
+    /// distribution over one processor behaves like `Collapsed` for
+    /// ownership (but keeps its kind for descriptor fidelity).
+    ///
+    /// # Panics
+    /// Panics on non-positive extent, non-positive processor count, or a
+    /// non-positive block size in `CYCLIC(K)`.
+    pub fn new(kind: DistKind, extent: i64, nprocs: i64) -> Self {
+        assert!(extent > 0, "extent must be positive");
+        assert!(nprocs > 0, "processor count must be positive");
+        let kind = match kind {
+            DistKind::BlockCyclic(k) => {
+                assert!(k > 0, "CYCLIC(K) block size must be positive");
+                if k == 1 {
+                    DistKind::Cyclic
+                } else {
+                    DistKind::BlockCyclic(k)
+                }
+            }
+            other => other,
+        };
+        DimDist {
+            kind,
+            extent,
+            nprocs,
+        }
+    }
+
+    /// Block size `b = ceil(N/P)` for BLOCK; `K` for CYCLIC(K); 1 for
+    /// CYCLIC; the full extent for collapsed.
+    pub fn block_size(&self) -> i64 {
+        match self.kind {
+            DistKind::Block => crate::ceil_div(self.extent, self.nprocs),
+            DistKind::Cyclic => 1,
+            DistKind::BlockCyclic(k) => k,
+            DistKind::Collapsed => self.extent,
+        }
+    }
+
+    /// `μ`: the grid coordinate owning global index `g`.
+    #[inline]
+    pub fn proc_of(&self, g: i64) -> i64 {
+        debug_assert!((0..self.extent).contains(&g), "index {g} out of range");
+        match self.kind {
+            DistKind::Block => (g / self.block_size()).min(self.nprocs - 1),
+            DistKind::Cyclic => g % self.nprocs,
+            DistKind::BlockCyclic(k) => (g / k) % self.nprocs,
+            DistKind::Collapsed => 0,
+        }
+    }
+
+    /// `μ`: the local index of global `g` on its owning processor.
+    #[inline]
+    pub fn local_of(&self, g: i64) -> i64 {
+        match self.kind {
+            DistKind::Block => g - self.proc_of(g) * self.block_size(),
+            DistKind::Cyclic => g / self.nprocs,
+            DistKind::BlockCyclic(k) => (g / (k * self.nprocs)) * k + g % k,
+            DistKind::Collapsed => g,
+        }
+    }
+
+    /// `μ` as a pair: `(proc, local)`.
+    #[inline]
+    pub fn global_to_local(&self, g: i64) -> (i64, i64) {
+        (self.proc_of(g), self.local_of(g))
+    }
+
+    /// `μ⁻¹`: the global index of local `l` on processor `p`. Returns
+    /// `None` when `(p, l)` names no element (past the edge of the last
+    /// block, or a processor that owns fewer cycles).
+    pub fn global_of(&self, p: i64, l: i64) -> Option<i64> {
+        if !(0..self.nprocs).contains(&p) || l < 0 {
+            return None;
+        }
+        let g = match self.kind {
+            DistKind::Block => p * self.block_size() + l,
+            DistKind::Cyclic => l * self.nprocs + p,
+            DistKind::BlockCyclic(k) => (l / k) * k * self.nprocs + p * k + l % k,
+            DistKind::Collapsed => l,
+        };
+        if (0..self.extent).contains(&g) && self.local_of(g) == l && self.proc_of(g) == p {
+            Some(g)
+        } else {
+            None
+        }
+    }
+
+    /// Number of elements processor `p` owns.
+    pub fn local_count(&self, p: i64) -> i64 {
+        debug_assert!((0..self.nprocs).contains(&p));
+        match self.kind {
+            DistKind::Block => {
+                let b = self.block_size();
+                (self.extent - p * b).clamp(0, b)
+            }
+            DistKind::Cyclic => {
+                let n = self.extent;
+                if p < n % self.nprocs {
+                    n / self.nprocs + 1
+                } else if p < n {
+                    n / self.nprocs
+                } else {
+                    0
+                }
+            }
+            DistKind::BlockCyclic(k) => {
+                let cycle = k * self.nprocs;
+                let full_cycles = self.extent / cycle;
+                let rem = self.extent % cycle;
+                let extra = (rem - p * k).clamp(0, k);
+                full_cycles * k + extra
+            }
+            DistKind::Collapsed => self.extent,
+        }
+    }
+
+    /// Maximum local count over all processors — the local allocation size
+    /// a compiler must reserve on every node for this dimension.
+    pub fn max_local_count(&self) -> i64 {
+        (0..self.nprocs).map(|p| self.local_count(p)).max().unwrap()
+    }
+
+    /// Iterate the global indices owned by processor `p`, in increasing
+    /// global (= increasing local) order.
+    pub fn owned_globals(&self, p: i64) -> impl Iterator<Item = i64> + '_ {
+        let count = self.local_count(p);
+        (0..count).map(move |l| self.global_of(p, l).expect("local < count must map"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds(extent: i64, p: i64) -> Vec<DimDist> {
+        vec![
+            DimDist::new(DistKind::Block, extent, p),
+            DimDist::new(DistKind::Cyclic, extent, p),
+            DimDist::new(DistKind::BlockCyclic(3), extent, p),
+            DimDist::new(DistKind::Collapsed, extent, 1),
+        ]
+    }
+
+    #[test]
+    fn block_basic() {
+        let d = DimDist::new(DistKind::Block, 10, 4); // b = 3: [0..3)[3..6)[6..9)[9..10)
+        assert_eq!(d.block_size(), 3);
+        assert_eq!(d.proc_of(0), 0);
+        assert_eq!(d.proc_of(2), 0);
+        assert_eq!(d.proc_of(3), 1);
+        assert_eq!(d.proc_of(9), 3);
+        assert_eq!(d.local_of(4), 1);
+        assert_eq!(d.local_count(0), 3);
+        assert_eq!(d.local_count(3), 1);
+    }
+
+    #[test]
+    fn block_last_proc_may_be_empty() {
+        // N=9, P=4 → b=3 → procs own 3,3,3,0
+        let d = DimDist::new(DistKind::Block, 9, 4);
+        assert_eq!(d.local_count(3), 0);
+        assert_eq!(d.global_of(3, 0), None);
+    }
+
+    #[test]
+    fn cyclic_basic() {
+        let d = DimDist::new(DistKind::Cyclic, 10, 3);
+        assert_eq!(d.proc_of(0), 0);
+        assert_eq!(d.proc_of(4), 1);
+        assert_eq!(d.local_of(4), 1);
+        assert_eq!(d.local_count(0), 4); // 0,3,6,9
+        assert_eq!(d.local_count(1), 3); // 1,4,7
+        assert_eq!(d.local_count(2), 3); // 2,5,8
+    }
+
+    #[test]
+    fn block_cyclic_basic() {
+        let d = DimDist::new(DistKind::BlockCyclic(2), 12, 3);
+        // blocks of 2 dealt round robin: p0: 0,1,6,7  p1: 2,3,8,9  p2: 4,5,10,11
+        assert_eq!(d.proc_of(0), 0);
+        assert_eq!(d.proc_of(2), 1);
+        assert_eq!(d.proc_of(6), 0);
+        assert_eq!(d.local_of(6), 2);
+        assert_eq!(d.local_of(7), 3);
+        assert_eq!(d.local_count(0), 4);
+        assert_eq!(
+            d.owned_globals(1).collect::<Vec<_>>(),
+            vec![2, 3, 8, 9]
+        );
+    }
+
+    #[test]
+    fn cyclic_one_normalizes() {
+        let d = DimDist::new(DistKind::BlockCyclic(1), 10, 3);
+        assert_eq!(d.kind, DistKind::Cyclic);
+    }
+
+    #[test]
+    fn roundtrip_every_element() {
+        for n in [1, 2, 7, 10, 16, 33] {
+            for p in [1, 2, 3, 4, 7] {
+                for d in all_kinds(n, p) {
+                    let mut seen = vec![false; n as usize];
+                    for proc in 0..d.nprocs {
+                        for g in d.owned_globals(proc) {
+                            assert!(!seen[g as usize], "{d:?} double-owns {g}");
+                            seen[g as usize] = true;
+                            let (pp, ll) = d.global_to_local(g);
+                            assert_eq!(pp, proc);
+                            assert_eq!(d.global_of(pp, ll), Some(g));
+                        }
+                    }
+                    assert!(seen.iter().all(|&s| s), "{d:?} misses elements");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_extent() {
+        for n in [1, 5, 9, 10, 64, 100] {
+            for p in [1, 2, 3, 8, 16] {
+                for d in [
+                    DimDist::new(DistKind::Block, n, p),
+                    DimDist::new(DistKind::Cyclic, n, p),
+                    DimDist::new(DistKind::BlockCyclic(4), n, p),
+                ] {
+                    let total: i64 = (0..p).map(|q| d.local_count(q)).sum();
+                    assert_eq!(total, n, "{d:?}");
+                    assert!(d.max_local_count() >= crate::ceil_div(n, p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_procs_than_elements() {
+        let d = DimDist::new(DistKind::Block, 2, 8); // b = 1
+        assert_eq!(d.local_count(0), 1);
+        assert_eq!(d.local_count(1), 1);
+        for p in 2..8 {
+            assert_eq!(d.local_count(p), 0, "proc {p}");
+        }
+        let d = DimDist::new(DistKind::Cyclic, 2, 8);
+        assert_eq!(d.local_count(0), 1);
+        assert_eq!(d.local_count(7), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Templates — the paper's `DECOMPOSITION` directive.
+//!
+//! A template declares the name, dimensionality and size of a problem
+//! domain. Arrays are aligned to templates (stage 1) and templates are
+//! distributed over the logical processor grid (stage 2).
+
+use serde::{Deserialize, Serialize};
+
+/// An abstract index domain declared by `DECOMPOSITION T(N, M, ...)`
+/// (Fortran D) or `TEMPLATE T(N, M, ...)` (HPF).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    /// Source-level name of the template.
+    pub name: String,
+    /// Extent of each template dimension (0-based domain `0..extent`).
+    pub extents: Vec<i64>,
+}
+
+impl Template {
+    /// Create a template with the given name and per-dimension extents.
+    ///
+    /// # Panics
+    /// Panics if any extent is non-positive: a template declares a
+    /// non-empty problem domain.
+    pub fn new(name: impl Into<String>, extents: &[i64]) -> Self {
+        assert!(
+            extents.iter().all(|&e| e > 0),
+            "template extents must be positive"
+        );
+        Template {
+            name: name.into(),
+            extents: extents.to_vec(),
+        }
+    }
+
+    /// Number of dimensions of the template.
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Extent of dimension `dim`.
+    pub fn extent(&self, dim: usize) -> i64 {
+        self.extents[dim]
+    }
+
+    /// Total number of template cells.
+    pub fn size(&self) -> i64 {
+        self.extents.iter().product()
+    }
+
+    /// `true` when `index` lies inside the template domain.
+    pub fn contains(&self, index: &[i64]) -> bool {
+        index.len() == self.rank()
+            && index
+                .iter()
+                .zip(&self.extents)
+                .all(|(&i, &e)| (0..e).contains(&i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let t = Template::new("TEMPL", &[100, 200]);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.extent(0), 100);
+        assert_eq!(t.extent(1), 200);
+        assert_eq!(t.size(), 20_000);
+    }
+
+    #[test]
+    fn contains_checks_every_dim() {
+        let t = Template::new("T", &[10, 10]);
+        assert!(t.contains(&[0, 0]));
+        assert!(t.contains(&[9, 9]));
+        assert!(!t.contains(&[10, 0]));
+        assert!(!t.contains(&[0, -1]));
+        assert!(!t.contains(&[3])); // wrong rank
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        Template::new("T", &[0]);
+    }
+}

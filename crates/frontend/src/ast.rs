@@ -1,0 +1,384 @@
+//! Abstract syntax for the Fortran 90D/HPF subset.
+//!
+//! The parser produces a source-faithful (1-based) tree; semantic
+//! analysis resolves names and directive references; normalization
+//! rewrites to FORALL-only data parallelism in 0-based index space.
+
+use std::fmt;
+
+/// Fortran base types (DOUBLE PRECISION folds into `Real`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// `INTEGER`
+    Integer,
+    /// `REAL` / `DOUBLE PRECISION`
+    Real,
+    /// `LOGICAL`
+    Logical,
+    /// `COMPLEX`
+    Complex,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Integer => "INTEGER",
+            Ty::Real => "REAL",
+            Ty::Logical => "LOGICAL",
+            Ty::Complex => "COMPLEX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `**`
+    Pow,
+    /// `==` / `.EQ.`
+    Eq,
+    /// `/=` / `.NE.`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `.AND.`
+    And,
+    /// `.OR.`
+    Or,
+}
+
+impl BinOp {
+    /// `true` for comparison operators (result LOGICAL).
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// `true` for `.AND.` / `.OR.`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Unary `-`
+    Neg,
+    /// `.NOT.`
+    Not,
+}
+
+/// One subscript of an array reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Subscript {
+    /// A single index expression.
+    Index(Expr),
+    /// A section `lb:ub:st` (any part optional: `:` is the full range).
+    Range {
+        /// Lower bound (default: dimension lower bound).
+        lb: Option<Expr>,
+        /// Upper bound (default: dimension upper bound).
+        ub: Option<Expr>,
+        /// Stride (default 1).
+        st: Option<Expr>,
+    },
+}
+
+impl Subscript {
+    /// The full-range section `:`.
+    pub fn full() -> Self {
+        Subscript::Range {
+            lb: None,
+            ub: None,
+            st: None,
+        }
+    }
+
+    /// `true` when the subscript is a section.
+    pub fn is_section(&self) -> bool {
+        matches!(self, Subscript::Range { .. })
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `.TRUE.` / `.FALSE.`
+    Logical(bool),
+    /// Character literal (only in `PRINT`).
+    Str(String),
+    /// Scalar variable or whole-array reference (resolved in sema).
+    Var(String),
+    /// `A(subs)` — array element, section, or function/intrinsic call
+    /// (disambiguated in sema; the parser cannot tell `F(I)` apart).
+    Ref(String, Vec<Subscript>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+impl Expr {
+    /// Build `lhs op rhs`.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    /// Shorthand for `e + c` (folding when `e` is a literal).
+    pub fn plus(self, c: i64) -> Expr {
+        match self {
+            Expr::Int(v) => Expr::Int(v + c),
+            e if c == 0 => e,
+            e => Expr::bin(BinOp::Add, e, Expr::Int(c)),
+        }
+    }
+}
+
+/// One FORALL index specification: `name = lb : ub [: st]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForallIndex {
+    /// Index variable name.
+    pub var: String,
+    /// Lower bound.
+    pub lb: Expr,
+    /// Upper bound.
+    pub ub: Expr,
+    /// Stride (defaults to 1).
+    pub st: Expr,
+}
+
+/// Left-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LhsRef {
+    /// Array or scalar name.
+    pub name: String,
+    /// Subscripts (empty for scalars and whole arrays).
+    pub subs: Vec<Subscript>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lhs = rhs` (scalar, element, section or whole-array).
+    Assign {
+        /// Destination reference.
+        lhs: LhsRef,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// `FORALL (specs [, mask]) body`.
+    Forall {
+        /// Index specifications.
+        indices: Vec<ForallIndex>,
+        /// Optional scalar-logical mask over the index variables.
+        mask: Option<Expr>,
+        /// Body assignments (single statement or construct).
+        body: Vec<Stmt>,
+    },
+    /// `WHERE (mask) ... [ELSEWHERE ...] END WHERE`.
+    Where {
+        /// Elementwise mask expression.
+        mask: Expr,
+        /// Statements under the mask.
+        then: Vec<Stmt>,
+        /// Statements under the complement.
+        elsewhere: Vec<Stmt>,
+    },
+    /// Sequential `DO var = lb, ub [, st]`.
+    Do {
+        /// Loop variable.
+        var: String,
+        /// Lower bound.
+        lb: Expr,
+        /// Upper bound.
+        ub: Expr,
+        /// Stride.
+        st: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `IF (cond) THEN ... [ELSE ...] END IF` (or one-line IF).
+    If {
+        /// Scalar logical condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        else_: Vec<Stmt>,
+    },
+    /// `CALL name(args)`.
+    Call {
+        /// Subroutine name.
+        name: String,
+        /// Actual arguments (array names or scalar expressions).
+        args: Vec<Expr>,
+    },
+    /// `PRINT *, items`.
+    Print {
+        /// Items to print.
+        items: Vec<Expr>,
+    },
+    /// Executable `!F90D$ REDISTRIBUTE A(CYCLIC)` extension.
+    Redistribute {
+        /// Array to remap.
+        array: String,
+        /// New per-dimension distribution keywords.
+        dist: Vec<DistSpec>,
+    },
+}
+
+/// A per-dimension distribution keyword in `DISTRIBUTE`/`REDISTRIBUTE`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistSpec {
+    /// `BLOCK`
+    Block,
+    /// `CYCLIC`
+    Cyclic,
+    /// `CYCLIC(K)`
+    BlockCyclic(Expr),
+    /// `*` (not distributed)
+    Star,
+}
+
+/// `ALIGN A(I, J) WITH T(f(I), g(J))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignDirective {
+    /// Array being aligned.
+    pub array: String,
+    /// Dummy index names on the array side (`*` becomes `None`).
+    pub array_dummies: Vec<Option<String>>,
+    /// Template name.
+    pub template: String,
+    /// Template-side subscripts: affine expressions over the dummies, or
+    /// `*` (None) for replication dims.
+    pub template_subs: Vec<Option<Expr>>,
+}
+
+/// `DISTRIBUTE T(BLOCK, CYCLIC) [ONTO P]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistDirective {
+    /// Template (or array, in the no-template shorthand) name.
+    pub target: String,
+    /// Per-dimension distribution.
+    pub kinds: Vec<DistSpec>,
+    /// Optional processor-arrangement name.
+    pub onto: Option<String>,
+}
+
+/// All mapping directives of one program unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Directives {
+    /// `PROCESSORS P(p, q)` — name and shape.
+    pub processors: Option<(String, Vec<Expr>)>,
+    /// `TEMPLATE` / `DECOMPOSITION` declarations.
+    pub templates: Vec<(String, Vec<Expr>)>,
+    /// `ALIGN` directives.
+    pub aligns: Vec<AlignDirective>,
+    /// `DISTRIBUTE` directives.
+    pub distributes: Vec<DistDirective>,
+}
+
+/// A declaration entity: `name(dims)` with optional PARAMETER value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Entity name.
+    pub name: String,
+    /// Base type.
+    pub ty: Ty,
+    /// Array extents (upper bounds; lower bound fixed at 1). Empty for
+    /// scalars.
+    pub dims: Vec<Expr>,
+    /// `PARAMETER` initializer.
+    pub param: Option<Expr>,
+}
+
+/// One `PROGRAM` or `SUBROUTINE` unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    /// Unit name.
+    pub name: String,
+    /// `true` for subroutines.
+    pub is_subroutine: bool,
+    /// Dummy argument names (subroutines only).
+    pub args: Vec<String>,
+    /// Declarations.
+    pub decls: Vec<Decl>,
+    /// Mapping directives.
+    pub directives: Directives,
+    /// Executable statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole source file: a main program plus subroutines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program units, main first.
+    pub units: Vec<Unit>,
+}
+
+impl Program {
+    /// The main program unit.
+    pub fn main(&self) -> &Unit {
+        self.units
+            .iter()
+            .find(|u| !u.is_subroutine)
+            .expect("program has a main unit")
+    }
+
+    /// Find a subroutine by (upper-cased) name.
+    pub fn subroutine(&self, name: &str) -> Option<&Unit> {
+        self.units
+            .iter()
+            .find(|u| u.is_subroutine && u.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_plus_folds_literals() {
+        assert_eq!(Expr::Int(3).plus(-1), Expr::Int(2));
+        assert_eq!(Expr::Var("I".into()).plus(0), Expr::Var("I".into()));
+        assert_eq!(
+            Expr::Var("I".into()).plus(2),
+            Expr::bin(BinOp::Add, Expr::Var("I".into()), Expr::Int(2))
+        );
+    }
+
+    #[test]
+    fn binop_classes() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+    }
+
+    #[test]
+    fn subscript_full_is_section() {
+        assert!(Subscript::full().is_section());
+        assert!(!Subscript::Index(Expr::Int(1)).is_section());
+    }
+}

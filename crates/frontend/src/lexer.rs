@@ -1,0 +1,500 @@
+//! Line-oriented lexer for free-form Fortran 90D.
+//!
+//! Handles `!` comments, `&` continuations, case-insensitivity (everything
+//! folds to upper case outside character literals), dot-operators
+//! (`.AND.`, `.EQ.`, `.TRUE.`…) and the directive sentinels `C$`, `!HPF$`,
+//! `!F90D$` — a directive line is re-lexed as ordinary tokens behind a
+//! [`TokenKind::DirectiveStart`] marker.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (upper-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Character literal (contents, without quotes).
+    Str(String),
+    /// `.TRUE.` / `.FALSE.`
+    Logical(bool),
+    /// Punctuation / operator, e.g. `"("`, `"**"`, `"::"`, `"<="`.
+    Punct(&'static str),
+    /// Start of a directive line (`C$`, `!HPF$`, `!F90D$`).
+    DirectiveStart,
+    /// End of statement (newline or `;`).
+    Eos,
+    /// End of file.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Real(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Logical(b) => write!(f, ".{}.", if *b { "TRUE" } else { "FALSE" }),
+            TokenKind::Punct(p) => write!(f, "{p}"),
+            TokenKind::DirectiveStart => write!(f, "<directive>"),
+            TokenKind::Eos => write!(f, "<eos>"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexical error with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Dot operators and logical literals.
+const DOT_WORDS: &[(&str, TokenKind)] = &[
+    ("AND", TokenKind::Punct(".AND.")),
+    ("OR", TokenKind::Punct(".OR.")),
+    ("NOT", TokenKind::Punct(".NOT.")),
+    ("EQ", TokenKind::Punct("==")),
+    ("NE", TokenKind::Punct("/=")),
+    ("LT", TokenKind::Punct("<")),
+    ("LE", TokenKind::Punct("<=")),
+    ("GT", TokenKind::Punct(">")),
+    ("GE", TokenKind::Punct(">=")),
+    ("TRUE", TokenKind::Logical(true)),
+    ("FALSE", TokenKind::Logical(false)),
+];
+
+/// Tokenize a whole source file.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut continuation = false;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.trim_end();
+        let trimmed = text.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let upper = trimmed.to_uppercase();
+        // Directive sentinels.
+        let directive_body = if let Some(rest) = upper.strip_prefix("C$") {
+            Some(rest.to_string())
+        } else if let Some(rest) = upper.strip_prefix("!HPF$") {
+            Some(rest.to_string())
+        } else { upper.strip_prefix("!F90D$").map(|rest| rest.to_string()) };
+        let (is_directive, body) = match directive_body {
+            Some(b) => (true, b),
+            None => {
+                // Old-style comment: a lone `C` or `C ` followed by prose.
+                // `C = 1` and `C(I) = …` are statements, not comments, and
+                // continuation lines are never comments.
+                let old_comment = !continuation
+                    && (upper == "C"
+                        || (upper.starts_with("C ")
+                            && !matches!(
+                                upper[2..].trim_start().chars().next(),
+                                Some('=') | Some('(')
+                            )));
+                if (!continuation && trimmed.starts_with('!')) || old_comment {
+                    continue; // comment line
+                }
+                (false, trimmed.to_string())
+            }
+        };
+        if is_directive {
+            tokens.push(Token {
+                kind: TokenKind::DirectiveStart,
+                line,
+            });
+        }
+        let had_continuation = continuation;
+        continuation = false;
+        let mut chars: Vec<char> = body.chars().collect();
+        // A leading '&' continues the previous line (free form allows both
+        // trailing and leading ampersands).
+        let mut i = 0usize;
+        if had_continuation {
+            // Remove the Eos we would otherwise have emitted — already
+            // suppressed at the end of the previous line.
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '&' {
+                i += 1;
+            }
+        }
+        // Strip trailing comment (outside quotes) and detect trailing '&'.
+        let mut in_quote = false;
+        let mut end = chars.len();
+        for (k, &c) in chars.iter().enumerate() {
+            if c == '\'' {
+                in_quote = !in_quote;
+            } else if c == '!' && !in_quote && k >= i {
+                end = k;
+                break;
+            }
+        }
+        chars.truncate(end);
+        while chars.last().is_some_and(|c| c.is_whitespace()) {
+            chars.pop();
+        }
+        if chars.last() == Some(&'&') {
+            continuation = true;
+            chars.pop();
+        }
+        lex_chars(&chars[i..], line, &mut tokens)?;
+        if !continuation {
+            tokens.push(Token {
+                kind: TokenKind::Eos,
+                line,
+            });
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line: source.lines().count() + 1,
+    });
+    Ok(tokens)
+}
+
+fn lex_chars(chars: &[char], line: usize, out: &mut Vec<Token>) -> Result<(), LexError> {
+    let mut i = 0usize;
+    let n = chars.len();
+    let push = |out: &mut Vec<Token>, kind: TokenKind| out.push(Token { kind, line });
+    while i < n {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == ';' {
+            push(out, TokenKind::Eos);
+            i += 1;
+            continue;
+        }
+        if c == '\'' {
+            let mut j = i + 1;
+            let mut s = String::new();
+            while j < n && chars[j] != '\'' {
+                s.push(chars[j]);
+                j += 1;
+            }
+            if j >= n {
+                return Err(LexError {
+                    msg: "unterminated character literal".into(),
+                    line,
+                });
+            }
+            push(out, TokenKind::Str(s));
+            i = j + 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i;
+            let mut s = String::new();
+            while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                s.push(chars[j].to_ascii_uppercase());
+                j += 1;
+            }
+            push(out, TokenKind::Ident(s));
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < n && chars[i + 1].is_ascii_digit())
+        {
+            let (tok, next) = lex_number(chars, i, line)?;
+            push(out, tok);
+            i = next;
+            continue;
+        }
+        if c == '.' {
+            // dot operator
+            let mut j = i + 1;
+            let mut word = String::new();
+            while j < n && chars[j].is_ascii_alphabetic() {
+                word.push(chars[j].to_ascii_uppercase());
+                j += 1;
+            }
+            if j < n && chars[j] == '.' {
+                if let Some((_, kind)) = DOT_WORDS.iter().find(|(w, _)| *w == word) {
+                    push(out, kind.clone());
+                    i = j + 1;
+                    continue;
+                }
+            }
+            return Err(LexError {
+                msg: format!("unknown dot-operator .{word}."),
+                line,
+            });
+        }
+        // multi-char punctuation first
+        let two: String = chars[i..n.min(i + 2)].iter().collect();
+        let kind = match two.as_str() {
+            "**" => Some("**"),
+            "::" => Some("::"),
+            "==" => Some("=="),
+            "/=" => Some("/="),
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "=>" => Some("=>"),
+            _ => None,
+        };
+        if let Some(p) = kind {
+            push(out, TokenKind::Punct(p));
+            i += 2;
+            continue;
+        }
+        let one = match c {
+            '(' => "(",
+            ')' => ")",
+            ',' => ",",
+            '=' => "=",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            ':' => ":",
+            '<' => "<",
+            '>' => ">",
+            '%' => "%",
+            _ => {
+                return Err(LexError {
+                    msg: format!("unexpected character `{c}`"),
+                    line,
+                })
+            }
+        };
+        push(out, TokenKind::Punct(one));
+        i += 1;
+    }
+    Ok(())
+}
+
+fn lex_number(chars: &[char], start: usize, line: usize) -> Result<(TokenKind, usize), LexError> {
+    let n = chars.len();
+    let mut i = start;
+    let mut s = String::new();
+    let mut is_real = false;
+    while i < n && chars[i].is_ascii_digit() {
+        s.push(chars[i]);
+        i += 1;
+    }
+    // Fractional part — careful not to swallow dot-operators like `1.AND.`
+    // or DO-range `1.` followed by `.`: Fortran real literals may end in
+    // '.', but `1..2` never appears in our subset; treat `.` + digit or
+    // lone trailing `.` (not followed by a letter) as part of the number.
+    if i < n && chars[i] == '.' {
+        let next_is_alpha = i + 1 < n && chars[i + 1].is_ascii_alphabetic();
+        if !next_is_alpha {
+            is_real = true;
+            s.push('.');
+            i += 1;
+            while i < n && chars[i].is_ascii_digit() {
+                s.push(chars[i]);
+                i += 1;
+            }
+        }
+    }
+    // Exponent.
+    if i < n && (chars[i] == 'e' || chars[i] == 'E' || chars[i] == 'd' || chars[i] == 'D') {
+        let mut j = i + 1;
+        let mut exp = String::new();
+        if j < n && (chars[j] == '+' || chars[j] == '-') {
+            exp.push(chars[j]);
+            j += 1;
+        }
+        let estart = j;
+        while j < n && chars[j].is_ascii_digit() {
+            exp.push(chars[j]);
+            j += 1;
+        }
+        if j > estart {
+            is_real = true;
+            s.push('e');
+            s.push_str(&exp);
+            i = j;
+        }
+    }
+    if is_real {
+        s.parse::<f64>()
+            .map(|v| (TokenKind::Real(v), i))
+            .map_err(|_| LexError {
+                msg: format!("bad real literal `{s}`"),
+                line,
+            })
+    } else {
+        s.parse::<i64>()
+            .map(|v| (TokenKind::Int(v), i))
+            .map_err(|_| LexError {
+                msg: format!("bad integer literal `{s}`"),
+                line,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        let k = kinds("A(I) = B(I+1) * 2.5");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::Punct("("),
+                TokenKind::Ident("I".into()),
+                TokenKind::Punct(")"),
+                TokenKind::Punct("="),
+                TokenKind::Ident("B".into()),
+                TokenKind::Punct("("),
+                TokenKind::Ident("I".into()),
+                TokenKind::Punct("+"),
+                TokenKind::Int(1),
+                TokenKind::Punct(")"),
+                TokenKind::Punct("*"),
+                TokenKind::Real(2.5),
+                TokenKind::Eos,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn case_folding() {
+        let k = kinds("forall (i=1:n) a(i) = b(i)");
+        assert!(matches!(&k[0], TokenKind::Ident(s) if s == "FORALL"));
+        assert!(matches!(&k[2], TokenKind::Ident(s) if s == "I"));
+    }
+
+    #[test]
+    fn dot_operators_and_logicals() {
+        let k = kinds("X .AND. .NOT. Y .OR. .TRUE. .EQ. Z");
+        assert_eq!(k[1], TokenKind::Punct(".AND."));
+        assert_eq!(k[2], TokenKind::Punct(".NOT."));
+        assert_eq!(k[4], TokenKind::Punct(".OR."));
+        assert_eq!(k[5], TokenKind::Logical(true));
+        assert_eq!(k[6], TokenKind::Punct("=="));
+    }
+
+    #[test]
+    fn real_literals() {
+        let k = kinds("X = 1.5E-3 + 2. + .5 + 1D0");
+        assert!(k.contains(&TokenKind::Real(0.0015)));
+        assert!(k.contains(&TokenKind::Real(2.0)));
+        assert!(k.contains(&TokenKind::Real(0.5)));
+        assert!(k.contains(&TokenKind::Real(1.0)));
+    }
+
+    #[test]
+    fn integer_range_not_real() {
+        // `1:N` must not lex `1:` as a real.
+        let k = kinds("A(1:N)");
+        assert!(k.contains(&TokenKind::Int(1)));
+        assert!(k.contains(&TokenKind::Punct(":")));
+    }
+
+    #[test]
+    fn dot_op_after_number() {
+        let k = kinds("I.EQ.1");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("I".into()),
+                TokenKind::Punct("=="),
+                TokenKind::Int(1),
+                TokenKind::Eos,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let k = kinds("A = B + &\n    C");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::Punct("="),
+                TokenKind::Ident("B".into()),
+                TokenKind::Punct("+"),
+                TokenKind::Ident("C".into()),
+                TokenKind::Eos,
+                TokenKind::Eof,
+            ]
+        );
+        // leading ampersand form
+        let k2 = kinds("A = B + &\n  & C");
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let k = kinds("A = 1 ! trailing comment\n! whole line\nB = 2");
+        assert_eq!(k.len(), 9); // A = 1 eos B = 2 eos eof
+    }
+
+    #[test]
+    fn directive_lines() {
+        for s in ["C$ DISTRIBUTE T(BLOCK)", "!HPF$ DISTRIBUTE T(BLOCK)", "!f90d$ distribute t(block)"] {
+            let k = kinds(s);
+            assert_eq!(k[0], TokenKind::DirectiveStart, "{s}");
+            assert!(matches!(&k[1], TokenKind::Ident(w) if w == "DISTRIBUTE"), "{s}");
+        }
+    }
+
+    #[test]
+    fn old_style_comment_line() {
+        let k = kinds("C this is a comment\nA = 1");
+        assert!(matches!(&k[0], TokenKind::Ident(s) if s == "A"));
+    }
+
+    #[test]
+    fn string_literal() {
+        let k = kinds("PRINT *, 'hello world'");
+        assert!(k.contains(&TokenKind::Str("hello world".into())));
+    }
+
+    #[test]
+    fn power_and_double_colon() {
+        let k = kinds("INTEGER :: N = 2**10");
+        assert!(k.contains(&TokenKind::Punct("::")));
+        assert!(k.contains(&TokenKind::Punct("**")));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("X = 'oops").is_err());
+    }
+}

@@ -1,0 +1,1118 @@
+//! Recursive-descent parser for the Fortran 90D/HPF subset.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
+    let mut p = Parser { toks: tokens, pos: 0 };
+    p.skip_eos();
+    let mut units = Vec::new();
+    while !p.at_eof() {
+        units.push(p.unit()?);
+        p.skip_eos();
+    }
+    if units.is_empty() {
+        return Err(ParseError {
+            msg: "empty source".into(),
+            line: 1,
+        });
+    }
+    Ok(Program { units })
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn skip_eos(&mut self) {
+        while matches!(self.peek(), TokenKind::Eos) {
+            self.bump();
+        }
+    }
+
+    fn expect_eos(&mut self) -> PResult<()> {
+        match self.peek() {
+            TokenKind::Eos | TokenKind::Eof => {
+                self.skip_eos();
+                Ok(())
+            }
+            other => self.err(format!("expected end of statement, found `{other}`")),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_ident() == Some(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    // ---- program units -------------------------------------------------
+
+    fn unit(&mut self) -> PResult<Unit> {
+        let is_subroutine = if self.eat_kw("PROGRAM") {
+            false
+        } else if self.eat_kw("SUBROUTINE") {
+            true
+        } else {
+            return self.err("expected PROGRAM or SUBROUTINE");
+        };
+        let name = self.expect_ident()?;
+        let mut args = Vec::new();
+        if is_subroutine && self.eat_punct("(")
+            && !self.eat_punct(")") {
+                loop {
+                    args.push(self.expect_ident()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+        self.expect_eos()?;
+        let mut decls = Vec::new();
+        let mut directives = Directives::default();
+        let mut body = Vec::new();
+        loop {
+            self.skip_eos();
+            if self.at_eof() {
+                return self.err("missing END");
+            }
+            // END terminators.
+            if self.peek_ident() == Some("END") {
+                self.bump();
+                // optional PROGRAM/SUBROUTINE [name]
+                if (self.eat_kw("PROGRAM") || self.eat_kw("SUBROUTINE"))
+                    && matches!(self.peek(), TokenKind::Ident(_)) {
+                        self.bump();
+                    }
+                self.expect_eos()?;
+                break;
+            }
+            if matches!(self.peek(), TokenKind::DirectiveStart) {
+                self.bump();
+                if let Some(stmt) = self.directive(&mut directives)? {
+                    body.push(stmt);
+                }
+                continue;
+            }
+            // Declarations.
+            if let Some(kw) = self.peek_ident() {
+                if matches!(kw, "INTEGER" | "REAL" | "LOGICAL" | "COMPLEX" | "DOUBLE") {
+                    self.declaration(&mut decls)?;
+                    continue;
+                }
+                if kw == "PARAMETER" {
+                    self.parameter_stmt(&mut decls)?;
+                    continue;
+                }
+                if kw == "IMPLICIT" {
+                    // IMPLICIT NONE — accepted and ignored.
+                    while !matches!(self.peek(), TokenKind::Eos | TokenKind::Eof) {
+                        self.bump();
+                    }
+                    self.expect_eos()?;
+                    continue;
+                }
+            }
+            body.push(self.statement()?);
+        }
+        Ok(Unit {
+            name,
+            is_subroutine,
+            args,
+            decls,
+            directives,
+            body,
+        })
+    }
+
+    // ---- declarations --------------------------------------------------
+
+    fn declaration(&mut self, decls: &mut Vec<Decl>) -> PResult<()> {
+        let ty = match self.expect_ident()?.as_str() {
+            "INTEGER" => Ty::Integer,
+            "REAL" => Ty::Real,
+            "LOGICAL" => Ty::Logical,
+            "COMPLEX" => Ty::Complex,
+            "DOUBLE" => {
+                if !self.eat_kw("PRECISION") {
+                    return self.err("expected PRECISION after DOUBLE");
+                }
+                Ty::Real
+            }
+            other => return self.err(format!("unknown type `{other}`")),
+        };
+        // Optional attributes: `, PARAMETER ::` — only PARAMETER supported.
+        let mut is_param = false;
+        while self.eat_punct(",") {
+            let attr = self.expect_ident()?;
+            match attr.as_str() {
+                "PARAMETER" => is_param = true,
+                "DIMENSION" => {
+                    return self.err("DIMENSION attribute unsupported; put dims on the entity")
+                }
+                other => return self.err(format!("unsupported attribute `{other}`")),
+            }
+        }
+        self.eat_punct("::");
+        loop {
+            let name = self.expect_ident()?;
+            let mut dims = Vec::new();
+            if self.eat_punct("(") {
+                loop {
+                    dims.push(self.expr()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+            let param = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            if is_param && param.is_none() {
+                return self.err("PARAMETER entity needs `= value`");
+            }
+            decls.push(Decl {
+                name,
+                ty,
+                dims,
+                param: if is_param { param } else { None },
+            });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_eos()
+    }
+
+    /// `PARAMETER (N = 100, M = 3)` — retrofits values onto prior decls.
+    fn parameter_stmt(&mut self, decls: &mut Vec<Decl>) -> PResult<()> {
+        self.bump(); // PARAMETER
+        self.expect_punct("(")?;
+        loop {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            match decls.iter_mut().find(|d| d.name == name) {
+                Some(d) => d.param = Some(value),
+                None => decls.push(Decl {
+                    name,
+                    ty: Ty::Integer,
+                    dims: vec![],
+                    param: Some(value),
+                }),
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        self.expect_eos()
+    }
+
+    // ---- directives ----------------------------------------------------
+
+    /// Parse one directive line. Mapping directives accumulate into
+    /// `dirs`; the executable REDISTRIBUTE returns a statement.
+    fn directive(&mut self, dirs: &mut Directives) -> PResult<Option<Stmt>> {
+        let kw = self.expect_ident()?;
+        match kw.as_str() {
+            "PROCESSORS" => {
+                let name = self.expect_ident()?;
+                let mut shape = Vec::new();
+                if self.eat_punct("(") {
+                    loop {
+                        shape.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                dirs.processors = Some((name, shape));
+                self.expect_eos()?;
+                Ok(None)
+            }
+            "TEMPLATE" | "DECOMPOSITION" => {
+                loop {
+                    let name = self.expect_ident()?;
+                    self.expect_punct("(")?;
+                    let mut shape = Vec::new();
+                    loop {
+                        shape.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                    dirs.templates.push((name, shape));
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_eos()?;
+                Ok(None)
+            }
+            "ALIGN" => {
+                let array = self.expect_ident()?;
+                let mut array_dummies = Vec::new();
+                if self.eat_punct("(") {
+                    loop {
+                        if self.eat_punct("*") {
+                            array_dummies.push(None);
+                        } else {
+                            array_dummies.push(Some(self.expect_ident()?));
+                        }
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                if !self.eat_kw("WITH") {
+                    return self.err("expected WITH in ALIGN");
+                }
+                let template = self.expect_ident()?;
+                let mut template_subs = Vec::new();
+                if self.eat_punct("(") {
+                    loop {
+                        if self.eat_punct("*") {
+                            template_subs.push(None);
+                        } else {
+                            template_subs.push(Some(self.expr()?));
+                        }
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                dirs.aligns.push(AlignDirective {
+                    array,
+                    array_dummies,
+                    template,
+                    template_subs,
+                });
+                self.expect_eos()?;
+                Ok(None)
+            }
+            "DISTRIBUTE" => {
+                let target = self.expect_ident()?;
+                let kinds = self.dist_specs()?;
+                let onto = if self.eat_kw("ONTO") {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
+                dirs.distributes.push(DistDirective { target, kinds, onto });
+                self.expect_eos()?;
+                Ok(None)
+            }
+            "REDISTRIBUTE" => {
+                let array = self.expect_ident()?;
+                let dist = self.dist_specs()?;
+                self.expect_eos()?;
+                Ok(Some(Stmt::Redistribute { array, dist }))
+            }
+            other => self.err(format!("unknown directive `{other}`")),
+        }
+    }
+
+    fn dist_specs(&mut self) -> PResult<Vec<DistSpec>> {
+        self.expect_punct("(")?;
+        let mut kinds = Vec::new();
+        loop {
+            if self.eat_punct("*") {
+                kinds.push(DistSpec::Star);
+            } else {
+                let kw = self.expect_ident()?;
+                match kw.as_str() {
+                    "BLOCK" => kinds.push(DistSpec::Block),
+                    "CYCLIC" => {
+                        if self.eat_punct("(") {
+                            let k = self.expr()?;
+                            self.expect_punct(")")?;
+                            kinds.push(DistSpec::BlockCyclic(k));
+                        } else {
+                            kinds.push(DistSpec::Cyclic);
+                        }
+                    }
+                    other => return self.err(format!("unknown distribution `{other}`")),
+                }
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(kinds)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn statement(&mut self) -> PResult<Stmt> {
+        match self.peek_ident() {
+            Some("FORALL") => self.forall_stmt(),
+            Some("WHERE") => self.where_stmt(),
+            Some("DO") => self.do_stmt(),
+            Some("IF") => self.if_stmt(),
+            Some("CALL") => self.call_stmt(),
+            Some("PRINT") => self.print_stmt(),
+            _ => self.assignment(),
+        }
+    }
+
+    fn assignment(&mut self) -> PResult<Stmt> {
+        let name = self.expect_ident()?;
+        let mut subs = Vec::new();
+        if self.eat_punct("(") {
+            subs = self.subscript_list()?;
+        }
+        self.expect_punct("=")?;
+        let rhs = self.expr()?;
+        self.expect_eos()?;
+        Ok(Stmt::Assign {
+            lhs: LhsRef { name, subs },
+            rhs,
+        })
+    }
+
+    fn forall_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // FORALL
+        self.expect_punct("(")?;
+        let mut indices = Vec::new();
+        let mut mask = None;
+        loop {
+            // index spec: IDENT = e : e [: e]   — otherwise it's the mask.
+            let is_spec = matches!(self.peek(), TokenKind::Ident(_))
+                && matches!(self.peek2(), TokenKind::Punct("="));
+            if is_spec {
+                let var = self.expect_ident()?;
+                self.expect_punct("=")?;
+                let lb = self.expr()?;
+                self.expect_punct(":")?;
+                let ub = self.expr()?;
+                let st = if self.eat_punct(":") {
+                    self.expr()?
+                } else {
+                    Expr::Int(1)
+                };
+                indices.push(ForallIndex { var, lb, ub, st });
+            } else {
+                mask = Some(self.expr()?);
+                break;
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        if indices.is_empty() {
+            return self.err("FORALL needs at least one index spec");
+        }
+        if matches!(self.peek(), TokenKind::Eos) {
+            // construct form
+            self.skip_eos();
+            let mut body = Vec::new();
+            loop {
+                if self.eat_end_of("FORALL")? {
+                    break;
+                }
+                body.push(self.statement()?);
+                self.skip_eos();
+            }
+            Ok(Stmt::Forall { indices, mask, body })
+        } else {
+            let inner = self.assignment()?;
+            Ok(Stmt::Forall {
+                indices,
+                mask,
+                body: vec![inner],
+            })
+        }
+    }
+
+    fn where_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // WHERE
+        self.expect_punct("(")?;
+        let mask = self.expr()?;
+        self.expect_punct(")")?;
+        if matches!(self.peek(), TokenKind::Eos) {
+            self.skip_eos();
+            let mut then = Vec::new();
+            let mut elsewhere = Vec::new();
+            let mut in_else = false;
+            loop {
+                if self.eat_end_of("WHERE")? {
+                    break;
+                }
+                if self.peek_ident() == Some("ELSEWHERE") {
+                    self.bump();
+                    self.expect_eos()?;
+                    in_else = true;
+                    continue;
+                }
+                let s = self.statement()?;
+                if in_else {
+                    elsewhere.push(s);
+                } else {
+                    then.push(s);
+                }
+                self.skip_eos();
+            }
+            Ok(Stmt::Where { mask, then, elsewhere })
+        } else {
+            let inner = self.assignment()?;
+            Ok(Stmt::Where {
+                mask,
+                then: vec![inner],
+                elsewhere: vec![],
+            })
+        }
+    }
+
+    fn do_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // DO
+        let var = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let lb = self.expr()?;
+        self.expect_punct(",")?;
+        let ub = self.expr()?;
+        let st = if self.eat_punct(",") {
+            self.expr()?
+        } else {
+            Expr::Int(1)
+        };
+        self.expect_eos()?;
+        let mut body = Vec::new();
+        loop {
+            self.skip_eos();
+            if self.eat_end_of("DO")? {
+                break;
+            }
+            body.push(self.statement()?);
+        }
+        Ok(Stmt::Do { var, lb, ub, st, body })
+    }
+
+    fn if_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // IF
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        if self.eat_kw("THEN") {
+            self.expect_eos()?;
+            let mut then = Vec::new();
+            let mut else_ = Vec::new();
+            let mut in_else = false;
+            loop {
+                self.skip_eos();
+                if self.eat_end_of("IF")? {
+                    break;
+                }
+                if self.peek_ident() == Some("ELSE") {
+                    self.bump();
+                    self.expect_eos()?;
+                    in_else = true;
+                    continue;
+                }
+                let s = self.statement()?;
+                if in_else {
+                    else_.push(s);
+                } else {
+                    then.push(s);
+                }
+            }
+            Ok(Stmt::If { cond, then, else_ })
+        } else {
+            let inner = self.statement()?;
+            Ok(Stmt::If {
+                cond,
+                then: vec![inner],
+                else_: vec![],
+            })
+        }
+    }
+
+    fn call_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // CALL
+        let name = self.expect_ident()?;
+        let mut args = Vec::new();
+        if self.eat_punct("(")
+            && !self.eat_punct(")") {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+        self.expect_eos()?;
+        Ok(Stmt::Call { name, args })
+    }
+
+    fn print_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // PRINT
+        self.expect_punct("*")?;
+        let mut items = Vec::new();
+        while self.eat_punct(",") {
+            items.push(self.expr()?);
+        }
+        self.expect_eos()?;
+        Ok(Stmt::Print { items })
+    }
+
+    /// Consume `END kw` / `ENDkw` if present; returns whether it was.
+    fn eat_end_of(&mut self, kw: &str) -> PResult<bool> {
+        let glued = format!("END{kw}");
+        if self.peek_ident() == Some(glued.as_str()) {
+            self.bump();
+            self.expect_eos()?;
+            return Ok(true);
+        }
+        if self.peek_ident() == Some("END") {
+            if let TokenKind::Ident(next) = self.peek2() {
+                if next == kw {
+                    self.bump();
+                    self.bump();
+                    self.expect_eos()?;
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct(".OR.") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_punct(".AND.") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> PResult<Expr> {
+        if self.eat_punct(".NOT.") {
+            let e = self.not_expr()?;
+            Ok(Expr::Un(UnOp::Not, Box::new(e)))
+        } else {
+            self.rel_expr()
+        }
+    }
+
+    fn rel_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Punct("==") => Some(BinOp::Eq),
+            TokenKind::Punct("/=") => Some(BinOp::Ne),
+            TokenKind::Punct("<") => Some(BinOp::Lt),
+            TokenKind::Punct("<=") => Some(BinOp::Le),
+            TokenKind::Punct(">") => Some(BinOp::Gt),
+            TokenKind::Punct(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::bin(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_punct("+") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::bin(BinOp::Add, lhs, rhs);
+            } else if self.eat_punct("-") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::bin(BinOp::Sub, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_punct("*") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::bin(BinOp::Mul, lhs, rhs);
+            } else if self.eat_punct("/") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::bin(BinOp::Div, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        if self.eat_punct("-") {
+            let e = self.unary_expr()?;
+            Ok(Expr::Un(UnOp::Neg, Box::new(e)))
+        } else if self.eat_punct("+") {
+            self.unary_expr()
+        } else {
+            self.pow_expr()
+        }
+    }
+
+    fn pow_expr(&mut self) -> PResult<Expr> {
+        let base = self.primary()?;
+        if self.eat_punct("**") {
+            // right-associative
+            let exp = self.unary_expr()?;
+            Ok(Expr::bin(BinOp::Pow, base, exp))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Real(v) => Ok(Expr::Real(v)),
+            TokenKind::Logical(b) => Ok(Expr::Logical(b)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat_punct("(") {
+                    let subs = self.subscript_list()?;
+                    Ok(Expr::Ref(name, subs))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.err(format!("unexpected `{other}` in expression")),
+        }
+    }
+
+    /// Parse `sub, sub, …)` — the opening `(` is already consumed.
+    fn subscript_list(&mut self) -> PResult<Vec<Subscript>> {
+        let mut subs = Vec::new();
+        loop {
+            subs.push(self.subscript()?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(subs)
+    }
+
+    fn subscript(&mut self) -> PResult<Subscript> {
+        // `:` | `:ub[:st]` | `e` | `e:[ub][:st]`
+        if self.eat_punct(":") {
+            let ub = self.section_bound()?;
+            let st = if self.eat_punct(":") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Subscript::Range { lb: None, ub, st });
+        }
+        let first = self.expr()?;
+        if self.eat_punct(":") {
+            let ub = self.section_bound()?;
+            let st = if self.eat_punct(":") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            Ok(Subscript::Range {
+                lb: Some(first),
+                ub,
+                st,
+            })
+        } else {
+            Ok(Subscript::Index(first))
+        }
+    }
+
+    fn section_bound(&mut self) -> PResult<Option<Expr>> {
+        match self.peek() {
+            TokenKind::Punct(",") | TokenKind::Punct(")") | TokenKind::Punct(":") => Ok(None),
+            _ => Ok(Some(self.expr()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    fn parse_body(stmts: &str) -> Vec<Stmt> {
+        let src = format!("PROGRAM T\n{stmts}\nEND\n");
+        parse_src(&src).units[0].body.clone()
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse_src("PROGRAM HELLO\nX = 1\nEND PROGRAM HELLO\n");
+        assert_eq!(p.units.len(), 1);
+        assert_eq!(p.units[0].name, "HELLO");
+        assert_eq!(p.units[0].body.len(), 1);
+    }
+
+    #[test]
+    fn declarations_with_dims_and_params() {
+        let p = parse_src(
+            "PROGRAM T\nINTEGER, PARAMETER :: N = 8\nREAL A(N, N), B(N)\nLOGICAL M(N)\nEND\n",
+        );
+        let d = &p.units[0].decls;
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[0].name, "N");
+        assert_eq!(d[0].param, Some(Expr::Int(8)));
+        assert_eq!(d[1].dims.len(), 2);
+        assert_eq!(d[3].ty, Ty::Logical);
+    }
+
+    #[test]
+    fn old_style_parameter() {
+        let p = parse_src("PROGRAM T\nINTEGER N\nPARAMETER (N = 100)\nEND\n");
+        assert_eq!(p.units[0].decls[0].param, Some(Expr::Int(100)));
+    }
+
+    #[test]
+    fn forall_single_statement() {
+        let b = parse_body("FORALL (I=1:N, J=1:N) A(I,J) = B(I,J) + 1");
+        match &b[0] {
+            Stmt::Forall { indices, mask, body } => {
+                assert_eq!(indices.len(), 2);
+                assert_eq!(indices[0].var, "I");
+                assert!(mask.is_none());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_with_mask_and_stride() {
+        let b = parse_body("FORALL (I=1:N:2, A(I) > 0) B(I) = 1.0");
+        match &b[0] {
+            Stmt::Forall { indices, mask, .. } => {
+                assert_eq!(indices[0].st, Expr::Int(2));
+                assert!(mask.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_construct() {
+        let b = parse_body("FORALL (I=2:N-1)\nA(I) = B(I)\nC(I) = A(I)\nEND FORALL");
+        match &b[0] {
+            Stmt::Forall { body, .. } => assert_eq!(body.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_forms() {
+        let b = parse_body("WHERE (A > 0) B = A\nWHERE (A > 0)\nB = A\nELSEWHERE\nB = 0.0\nEND WHERE");
+        assert!(matches!(&b[0], Stmt::Where { elsewhere, .. } if elsewhere.is_empty()));
+        assert!(matches!(&b[1], Stmt::Where { then, elsewhere, .. } if then.len() == 1 && elsewhere.len() == 1));
+    }
+
+    #[test]
+    fn do_loop_nested_if() {
+        let b = parse_body("DO K = 1, N-1\nIF (K > 1) THEN\nX = K\nELSE\nX = 0\nEND IF\nEND DO");
+        match &b[0] {
+            Stmt::Do { var, body, .. } => {
+                assert_eq!(var, "K");
+                assert!(matches!(&body[0], Stmt::If { else_, .. } if else_.len() == 1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_line_if() {
+        let b = parse_body("IF (X > 0) Y = 1");
+        assert!(matches!(&b[0], Stmt::If { then, else_, .. } if then.len() == 1 && else_.is_empty()));
+    }
+
+    #[test]
+    fn sections_and_whole_arrays() {
+        let b = parse_body("A(1:N) = B(2:N+1:1) * C");
+        match &b[0] {
+            Stmt::Assign { lhs, rhs } => {
+                assert!(lhs.subs[0].is_section());
+                match rhs {
+                    Expr::Bin(BinOp::Mul, l, r) => {
+                        assert!(matches!(&**l, Expr::Ref(n, s) if n == "B" && s[0].is_section()));
+                        assert!(matches!(&**r, Expr::Var(n) if n == "C"));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_range_section() {
+        let b = parse_body("A(:, 3) = B(:, 1)");
+        match &b[0] {
+            Stmt::Assign { lhs, .. } => {
+                assert_eq!(lhs.subs[0], Subscript::full());
+                assert_eq!(lhs.subs[1], Subscript::Index(Expr::Int(3)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives_collected() {
+        let p = parse_src(
+            "PROGRAM T\n\
+             REAL A(8, 8)\n\
+             C$ PROCESSORS P(2, 2)\n\
+             C$ TEMPLATE TEMPL(8, 8)\n\
+             C$ ALIGN A(I, J) WITH TEMPL(I, J)\n\
+             C$ DISTRIBUTE TEMPL(BLOCK, CYCLIC) ONTO P\n\
+             A(1, 1) = 0.0\n\
+             END\n",
+        );
+        let d = &p.units[0].directives;
+        assert_eq!(d.processors.as_ref().unwrap().0, "P");
+        assert_eq!(d.templates[0].0, "TEMPL");
+        assert_eq!(d.aligns[0].array, "A");
+        assert_eq!(d.aligns[0].array_dummies.len(), 2);
+        assert_eq!(
+            d.distributes[0].kinds,
+            vec![DistSpec::Block, DistSpec::Cyclic]
+        );
+        assert_eq!(d.distributes[0].onto.as_deref(), Some("P"));
+    }
+
+    #[test]
+    fn align_with_offset_expr() {
+        let p = parse_src(
+            "PROGRAM T\nREAL A(8)\nC$ TEMPLATE TT(16)\nC$ ALIGN A(I) WITH TT(2*I+1)\nEND\n",
+        );
+        let a = &p.units[0].directives.aligns[0];
+        assert_eq!(a.template, "TT");
+        assert!(a.template_subs[0].is_some());
+    }
+
+    #[test]
+    fn replication_align_star() {
+        let p = parse_src(
+            "PROGRAM T\nREAL A(8)\nC$ TEMPLATE TT(8,4)\nC$ ALIGN A(I) WITH TT(I, *)\nEND\n",
+        );
+        let a = &p.units[0].directives.aligns[0];
+        assert_eq!(a.template_subs.len(), 2);
+        assert!(a.template_subs[1].is_none());
+    }
+
+    #[test]
+    fn redistribute_is_executable() {
+        let b = parse_body("C$ REDISTRIBUTE A(CYCLIC)");
+        assert!(matches!(&b[0], Stmt::Redistribute { array, dist } if array == "A" && dist == &vec![DistSpec::Cyclic]));
+    }
+
+    #[test]
+    fn subroutine_with_args_and_call() {
+        let p = parse_src(
+            "PROGRAM T\nREAL A(4)\nCALL FOO(A, 3)\nEND\nSUBROUTINE FOO(X, N)\nREAL X(4)\nINTEGER N\nX(N) = 1.0\nEND\n",
+        );
+        assert_eq!(p.units.len(), 2);
+        assert!(p.subroutine("FOO").is_some());
+        assert!(matches!(&p.units[0].body[0], Stmt::Call { name, args } if name == "FOO" && args.len() == 2));
+    }
+
+    #[test]
+    fn intrinsic_call_expression() {
+        let b = parse_body("S = SUM(A) + MAXVAL(B(1:N))");
+        assert!(matches!(&b[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let b = parse_body("X = 1 + 2 * 3 ** 2");
+        match &b[0] {
+            Stmt::Assign { rhs, .. } => {
+                // 1 + (2 * (3 ** 2))
+                let expect = Expr::bin(
+                    BinOp::Add,
+                    Expr::Int(1),
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::Int(2),
+                        Expr::bin(BinOp::Pow, Expr::Int(3), Expr::Int(2)),
+                    ),
+                );
+                assert_eq!(rhs, &expect);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_precedence() {
+        let b = parse_body("M = A > 0 .AND. B < 1 .OR. .NOT. C");
+        match &b[0] {
+            Stmt::Assign { rhs, .. } => {
+                assert!(matches!(rhs, Expr::Bin(BinOp::Or, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn print_statement() {
+        let b = parse_body("PRINT *, 'result', X, A(1)");
+        assert!(matches!(&b[0], Stmt::Print { items } if items.len() == 3));
+    }
+
+    #[test]
+    fn enddo_glued() {
+        let b = parse_body("DO I = 1, 3\nX = I\nENDDO");
+        assert!(matches!(&b[0], Stmt::Do { .. }));
+    }
+
+    #[test]
+    fn missing_end_errors() {
+        assert!(parse(&lex("PROGRAM T\nX = 1\n").unwrap()).is_err());
+    }
+
+    #[test]
+    fn negative_stride_section() {
+        let b = parse_body("A(N:1:-1) = B(1:N)");
+        match &b[0] {
+            Stmt::Assign { lhs, .. } => match &lhs.subs[0] {
+                Subscript::Range { st: Some(st), .. } => {
+                    assert_eq!(st, &Expr::Un(UnOp::Neg, Box::new(Expr::Int(1))));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

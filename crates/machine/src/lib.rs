@@ -1,0 +1,43 @@
+//! # f90d-machine — simulated distributed-memory MIMD machine
+//!
+//! The paper evaluates on an Intel iPSC/860 and an nCUBE/2. We do not have
+//! that hardware, so this crate provides the substitution documented in
+//! DESIGN.md §2: a deterministic *virtual-time* simulation of a
+//! distributed-memory message-passing multicomputer, with per-machine cost
+//! models ([`spec::MachineSpec`]) and physical topologies
+//! ([`spec::Topology`]).
+//!
+//! The pieces:
+//!
+//! * [`value`] — the element types Fortran 90D programs compute with
+//!   (INTEGER, REAL/DOUBLE, LOGICAL, COMPLEX) and typed flat array storage.
+//! * [`memory`] — per-node memories: named local arrays (with overlap/ghost
+//!   areas for `overlap_shift`) and replicated scalars.
+//! * [`transport`] — the point-to-point message layer (the role Express
+//!   played for the paper): `send`/`recv` with cost charging against
+//!   per-node virtual clocks. The collective library in `f90d-comm` is
+//!   built **only** on this interface, reproducing the paper's portability
+//!   layering (§5, reason 3).
+//! * [`machine`] — ties spec + grid + memories + clocks + statistics into
+//!   the [`machine::Machine`] SPMD substrate, and provides the loosely
+//!   synchronous local-phase executors (sequential and threaded).
+//!
+//! Virtual time: every node has a clock. Local computation advances one
+//! node's clock by a modelled cost; a message from `s` to `d` of `m` bytes
+//! makes `d`'s clock at least `send_start + α + β·m + hops·τ`. The elapsed
+//! time of a program is the maximum clock — exactly the "time" a user of
+//! the real machine would have measured for a loosely synchronous code.
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod memory;
+pub mod spec;
+pub mod transport;
+pub mod value;
+
+pub use machine::{ExecMode, Machine, MachineStats};
+pub use memory::{LocalArray, NodeMemory};
+pub use spec::{MachineSpec, Topology};
+pub use transport::{MailboxTransport, Transport};
+pub use value::{ArrayData, ElemType, Value};

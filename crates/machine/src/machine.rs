@@ -1,0 +1,272 @@
+//! The [`Machine`]: grid + transport + per-node memories + statistics,
+//! with loosely synchronous local-phase executors.
+//!
+//! Generated SPMD programs alternate *local computation* phases and
+//! *global communication* phases (paper §2). `Machine::local_phase` runs a
+//! per-rank closure over every node memory — sequentially, or truly in
+//! parallel over crossbeam scoped threads ([`ExecMode::Threaded`]) — and
+//! charges each node's modelled cost to its virtual clock. Communication
+//! phases are executed by the collective library (`f90d-comm`) through the
+//! machine's [`MailboxTransport`].
+
+use std::collections::HashMap;
+
+use f90d_distrib::ProcGrid;
+
+use crate::memory::NodeMemory;
+use crate::spec::MachineSpec;
+use crate::transport::MailboxTransport;
+
+/// How local phases are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One rank after another on the calling thread. Deterministic, and
+    /// what the paper-figure reproductions use (time is virtual anyway).
+    #[default]
+    Sequential,
+    /// All ranks concurrently on crossbeam scoped threads — demonstrates
+    /// that generated node programs are genuinely parallel programs.
+    Threaded,
+}
+
+/// Per-primitive call counters, for communication-volume experiments.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    counts: HashMap<&'static str, u64>,
+}
+
+impl MachineStats {
+    /// Record one invocation of primitive `name`.
+    pub fn record(&mut self, name: &'static str) {
+        *self.counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Number of recorded invocations of `name`.
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn sorted(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Clear every counter.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+}
+
+/// A simulated distributed-memory MIMD machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Logical processor grid (stage 3 of the data mapping).
+    pub grid: ProcGrid,
+    /// Point-to-point transport with virtual clocks.
+    pub transport: MailboxTransport,
+    /// Per-rank memories, indexed by physical rank.
+    pub mems: Vec<NodeMemory>,
+    /// Local-phase execution mode.
+    pub mode: ExecMode,
+    /// Primitive call counters.
+    pub stats: MachineStats,
+    tag_seq: u32,
+}
+
+impl Machine {
+    /// Build a machine running `spec` with the given logical grid.
+    pub fn new(spec: MachineSpec, grid: ProcGrid) -> Self {
+        let n = grid.size();
+        Machine {
+            grid,
+            transport: MailboxTransport::new(spec, n),
+            mems: (0..n).map(|_| NodeMemory::new()).collect(),
+            mode: ExecMode::Sequential,
+            stats: MachineStats::default(),
+            tag_seq: 0,
+        }
+    }
+
+    /// A fresh message tag, unique within this machine. Each collective
+    /// invocation tags its messages so rounds can never cross-match.
+    pub fn fresh_tag(&mut self) -> crate::transport::Tag {
+        self.tag_seq = self.tag_seq.wrapping_add(1);
+        self.tag_seq
+    }
+
+    /// Build with an explicit execution mode.
+    pub fn with_mode(spec: MachineSpec, grid: ProcGrid, mode: ExecMode) -> Self {
+        let mut m = Self::new(spec, grid);
+        m.mode = mode;
+        m
+    }
+
+    /// Number of nodes.
+    pub fn nranks(&self) -> i64 {
+        self.mems.len() as i64
+    }
+
+    /// The machine spec.
+    pub fn spec(&self) -> &MachineSpec {
+        self.transport.spec()
+    }
+
+    /// Elapsed virtual time (max over node clocks).
+    pub fn elapsed(&self) -> f64 {
+        self.transport.elapsed()
+    }
+
+    /// Reset clocks, mailboxes and statistics; keep memories.
+    pub fn reset_time(&mut self) {
+        self.transport.reset();
+        self.stats.reset();
+    }
+
+    /// Run one local computation phase. The closure receives
+    /// `(rank, &mut NodeMemory)` and returns the number of modelled
+    /// element operations it performed; that cost is charged to the
+    /// node's clock.
+    pub fn local_phase<F>(&mut self, f: F)
+    where
+        F: Fn(i64, &mut NodeMemory) -> i64 + Sync,
+    {
+        let costs: Vec<i64> = match self.mode {
+            ExecMode::Sequential => self
+                .mems
+                .iter_mut()
+                .enumerate()
+                .map(|(r, mem)| f(r as i64, mem))
+                .collect(),
+            ExecMode::Threaded => {
+                let mut costs = vec![0i64; self.mems.len()];
+                crossbeam::thread::scope(|s| {
+                    for ((r, mem), c) in self.mems.iter_mut().enumerate().zip(costs.iter_mut()) {
+                        let f = &f;
+                        s.spawn(move |_| {
+                            *c = f(r as i64, mem);
+                        });
+                    }
+                })
+                .expect("local phase thread panicked");
+                costs
+            }
+        };
+        for (r, ops) in costs.into_iter().enumerate() {
+            self.transport.charge_elem_ops(r as i64, ops);
+        }
+    }
+
+    /// Like [`Machine::local_phase`] but also collects a per-rank result.
+    pub fn local_phase_map<T, F>(&mut self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(i64, &mut NodeMemory) -> (T, i64) + Sync,
+    {
+        let mut out: Vec<Option<T>> = (0..self.mems.len()).map(|_| None).collect();
+        match self.mode {
+            ExecMode::Sequential => {
+                for (r, mem) in self.mems.iter_mut().enumerate() {
+                    let (v, ops) = f(r as i64, mem);
+                    out[r] = Some(v);
+                    self.transport.charge_elem_ops(r as i64, ops);
+                }
+            }
+            ExecMode::Threaded => {
+                let mut costs = vec![0i64; self.mems.len()];
+                crossbeam::thread::scope(|s| {
+                    for (((r, mem), c), slot) in self
+                        .mems
+                        .iter_mut()
+                        .enumerate()
+                        .zip(costs.iter_mut())
+                        .zip(out.iter_mut())
+                    {
+                        let f = &f;
+                        s.spawn(move |_| {
+                            let (v, ops) = f(r as i64, mem);
+                            *slot = Some(v);
+                            *c = ops;
+                        });
+                    }
+                })
+                .expect("local phase thread panicked");
+                for (r, ops) in costs.into_iter().enumerate() {
+                    self.transport.charge_elem_ops(r as i64, ops);
+                }
+            }
+        }
+        out.into_iter().map(|o| o.expect("phase filled slot")).collect()
+    }
+
+    /// Barrier over all nodes.
+    pub fn barrier(&mut self) {
+        let ranks: Vec<i64> = (0..self.nranks()).collect();
+        self.transport.barrier(&ranks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::LocalArray;
+    use crate::value::{ElemType, Value};
+
+    fn machine(n: i64, mode: ExecMode) -> Machine {
+        Machine::with_mode(MachineSpec::ideal(), ProcGrid::new(&[n]), mode)
+    }
+
+    #[test]
+    fn local_phase_runs_every_rank() {
+        for mode in [ExecMode::Sequential, ExecMode::Threaded] {
+            let mut m = machine(4, mode);
+            for mem in &mut m.mems {
+                mem.insert_array("X", LocalArray::zeros(ElemType::Int, &[1]));
+            }
+            m.local_phase(|r, mem| {
+                mem.array_mut("X").set(&[0], Value::Int(r * 10));
+                3
+            });
+            for r in 0..4 {
+                assert_eq!(m.mems[r as usize].array("X").get(&[0]), Value::Int(r * 10));
+            }
+            // ideal spec: 1 s per elem op → every clock at 3 s
+            for r in 0..4 {
+                assert_eq!(m.transport.clock(r), 3.0, "{mode:?}");
+            }
+            assert_eq!(m.elapsed(), 3.0);
+        }
+    }
+
+    #[test]
+    fn local_phase_map_collects_results() {
+        let mut m = machine(3, ExecMode::Threaded);
+        let vals = m.local_phase_map(|r, _| (r * r, r));
+        assert_eq!(vals, vec![0, 1, 4]);
+        assert_eq!(m.transport.clock(2), 2.0);
+    }
+
+    #[test]
+    fn unbalanced_cost_shows_in_elapsed() {
+        let mut m = machine(2, ExecMode::Sequential);
+        m.local_phase(|r, _| if r == 0 { 100 } else { 1 });
+        assert_eq!(m.elapsed(), 100.0);
+        m.barrier();
+        assert_eq!(m.transport.clock(1), 100.0);
+    }
+
+    #[test]
+    fn stats_counting() {
+        let mut m = machine(2, ExecMode::Sequential);
+        m.stats.record("multicast");
+        m.stats.record("multicast");
+        m.stats.record("transfer");
+        assert_eq!(m.stats.count("multicast"), 2);
+        assert_eq!(m.stats.count("gather"), 0);
+        assert_eq!(
+            m.stats.sorted(),
+            vec![("multicast", 2), ("transfer", 1)]
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Per-node memories: local array segments with overlap (ghost) areas,
+//! plus replicated scalars.
+//!
+//! A distributed array's node-local segment is stored row-major over the
+//! *padded* extents `ghost_lo[d] + shape[d] + ghost_hi[d]`. Interior local
+//! indices run `0..shape[d]`; ghost cells are addressed with indices in
+//! `-ghost_lo[d]..0` and `shape[d]..shape[d]+ghost_hi[d]` — exactly the
+//! "overlap areas" that `overlap_shift` (paper §5.1) fills so that stencil
+//! loops can read `A(i±c)` without copying.
+
+use std::collections::HashMap;
+
+use crate::value::{ArrayData, ElemType, Value};
+
+/// One node-local array segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalArray {
+    /// Interior extents (the owned segment shape).
+    pub shape: Vec<i64>,
+    /// Ghost cells below each dimension.
+    pub ghost_lo: Vec<i64>,
+    /// Ghost cells above each dimension.
+    pub ghost_hi: Vec<i64>,
+    data: ArrayData,
+}
+
+impl LocalArray {
+    /// Allocate a zero-filled segment without ghost areas.
+    pub fn zeros(ty: ElemType, shape: &[i64]) -> Self {
+        Self::with_ghost(ty, shape, &vec![0; shape.len()], &vec![0; shape.len()])
+    }
+
+    /// Allocate a zero-filled segment with the given ghost widths.
+    pub fn with_ghost(ty: ElemType, shape: &[i64], ghost_lo: &[i64], ghost_hi: &[i64]) -> Self {
+        assert_eq!(shape.len(), ghost_lo.len());
+        assert_eq!(shape.len(), ghost_hi.len());
+        assert!(shape.iter().all(|&e| e >= 0));
+        assert!(ghost_lo.iter().chain(ghost_hi).all(|&g| g >= 0));
+        let padded: i64 = shape
+            .iter()
+            .zip(ghost_lo.iter().zip(ghost_hi))
+            .map(|(&s, (&lo, &hi))| s + lo + hi)
+            .product();
+        LocalArray {
+            shape: shape.to_vec(),
+            ghost_lo: ghost_lo.to_vec(),
+            ghost_hi: ghost_hi.to_vec(),
+            data: ArrayData::zeros(ty, padded.max(0) as usize),
+        }
+    }
+
+    /// Element type.
+    pub fn elem_type(&self) -> ElemType {
+        self.data.elem_type()
+    }
+
+    /// Rank.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of interior elements.
+    pub fn interior_len(&self) -> i64 {
+        self.shape.iter().product()
+    }
+
+    /// Padded extent of dimension `d`.
+    #[inline]
+    pub fn padded_extent(&self, d: usize) -> i64 {
+        self.shape[d] + self.ghost_lo[d] + self.ghost_hi[d]
+    }
+
+    /// Flat offset of a (possibly ghost) local index vector.
+    #[inline]
+    pub fn offset(&self, idx: &[i64]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank());
+        let mut off: i64 = 0;
+        for d in 0..self.rank() {
+            let i = idx[d];
+            debug_assert!(
+                i >= -self.ghost_lo[d] && i < self.shape[d] + self.ghost_hi[d],
+                "local index {i} out of padded range on dim {d} (shape {:?}, ghosts {:?}/{:?})",
+                self.shape,
+                self.ghost_lo,
+                self.ghost_hi
+            );
+            off = off * self.padded_extent(d) + (i + self.ghost_lo[d]);
+        }
+        off as usize
+    }
+
+    /// Read the element at local index `idx` (ghost indices allowed).
+    #[inline]
+    pub fn get(&self, idx: &[i64]) -> Value {
+        self.data.get(self.offset(idx))
+    }
+
+    /// Write the element at local index `idx` (ghost indices allowed).
+    #[inline]
+    pub fn set(&mut self, idx: &[i64], v: Value) {
+        let off = self.offset(idx);
+        self.data.set(off, v);
+    }
+
+    /// Read by flat padded offset (hot paths that precompute offsets).
+    #[inline]
+    pub fn get_flat(&self, off: usize) -> Value {
+        self.data.get(off)
+    }
+
+    /// Write by flat padded offset.
+    #[inline]
+    pub fn set_flat(&mut self, off: usize, v: Value) {
+        self.data.set(off, v);
+    }
+
+    /// Borrow the raw storage.
+    pub fn data(&self) -> &ArrayData {
+        &self.data
+    }
+
+    /// Mutably borrow the raw storage.
+    pub fn data_mut(&mut self) -> &mut ArrayData {
+        &mut self.data
+    }
+
+    /// Iterate all interior local index vectors in row-major order.
+    pub fn interior_indices(&self) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        if self.shape.contains(&0) {
+            return out;
+        }
+        let mut idx = vec![0i64; self.rank()];
+        loop {
+            out.push(idx.clone());
+            let mut d = self.rank();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
+/// A node's memory: named array segments and named scalars.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMemory {
+    arrays: HashMap<String, LocalArray>,
+    scalars: HashMap<String, Value>,
+}
+
+impl NodeMemory {
+    /// Fresh empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) array `name`.
+    pub fn insert_array(&mut self, name: impl Into<String>, arr: LocalArray) {
+        self.arrays.insert(name.into(), arr);
+    }
+
+    /// Remove array `name`, returning it.
+    pub fn remove_array(&mut self, name: &str) -> Option<LocalArray> {
+        self.arrays.remove(name)
+    }
+
+    /// Borrow array `name`.
+    ///
+    /// # Panics
+    /// Panics when the array was never allocated on this node — that is a
+    /// compiler bug, not a user error.
+    pub fn array(&self, name: &str) -> &LocalArray {
+        self.arrays
+            .get(name)
+            .unwrap_or_else(|| panic!("array `{name}` not allocated on this node"))
+    }
+
+    /// Mutably borrow array `name`.
+    pub fn array_mut(&mut self, name: &str) -> &mut LocalArray {
+        self.arrays
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("array `{name}` not allocated on this node"))
+    }
+
+    /// `true` when array `name` exists here.
+    pub fn has_array(&self, name: &str) -> bool {
+        self.arrays.contains_key(name)
+    }
+
+    /// Mutably borrow two distinct arrays at once.
+    ///
+    /// # Panics
+    /// Panics if the names are equal or either is missing.
+    pub fn two_arrays_mut(&mut self, a: &str, b: &str) -> (&mut LocalArray, &mut LocalArray) {
+        assert_ne!(a, b, "two_arrays_mut needs distinct names");
+        let [x, y] = self
+            .arrays
+            .get_disjoint_mut([a, b]);
+        (
+            x.unwrap_or_else(|| panic!("array `{a}` not allocated")),
+            y.unwrap_or_else(|| panic!("array `{b}` not allocated")),
+        )
+    }
+
+    /// Set scalar `name`.
+    pub fn set_scalar(&mut self, name: impl Into<String>, v: Value) {
+        self.scalars.insert(name.into(), v);
+    }
+
+    /// Read scalar `name`.
+    pub fn scalar(&self, name: &str) -> Value {
+        *self
+            .scalars
+            .get(name)
+            .unwrap_or_else(|| panic!("scalar `{name}` not defined on this node"))
+    }
+
+    /// Read scalar `name` if defined.
+    pub fn scalar_opt(&self, name: &str) -> Option<Value> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Names of all arrays on this node (unordered).
+    pub fn array_names(&self) -> impl Iterator<Item = &str> {
+        self.arrays.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_layout_row_major() {
+        let mut a = LocalArray::zeros(ElemType::Real, &[2, 3]);
+        a.set(&[0, 0], Value::Real(1.0));
+        a.set(&[0, 2], Value::Real(2.0));
+        a.set(&[1, 0], Value::Real(3.0));
+        assert_eq!(a.offset(&[0, 0]), 0);
+        assert_eq!(a.offset(&[0, 2]), 2);
+        assert_eq!(a.offset(&[1, 0]), 3);
+        assert_eq!(a.get(&[1, 0]), Value::Real(3.0));
+    }
+
+    #[test]
+    fn ghost_cells_addressable() {
+        let mut a = LocalArray::with_ghost(ElemType::Real, &[4], &[1], &[2]);
+        a.set(&[-1], Value::Real(-1.0));
+        a.set(&[4], Value::Real(4.0));
+        a.set(&[5], Value::Real(5.0));
+        assert_eq!(a.get(&[-1]), Value::Real(-1.0));
+        assert_eq!(a.get(&[4]), Value::Real(4.0));
+        assert_eq!(a.get(&[5]), Value::Real(5.0));
+        assert_eq!(a.padded_extent(0), 7);
+        assert_eq!(a.interior_len(), 4);
+    }
+
+    #[test]
+    fn ghost_2d_offsets_disjoint() {
+        let a = LocalArray::with_ghost(ElemType::Int, &[3, 3], &[1, 1], &[1, 1]);
+        let mut seen = std::collections::HashSet::new();
+        for i in -1..4 {
+            for j in -1..4 {
+                assert!(seen.insert(a.offset(&[i, j])), "collision at ({i},{j})");
+            }
+        }
+        assert_eq!(seen.len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn missing_array_panics() {
+        NodeMemory::new().array("NOPE");
+    }
+
+    #[test]
+    fn two_arrays_mut_works() {
+        let mut m = NodeMemory::new();
+        m.insert_array("A", LocalArray::zeros(ElemType::Real, &[2]));
+        m.insert_array("B", LocalArray::zeros(ElemType::Real, &[2]));
+        let (a, b) = m.two_arrays_mut("A", "B");
+        a.set(&[0], Value::Real(1.0));
+        b.set(&[0], Value::Real(2.0));
+        assert_eq!(m.array("A").get(&[0]), Value::Real(1.0));
+        assert_eq!(m.array("B").get(&[0]), Value::Real(2.0));
+    }
+
+    #[test]
+    fn interior_indices_row_major() {
+        let a = LocalArray::zeros(ElemType::Int, &[2, 2]);
+        assert_eq!(
+            a.interior_indices(),
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+        let empty = LocalArray::zeros(ElemType::Int, &[0, 2]);
+        assert!(empty.interior_indices().is_empty());
+    }
+
+    #[test]
+    fn scalars() {
+        let mut m = NodeMemory::new();
+        m.set_scalar("N", Value::Int(100));
+        assert_eq!(m.scalar("N"), Value::Int(100));
+        assert_eq!(m.scalar_opt("M"), None);
+    }
+}

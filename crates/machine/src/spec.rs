@@ -1,0 +1,191 @@
+//! Machine cost models and physical topologies.
+//!
+//! The constants here are the only machine-specific part of the whole
+//! system — the same compiled SPMD program runs under any
+//! [`MachineSpec`], which is how we reproduce the paper's portability
+//! experiment (§8.1: one generated code, two machines).
+
+use serde::{Deserialize, Serialize};
+
+/// Physical interconnect shape, used for hop counting and for choosing the
+/// natural collective trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Binary hypercube of `2^dim` nodes (iPSC/860, nCUBE/2). Hop distance
+    /// is the Hamming distance of node addresses.
+    Hypercube,
+    /// Two-dimensional mesh `rows × cols` (Paragon-style); hop distance is
+    /// Manhattan distance.
+    Mesh2D {
+        /// Mesh rows.
+        rows: i64,
+        /// Mesh columns.
+        cols: i64,
+    },
+    /// Fully connected crossbar: every pair one hop (workstation LAN or an
+    /// idealized switch).
+    Crossbar,
+}
+
+impl Topology {
+    /// Number of hops between physical ranks `a` and `b`.
+    pub fn hops(&self, a: i64, b: i64) -> i64 {
+        if a == b {
+            return 0;
+        }
+        match self {
+            Topology::Hypercube => ((a ^ b) as u64).count_ones() as i64,
+            Topology::Mesh2D { cols, .. } => {
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                (ar - br).abs() + (ac - bc).abs()
+            }
+            Topology::Crossbar => 1,
+        }
+    }
+}
+
+/// The cost model for one machine: communication constants, computation
+/// throughput and topology.
+///
+/// All times in **seconds**; `beta` is seconds per byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable machine name (appears in experiment output).
+    pub name: String,
+    /// Message startup latency α (per message, software + wire setup).
+    pub alpha: f64,
+    /// Transfer time β per byte (inverse bandwidth).
+    pub beta: f64,
+    /// Extra per-hop latency τ for multi-hop routes (small on the
+    /// circuit-switched/cut-through machines the paper used).
+    pub tau: f64,
+    /// Modelled cost of one double-precision element operation in compiled
+    /// Fortran inner loops (arithmetic + addressing + memory traffic).
+    pub time_elem_op: f64,
+    /// Per-byte cost of local memory copies (message packing/unpacking and
+    /// intra-processor array copies, the overhead `overlap_shift` avoids).
+    pub time_copy_byte: f64,
+    /// Interconnect shape.
+    pub topology: Topology,
+}
+
+impl MachineSpec {
+    /// Intel iPSC/860 (calibrated so that sequential 1023×1024 Gaussian
+    /// elimination lands near the paper's 623 s; see EXPERIMENTS.md).
+    ///
+    /// Published-era parameters: ≈75 µs message latency, ≈2.8 MB/s
+    /// sustained bandwidth, i860 sustaining low single-digit MFLOPS on
+    /// compiled Fortran stencils.
+    pub fn ipsc860() -> Self {
+        MachineSpec {
+            name: "iPSC/860".into(),
+            alpha: 75e-6,
+            beta: 0.36e-6,
+            tau: 10e-6,
+            time_elem_op: 0.22e-6,
+            time_copy_byte: 0.05e-6,
+            topology: Topology::Hypercube,
+        }
+    }
+
+    /// nCUBE/2: higher latency, lower bandwidth, roughly 2× slower node
+    /// CPU than the i860 on compiled Fortran (matches the ≈2× separation
+    /// of the two curves in the paper's Figure 5).
+    pub fn ncube2() -> Self {
+        MachineSpec {
+            name: "nCUBE/2".into(),
+            alpha: 160e-6,
+            beta: 0.57e-6,
+            tau: 5e-6,
+            time_elem_op: 0.44e-6,
+            time_copy_byte: 0.09e-6,
+            topology: Topology::Hypercube,
+        }
+    }
+
+    /// A Paragon-like mesh machine (extension; not in the paper's
+    /// evaluation, used by portability tests to show a third target).
+    pub fn paragon(rows: i64, cols: i64) -> Self {
+        MachineSpec {
+            name: "Paragon-like mesh".into(),
+            alpha: 50e-6,
+            beta: 0.012e-6,
+            tau: 2e-6,
+            time_elem_op: 0.45e-6,
+            time_copy_byte: 0.03e-6,
+            topology: Topology::Mesh2D { rows, cols },
+        }
+    }
+
+    /// Zero-latency, infinite-bandwidth machine with unit element cost —
+    /// for unit tests that check *counts* rather than seconds.
+    pub fn ideal() -> Self {
+        MachineSpec {
+            name: "ideal".into(),
+            alpha: 0.0,
+            beta: 0.0,
+            tau: 0.0,
+            time_elem_op: 1.0,
+            time_copy_byte: 0.0,
+            topology: Topology::Crossbar,
+        }
+    }
+
+    /// Modelled time for one point-to-point message of `bytes` bytes
+    /// between physical ranks `from` and `to`.
+    pub fn msg_time(&self, from: i64, to: i64, bytes: i64) -> f64 {
+        if from == to {
+            // Self-messages are local copies.
+            return self.time_copy_byte * bytes as f64;
+        }
+        self.alpha + self.beta * bytes as f64 + self.tau * self.topology.hops(from, to) as f64
+    }
+
+    /// Modelled time for `n` element operations of local computation.
+    pub fn compute_time(&self, n: i64) -> f64 {
+        self.time_elem_op * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_hops_are_hamming() {
+        let t = Topology::Hypercube;
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(0, 3), 2);
+        assert_eq!(t.hops(5, 10), 4); // 0101 ^ 1010 = 1111
+    }
+
+    #[test]
+    fn mesh_hops_are_manhattan() {
+        let t = Topology::Mesh2D { rows: 4, cols: 4 };
+        assert_eq!(t.hops(0, 5), 2); // (0,0) -> (1,1)
+        assert_eq!(t.hops(3, 12), 6); // (0,3) -> (3,0)
+    }
+
+    #[test]
+    fn msg_time_structure() {
+        let m = MachineSpec::ipsc860();
+        let t1 = m.msg_time(0, 1, 1000);
+        let t2 = m.msg_time(0, 1, 2000);
+        assert!(t2 > t1);
+        // startup dominates small messages
+        let small = m.msg_time(0, 1, 8);
+        assert!(small > 0.9 * m.alpha);
+        // self message is only a copy
+        assert!(m.msg_time(3, 3, 1000) < t1);
+    }
+
+    #[test]
+    fn ncube_slower_than_ipsc() {
+        let a = MachineSpec::ipsc860();
+        let b = MachineSpec::ncube2();
+        assert!(b.time_elem_op > 1.5 * a.time_elem_op);
+        assert!(b.alpha > a.alpha);
+    }
+}

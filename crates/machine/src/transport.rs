@@ -1,0 +1,244 @@
+//! Point-to-point message transport — the Express/PVM layer of the paper.
+//!
+//! The collective communication library (`f90d-comm`) is written against
+//! the [`Transport`] trait only. Porting the whole system to another
+//! "machine" means implementing this trait — the compiler and the
+//! collective library never change, which is precisely the portability
+//! argument of paper §5 (reason 3) and §8.1.
+//!
+//! Messages carry [`ArrayData`] payloads (typed element vectors). Cost is
+//! charged against virtual clocks: the sender pays the startup α, the
+//! payload occupies the wire for β·bytes, and the receiver cannot complete
+//! its `recv` before the arrival time.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::spec::MachineSpec;
+use crate::value::ArrayData;
+
+/// A tag distinguishing message streams between the same (src, dst) pair.
+pub type Tag = u32;
+
+/// Point-to-point message passing with virtual-time accounting.
+pub trait Transport {
+    /// Number of nodes reachable through this transport.
+    fn nranks(&self) -> i64;
+
+    /// Send `payload` from `from` to `to` under `tag`.
+    fn send(&mut self, from: i64, to: i64, tag: Tag, payload: ArrayData);
+
+    /// Receive the oldest pending message from `from` to `to` under `tag`.
+    ///
+    /// # Panics
+    /// Panics when no matching message is pending: the loosely synchronous
+    /// execution model delivers every receive after its matching send, so
+    /// a missing message is a compiler/runtime bug.
+    fn recv(&mut self, to: i64, from: i64, tag: Tag) -> ArrayData;
+}
+
+/// In-memory mailbox transport with virtual clocks — the `Sim` machine's
+/// native transport.
+#[derive(Debug)]
+pub struct MailboxTransport {
+    spec: MachineSpec,
+    nranks: i64,
+    /// `clocks[r]` = virtual time of node `r`, in seconds.
+    pub clocks: Vec<f64>,
+    /// (from, to, tag) → queue of (arrival_time, payload)
+    boxes: HashMap<(i64, i64, Tag), VecDeque<(f64, ArrayData)>>,
+    /// Total messages sent (excluding self-copies).
+    pub messages: u64,
+    /// Total payload bytes sent (excluding self-copies).
+    pub bytes: u64,
+}
+
+impl MailboxTransport {
+    /// New transport over `nranks` nodes with clocks at zero.
+    pub fn new(spec: MachineSpec, nranks: i64) -> Self {
+        assert!(nranks > 0);
+        MailboxTransport {
+            spec,
+            nranks,
+            clocks: vec![0.0; nranks as usize],
+            boxes: HashMap::new(),
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The machine spec backing the cost model.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Charge `seconds` of local computation to node `rank`.
+    pub fn charge_compute(&mut self, rank: i64, seconds: f64) {
+        self.clocks[rank as usize] += seconds;
+    }
+
+    /// Charge `n` modelled element operations to node `rank`.
+    pub fn charge_elem_ops(&mut self, rank: i64, n: i64) {
+        self.clocks[rank as usize] += self.spec.compute_time(n);
+    }
+
+    /// Current virtual time of node `rank`.
+    pub fn clock(&self, rank: i64) -> f64 {
+        self.clocks[rank as usize]
+    }
+
+    /// Elapsed time of the program so far: the maximum clock.
+    pub fn elapsed(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Synchronize a set of nodes (barrier): all clocks advance to the max.
+    pub fn barrier(&mut self, ranks: &[i64]) {
+        let t = ranks
+            .iter()
+            .map(|&r| self.clocks[r as usize])
+            .fold(0.0, f64::max);
+        for &r in ranks {
+            self.clocks[r as usize] = t;
+        }
+    }
+
+    /// Reset clocks and statistics (memories are not owned here).
+    pub fn reset(&mut self) {
+        self.clocks.iter_mut().for_each(|c| *c = 0.0);
+        self.boxes.clear();
+        self.messages = 0;
+        self.bytes = 0;
+    }
+
+    /// `true` when no message is still in flight.
+    pub fn quiescent(&self) -> bool {
+        self.boxes.values().all(|q| q.is_empty())
+    }
+}
+
+impl Transport for MailboxTransport {
+    fn nranks(&self) -> i64 {
+        self.nranks
+    }
+
+    fn send(&mut self, from: i64, to: i64, tag: Tag, payload: ArrayData) {
+        let bytes = payload.len() as i64 * payload.elem_type().bytes();
+        let start = self.clocks[from as usize];
+        let wire = self.spec.msg_time(from, to, bytes);
+        if from != to {
+            // Sender is busy for the startup portion; the payload arrives
+            // at start + full wire time.
+            self.clocks[from as usize] = start + self.spec.alpha;
+            self.messages += 1;
+            self.bytes += bytes as u64;
+        } else {
+            self.clocks[from as usize] = start + wire;
+        }
+        let arrival = start + wire;
+        self.boxes
+            .entry((from, to, tag))
+            .or_default()
+            .push_back((arrival, payload));
+    }
+
+    fn recv(&mut self, to: i64, from: i64, tag: Tag) -> ArrayData {
+        let q = self
+            .boxes
+            .get_mut(&(from, to, tag))
+            .unwrap_or_else(|| panic!("recv({to} <- {from}, tag {tag}): no mailbox"));
+        let (arrival, payload) = q
+            .pop_front()
+            .unwrap_or_else(|| panic!("recv({to} <- {from}, tag {tag}): no pending message"));
+        let c = &mut self.clocks[to as usize];
+        *c = c.max(arrival);
+        payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ElemType;
+
+    fn payload(n: usize) -> ArrayData {
+        ArrayData::zeros(ElemType::Real, n)
+    }
+
+    #[test]
+    fn send_recv_fifo_per_tag() {
+        let mut t = MailboxTransport::new(MachineSpec::ideal(), 2);
+        let mut a = payload(1);
+        a.set(0, crate::value::Value::Real(1.0));
+        let mut b = payload(1);
+        b.set(0, crate::value::Value::Real(2.0));
+        t.send(0, 1, 7, a.clone());
+        t.send(0, 1, 7, b.clone());
+        assert_eq!(t.recv(1, 0, 7), a);
+        assert_eq!(t.recv(1, 0, 7), b);
+    }
+
+    #[test]
+    fn clocks_advance_with_messages() {
+        let mut t = MailboxTransport::new(MachineSpec::ipsc860(), 2);
+        t.send(0, 1, 0, payload(1000)); // 8000 bytes
+        let expect = 75e-6 + 0.36e-6 * 8000.0 + 10e-6; // alpha + beta*m + 1 hop
+        t.recv(1, 0, 0);
+        assert!((t.clock(1) - expect).abs() < 1e-12, "{}", t.clock(1));
+        // sender only paid alpha
+        assert!((t.clock(0) - 75e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn receiver_waits_for_latest_of_arrival_and_own_clock() {
+        let mut t = MailboxTransport::new(MachineSpec::ipsc860(), 2);
+        t.charge_compute(1, 1.0); // receiver busy until t=1
+        t.send(0, 1, 0, payload(1));
+        t.recv(1, 0, 0);
+        assert!((t.clock(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_send_is_cheap_copy() {
+        let mut t = MailboxTransport::new(MachineSpec::ipsc860(), 2);
+        t.send(0, 0, 0, payload(1000));
+        t.recv(0, 0, 0);
+        // A self-copy pays only the memcpy rate, never the wire.
+        let copy = t.spec().time_copy_byte * 8000.0;
+        assert!((t.clock(0) - copy).abs() < 1e-12);
+        assert!(t.clock(0) < t.spec().msg_time(0, 1, 8000));
+        assert_eq!(t.messages, 0);
+    }
+
+    #[test]
+    fn barrier_syncs_clocks() {
+        let mut t = MailboxTransport::new(MachineSpec::ideal(), 4);
+        t.charge_compute(2, 5.0);
+        t.barrier(&[0, 1, 2, 3]);
+        for r in 0..4 {
+            assert_eq!(t.clock(r), 5.0);
+        }
+        assert_eq!(t.elapsed(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending message")]
+    fn recv_without_send_panics() {
+        let mut t = MailboxTransport::new(MachineSpec::ideal(), 2);
+        t.send(0, 1, 0, payload(1));
+        t.recv(1, 0, 0);
+        t.recv(1, 0, 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = MailboxTransport::new(MachineSpec::ideal(), 3);
+        t.send(0, 1, 0, payload(10));
+        t.send(1, 2, 0, payload(10));
+        assert_eq!(t.messages, 2);
+        assert_eq!(t.bytes, 160);
+        assert!(!t.quiescent());
+        t.recv(1, 0, 0);
+        t.recv(2, 1, 0);
+        assert!(t.quiescent());
+    }
+}

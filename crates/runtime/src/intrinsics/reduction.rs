@@ -1,0 +1,374 @@
+//! Category 2 — reduction intrinsics.
+//!
+//! "Computations based on local data followed by use of a reduction tree
+//! on the processors involved" (paper §6). Full reductions return a
+//! replicated scalar; `DIM=` reductions ([`reduce_dim`]) reduce along one
+//! array dimension with a tree per grid fiber and produce a rank-lowered
+//! distributed result replicated along the reduced grid axis.
+
+use f90d_comm::reduce::{
+    allreduce_along_axis, allreduce_loc, allreduce_scalar, encode_value, ReduceOp,
+};
+use f90d_distrib::Dad;
+use f90d_machine::{Machine, Value};
+
+use crate::array::{flatten, row_major_strides, DistArray};
+
+/// Per-rank partial over canonically-owned elements.
+fn local_partial(
+    m: &mut Machine,
+    a: &DistArray,
+    op: ReduceOp,
+    map: impl Fn(Value) -> f64,
+) -> Vec<f64> {
+    let mut partials = Vec::with_capacity(m.nranks() as usize);
+    for rank in 0..m.nranks() {
+        let coords = m.grid.coords_of(rank);
+        let canonical = !a.dad.replicated_axes.iter().any(|&ax| coords[ax] != 0);
+        let mut acc = op.identity();
+        if canonical {
+            let arr = m.mems[rank as usize].array(&a.name);
+            let owned = a.dad.owned_elements(&coords);
+            let n = owned.len() as i64;
+            for (_, l) in owned {
+                let v = map(arr.get(&l));
+                let mut slot = [acc];
+                op.fold(&mut slot, &[v]);
+                acc = slot[0];
+            }
+            m.transport.charge_elem_ops(rank, n);
+        }
+        partials.push(acc);
+    }
+    partials
+}
+
+/// `SUM(a)` — full sum, replicated scalar result.
+pub fn sum(m: &mut Machine, a: &DistArray) -> f64 {
+    let p = local_partial(m, a, ReduceOp::Sum, |v| v.as_real());
+    allreduce_scalar(m, ReduceOp::Sum, p)
+}
+
+/// `PRODUCT(a)`.
+pub fn product(m: &mut Machine, a: &DistArray) -> f64 {
+    let p = local_partial(m, a, ReduceOp::Prod, |v| v.as_real());
+    allreduce_scalar(m, ReduceOp::Prod, p)
+}
+
+/// `MAXVAL(a)`.
+pub fn maxval(m: &mut Machine, a: &DistArray) -> f64 {
+    let p = local_partial(m, a, ReduceOp::Max, |v| v.as_real());
+    allreduce_scalar(m, ReduceOp::Max, p)
+}
+
+/// `MINVAL(a)`.
+pub fn minval(m: &mut Machine, a: &DistArray) -> f64 {
+    let p = local_partial(m, a, ReduceOp::Min, |v| v.as_real());
+    allreduce_scalar(m, ReduceOp::Min, p)
+}
+
+/// `COUNT(mask)` — number of `.TRUE.` elements of a LOGICAL array.
+pub fn count(m: &mut Machine, mask: &DistArray) -> i64 {
+    let p = local_partial(m, mask, ReduceOp::Sum, encode_value);
+    allreduce_scalar(m, ReduceOp::Sum, p) as i64
+}
+
+/// `ALL(mask)`.
+pub fn all(m: &mut Machine, mask: &DistArray) -> bool {
+    let p = local_partial(m, mask, ReduceOp::And, encode_value);
+    allreduce_scalar(m, ReduceOp::And, p) != 0.0
+}
+
+/// `ANY(mask)`.
+pub fn any(m: &mut Machine, mask: &DistArray) -> bool {
+    let p = local_partial(m, mask, ReduceOp::Or, encode_value);
+    allreduce_scalar(m, ReduceOp::Or, p) != 0.0
+}
+
+/// `DOTPRODUCT(a, b)` of two conforming 1-D arrays with identical
+/// mappings: local multiply-accumulate, then one tree reduction.
+pub fn dotproduct(m: &mut Machine, a: &DistArray, b: &DistArray) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "DOTPRODUCT operands must conform");
+    let mut partials = Vec::with_capacity(m.nranks() as usize);
+    for rank in 0..m.nranks() {
+        let coords = m.grid.coords_of(rank);
+        let canonical = !a.dad.replicated_axes.iter().any(|&ax| coords[ax] != 0);
+        let mut acc = 0.0;
+        if canonical {
+            let mem = &m.mems[rank as usize];
+            let (aa, bb) = (mem.array(&a.name), mem.array(&b.name));
+            let owned = a.dad.owned_elements(&coords);
+            let n = owned.len() as i64;
+            for (g, l) in owned {
+                let bl = b.dad.local_index(&g);
+                acc += aa.get(&l).as_real() * bb.get(&bl).as_real();
+            }
+            m.transport.charge_elem_ops(rank, 2 * n);
+        }
+        partials.push(acc);
+    }
+    allreduce_scalar(m, ReduceOp::Sum, partials)
+}
+
+fn loc_reduce(m: &mut Machine, a: &DistArray, op: ReduceOp) -> Vec<i64> {
+    let strides = row_major_strides(a.shape());
+    let mut partials = Vec::with_capacity(m.nranks() as usize);
+    for rank in 0..m.nranks() {
+        let coords = m.grid.coords_of(rank);
+        let canonical = !a.dad.replicated_axes.iter().any(|&ax| coords[ax] != 0);
+        let mut best = (op.identity(), -1i64);
+        if canonical {
+            let arr = m.mems[rank as usize].array(&a.name);
+            let owned = a.dad.owned_elements(&coords);
+            let n = owned.len() as i64;
+            for (g, l) in owned {
+                let v = arr.get(&l).as_real();
+                let flat = flatten(&g, &strides) as i64;
+                let better = match op {
+                    ReduceOp::MaxLoc => v > best.0 || (v == best.0 && (best.1 < 0 || flat < best.1)),
+                    ReduceOp::MinLoc => v < best.0 || (v == best.0 && (best.1 < 0 || flat < best.1)),
+                    _ => unreachable!(),
+                };
+                if better {
+                    best = (v, flat);
+                }
+            }
+            m.transport.charge_elem_ops(rank, n);
+        }
+        partials.push(best);
+    }
+    let (_, flat) = allreduce_loc(m, op, partials);
+    crate::array::unflatten(flat, a.shape())
+}
+
+/// `MAXLOC(a)` — global index (0-based, one entry per dimension) of the
+/// maximum; ties resolve to the first element in array-element order.
+pub fn maxloc(m: &mut Machine, a: &DistArray) -> Vec<i64> {
+    loc_reduce(m, a, ReduceOp::MaxLoc)
+}
+
+/// `MINLOC(a)`.
+pub fn minloc(m: &mut Machine, a: &DistArray) -> Vec<i64> {
+    loc_reduce(m, a, ReduceOp::MinLoc)
+}
+
+/// The descriptor of `REDUCE(a, DIM=dim)`: dimension `dim` removed, its
+/// grid axis becomes a replication axis.
+pub fn reduced_dad(a: &Dad, dim: usize) -> Dad {
+    let mut dims = a.dims.clone();
+    let removed = dims.remove(dim);
+    let mut shape = a.shape.clone();
+    shape.remove(dim);
+    let mut replicated = a.replicated_axes.clone();
+    if let Some(ax) = removed.grid_axis {
+        replicated.push(ax);
+        replicated.sort_unstable();
+        replicated.dedup();
+    }
+    Dad {
+        name: format!("{}_red{}", a.name, dim),
+        shape,
+        dims,
+        replicated_axes: replicated,
+        grid: a.grid.clone(),
+    }
+}
+
+/// `op(a, DIM=dim)` → `dst`, which must have been allocated from
+/// [`reduced_dad`] (use [`DistArray::from_dad`]). Supports `Sum`, `Prod`,
+/// `Max`, `Min`, `And`, `Or`.
+pub fn reduce_dim(m: &mut Machine, a: &DistArray, dst: &DistArray, dim: usize, op: ReduceOp) {
+    assert!(!op.is_loc(), "use maxloc/minloc for location reductions");
+    // Phase 1: local partials over the reduced dimension, stored by the
+    // *remaining* dims' local indices, in a dense row-major order shared
+    // by every fiber member.
+    let nranks = m.nranks();
+    let mut per_rank: Vec<Vec<f64>> = Vec::with_capacity(nranks as usize);
+    let mut slots_per_rank: Vec<Vec<Vec<i64>>> = Vec::with_capacity(nranks as usize);
+    for rank in 0..nranks {
+        let coords = m.grid.coords_of(rank);
+        let arr = m.mems[rank as usize].array(&a.name);
+        // Remaining-dim owned locals (dense order).
+        let mut lists = f90d_comm::helpers::owned_locals_per_dim(&a.dad, &coords);
+        let red_list = lists.remove(dim);
+        let mut partial = Vec::new();
+        let mut slots = Vec::new();
+        f90d_comm::helpers::cartesian(&lists, |rest| {
+            let mut acc = op.identity();
+            for &lr in &red_list {
+                let mut idx = rest.to_vec();
+                idx.insert(dim, lr);
+                let mut slot = [acc];
+                op.fold(&mut slot, &[encode_value(arr.get(&idx))]);
+                acc = slot[0];
+            }
+            partial.push(acc);
+            slots.push(rest.to_vec());
+        });
+        m.transport
+            .charge_elem_ops(rank, (partial.len() * red_list.len().max(1)) as i64);
+        per_rank.push(partial);
+        slots_per_rank.push(slots);
+    }
+    // Phase 2: tree-combine along the reduced dimension's grid axis.
+    let combined = match a.dad.dims[dim].grid_axis {
+        Some(axis) if a.dad.dims[dim].is_distributed() => {
+            allreduce_along_axis(m, axis, op, per_rank)
+        }
+        _ => per_rank,
+    };
+    // Phase 3: store into dst at the same remaining-dim locals.
+    for rank in 0..nranks {
+        let vals = &combined[rank as usize];
+        let slots = &slots_per_rank[rank as usize];
+        let arr = m.mems[rank as usize].array_mut(&dst.name);
+        for (v, l) in vals.iter().zip(slots) {
+            arr.set(l, Value::Real(*v).convert_to(arr.elem_type()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90d_distrib::{DistKind, ProcGrid};
+    use f90d_machine::{ArrayData, ElemType, MachineSpec};
+
+    fn arr_1d(m: &mut Machine, vals: &[f64], kind: DistKind) -> DistArray {
+        let a = DistArray::create(m, "A", ElemType::Real, &[vals.len() as i64], &[kind]);
+        a.scatter_host(m, &ArrayData::Real(vals.to_vec()));
+        a
+    }
+
+    #[test]
+    fn full_reductions() {
+        for kind in [DistKind::Block, DistKind::Cyclic, DistKind::Collapsed] {
+            let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[4]));
+            let a = arr_1d(&mut m, &[3.0, -1.0, 4.0, 1.0, 5.0, -9.0, 2.0], kind);
+            assert_eq!(sum(&mut m, &a), 5.0, "{kind:?}");
+            assert_eq!(maxval(&mut m, &a), 5.0);
+            assert_eq!(minval(&mut m, &a), -9.0);
+            assert_eq!(product(&mut m, &a), -3.0 * 4.0 * 5.0 * -9.0 * 2.0);
+        }
+    }
+
+    #[test]
+    fn logical_reductions() {
+        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[3]));
+        let mk = DistArray::create(&mut m, "M", ElemType::Bool, &[6], &[DistKind::Block]);
+        mk.scatter_host(
+            &mut m,
+            &ArrayData::Bool(vec![true, false, true, true, false, true]),
+        );
+        assert_eq!(count(&mut m, &mk), 4);
+        assert!(!all(&mut m, &mk));
+        assert!(any(&mut m, &mk));
+        let t = DistArray::create(&mut m, "T", ElemType::Bool, &[4], &[DistKind::Block]);
+        t.scatter_host(&mut m, &ArrayData::Bool(vec![true; 4]));
+        assert!(all(&mut m, &t));
+    }
+
+    #[test]
+    fn dot_product() {
+        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[2]));
+        let a = DistArray::create(&mut m, "A", ElemType::Real, &[4], &[DistKind::Block]);
+        let b = DistArray::create(&mut m, "B", ElemType::Real, &[4], &[DistKind::Block]);
+        a.scatter_host(&mut m, &ArrayData::Real(vec![1.0, 2.0, 3.0, 4.0]));
+        b.scatter_host(&mut m, &ArrayData::Real(vec![10.0, 20.0, 30.0, 40.0]));
+        assert_eq!(dotproduct(&mut m, &a, &b), 300.0);
+    }
+
+    #[test]
+    fn maxloc_minloc_first_tie_wins() {
+        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[4]));
+        let a = arr_1d(&mut m, &[1.0, 7.0, 3.0, 7.0, 0.0, -2.0], DistKind::Cyclic);
+        assert_eq!(maxloc(&mut m, &a), vec![1]);
+        let b = DistArray::create(&mut m, "B", ElemType::Real, &[6], &[DistKind::Cyclic]);
+        b.scatter_host(
+            &mut m,
+            &ArrayData::Real(vec![1.0, -2.0, 3.0, -2.0, 0.0, 5.0]),
+        );
+        assert_eq!(minloc(&mut m, &b), vec![1]);
+    }
+
+    #[test]
+    fn maxloc_2d_returns_index_vector() {
+        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[2, 2]));
+        let a = DistArray::create(
+            &mut m,
+            "A",
+            ElemType::Real,
+            &[4, 4],
+            &[DistKind::Block, DistKind::Block],
+        );
+        a.fill_with(&mut m, |g| Value::Real((g[0] * 4 + g[1]) as f64));
+        a.set_global(&mut m, &[1, 2], Value::Real(100.0));
+        assert_eq!(maxloc(&mut m, &a), vec![1, 2]);
+    }
+
+    #[test]
+    fn reduce_dim_sum_2d() {
+        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[2, 2]));
+        let a = DistArray::create(
+            &mut m,
+            "A",
+            ElemType::Real,
+            &[4, 6],
+            &[DistKind::Block, DistKind::Block],
+        );
+        a.fill_with(&mut m, |g| Value::Real((g[0] + 1) as f64 * (g[1] + 1) as f64));
+        // SUM over dim 0: result(j) = (1+2+3+4)*(j+1) = 10*(j+1)
+        let rdad = reduced_dad(&a.dad, 0);
+        let dst = DistArray::from_dad(&mut m, "R", ElemType::Real, rdad, 0);
+        reduce_dim(&mut m, &a, &dst, 0, ReduceOp::Sum);
+        for j in 0..6i64 {
+            assert_eq!(
+                dst.get_global(&m, &[j]),
+                Value::Real((10 * (j + 1)) as f64),
+                "col {j}"
+            );
+        }
+        // Result is replicated along grid axis 0: both rows hold it.
+        for rank in 0..4 {
+            let coords = m.grid.coords_of(rank);
+            let lists = f90d_comm::helpers::owned_dim_locals(&dst.dad, 0, coords[1]);
+            let arr = m.mems[rank as usize].array("R");
+            for l in lists {
+                let g = dst.dad.dims[0].array_index_of(coords[1], l).unwrap();
+                assert_eq!(arr.get(&[l]), Value::Real((10 * (g + 1)) as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_dim_max_along_undistributed() {
+        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[2]));
+        let a = DistArray::create(
+            &mut m,
+            "A",
+            ElemType::Real,
+            &[4, 3],
+            &[DistKind::Block, DistKind::Collapsed],
+        );
+        a.fill_with(&mut m, |g| Value::Real((g[0] * 10 + g[1]) as f64));
+        // MAX over dim 1 (undistributed): result(i) = 10i + 2
+        let rdad = reduced_dad(&a.dad, 1);
+        let dst = DistArray::from_dad(&mut m, "R", ElemType::Real, rdad, 0);
+        reduce_dim(&mut m, &a, &dst, 1, ReduceOp::Max);
+        for i in 0..4i64 {
+            assert_eq!(dst.get_global(&m, &[i]), Value::Real((10 * i + 2) as f64));
+        }
+    }
+
+    #[test]
+    fn reduction_uses_tree_not_chain() {
+        let mut m = Machine::new(MachineSpec::ipsc860(), ProcGrid::new(&[16]));
+        let a = DistArray::create(&mut m, "A", ElemType::Real, &[16], &[DistKind::Block]);
+        a.fill_with(&mut m, |_| Value::Real(1.0));
+        m.reset_time();
+        let s = sum(&mut m, &a);
+        assert_eq!(s, 16.0);
+        // log-tree: ~8 stages round trip; chain would be 15+15 startups.
+        assert!(m.elapsed() < 12.0 * m.spec().alpha + 1e-3);
+    }
+}

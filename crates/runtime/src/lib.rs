@@ -1,0 +1,35 @@
+//! # f90d-runtime — the run-time support system
+//!
+//! "The Fortran 90D compiler relies on a very powerful run-time support
+//! system" (paper §6): parallel intrinsic functions, data-distribution
+//! functions, communication primitives and miscellaneous routines — over
+//! 500 routines in the original. This crate provides:
+//!
+//! * [`array::DistArray`] — a distributed array handle (name + DAD +
+//!   element type) with allocation, host scatter/gather, and global
+//!   element access on a [`f90d_machine::Machine`];
+//! * [`mod@remap`] — the generic index-mapping exchange that powers the
+//!   unstructured intrinsics (TRANSPOSE, RESHAPE, SPREAD);
+//! * [`intrinsics`] — the paper's Table 3, organized by its five
+//!   categories:
+//!   1. structured communication: `CSHIFT`, `EOSHIFT`;
+//!   2. reduction: `SUM`, `PRODUCT`, `MAXVAL`, `MINVAL`, `COUNT`, `ALL`,
+//!      `ANY`, `MAXLOC`, `MINLOC`, `DOTPRODUCT`;
+//!   3. multicasting: `SPREAD`;
+//!   4. unstructured communication: `PACK`, `UNPACK`, `RESHAPE`,
+//!      `TRANSPOSE`;
+//!   5. special routines: `MATMUL` (Fox's broadcast-multiply-roll
+//!      algorithm on square grids, with a replicate-and-compute fallback
+//!      elsewhere — both from the parallel-algorithms literature the
+//!      paper cites as \[12\]).
+//! * automatic redistribution at subroutine boundaries re-exported from
+//!   `f90d-comm` ([`f90d_comm::redist::redistribute`]).
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod intrinsics;
+pub mod remap;
+
+pub use array::DistArray;
+pub use remap::remap;

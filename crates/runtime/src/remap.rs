@@ -1,0 +1,79 @@
+//! Generic index-remapping exchange.
+//!
+//! Many Table-3 intrinsics are, at bottom, "destination element `g`
+//! receives source element `φ(g)`" for a statically known index map `φ`:
+//! `TRANSPOSE` (`φ([i,j]) = [j,i]`), `RESHAPE` (row-major flat-index
+//! preservation), `SPREAD` (drop the new dimension). [`remap`] executes
+//! any such map with vectorized pairwise messages, honouring both arrays'
+//! full three-stage mappings.
+
+use f90d_comm::helpers::{exchange, PairMoves};
+use f90d_machine::Machine;
+
+use crate::array::DistArray;
+
+/// For every global index `g` of `dst`, fetch `src[f(g)]` (skip when `f`
+/// returns `None`). Vectorized: one message per (owner, requester) pair.
+pub fn remap(
+    m: &mut Machine,
+    src: &DistArray,
+    dst: &DistArray,
+    f: impl Fn(&[i64]) -> Option<Vec<i64>>,
+) {
+    m.stats.record("remap");
+    let mut moves: PairMoves = PairMoves::new();
+    for rank in 0..m.nranks() {
+        let coords = m.grid.coords_of(rank);
+        let dst_arr = m.mems[rank as usize].array(&dst.name);
+        for (g, l) in dst.dad.owned_elements(&coords) {
+            let Some(sg) = f(&g) else { continue };
+            let src_rank = src.dad.owner_ranks(&sg)[0];
+            let src_l = src.dad.local_index(&sg);
+            let src_off = m.mems[src_rank as usize].array(&src.name).offset(&src_l);
+            let dst_off = dst_arr.offset(&l);
+            moves
+                .entry((src_rank, rank))
+                .or_default()
+                .push((src_off, dst_off));
+        }
+    }
+    exchange(m, &src.name, &dst.name, &moves);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90d_distrib::{DistKind, ProcGrid};
+    use f90d_machine::{ArrayData, ElemType, MachineSpec};
+
+    #[test]
+    fn remap_reverse() {
+        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[3]));
+        let a = DistArray::create(&mut m, "A", ElemType::Real, &[9], &[DistKind::Block]);
+        let b = DistArray::create(&mut m, "B", ElemType::Real, &[9], &[DistKind::Cyclic]);
+        a.scatter_host(&mut m, &ArrayData::Real((0..9).map(|x| x as f64).collect()));
+        remap(&mut m, &a, &b, |g| Some(vec![8 - g[0]]));
+        let host = b.gather_host(&mut m);
+        assert_eq!(
+            host,
+            ArrayData::Real((0..9).map(|x| (8 - x) as f64).collect())
+        );
+    }
+
+    #[test]
+    fn remap_partial_leaves_zeros() {
+        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[2]));
+        let a = DistArray::create(&mut m, "A", ElemType::Int, &[4], &[DistKind::Block]);
+        let b = DistArray::create(&mut m, "B", ElemType::Int, &[4], &[DistKind::Block]);
+        a.fill_with(&mut m, |g| f90d_machine::Value::Int(g[0] + 1));
+        remap(&mut m, &a, &b, |g| {
+            if g[0] % 2 == 0 {
+                Some(vec![g[0]])
+            } else {
+                None
+            }
+        });
+        let host = b.gather_host(&mut m);
+        assert_eq!(host, ArrayData::Int(vec![1, 0, 3, 0]));
+    }
+}
