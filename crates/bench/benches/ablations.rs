@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use f90d_bench::experiments::{
-    ablation_merge_comm, ablation_multicast_shift, ablation_overlap_shift,
-    ablation_schedule_reuse,
+    ablation_merge_comm, ablation_multicast_shift, ablation_overlap_shift, ablation_schedule_reuse,
 };
 
 fn bench(c: &mut Criterion) {

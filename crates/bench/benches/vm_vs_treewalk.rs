@@ -1,0 +1,47 @@
+//! Backend head-to-head: host wall-clock of the tree-walking executor
+//! vs the register-bytecode engine on node-local-dominated workloads.
+//! The PR's acceptance bar: ≥2× lower wall-clock for the VM on Jacobi 2D
+//! at N=256 on a 4-node ([2,2]) grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f90d_bench::workloads;
+use f90d_core::{compile, Backend, CompileOptions};
+use f90d_distrib::ProcGrid;
+use f90d_machine::{Machine, MachineSpec};
+
+fn run_once(compiled: &f90d_core::Compiled, grid: &[i64]) -> f64 {
+    let mut m = Machine::new(MachineSpec::ipsc860(), ProcGrid::new(grid));
+    compiled.run_on(&mut m).expect("runs").elapsed
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_vs_treewalk");
+    g.sample_size(10);
+    let cases: Vec<(&str, String, Vec<i64>)> = vec![
+        ("jacobi_256_p4", workloads::jacobi(256, 4), vec![2, 2]),
+        ("gauss_96_p4", workloads::gaussian(96), vec![4]),
+        ("irregular_4096_p4", workloads::irregular(4096), vec![4]),
+    ];
+    for (name, src, grid) in &cases {
+        for backend in [Backend::TreeWalk, Backend::Vm] {
+            let opts = CompileOptions::on_grid(grid).with_backend(backend);
+            let compiled = compile(src, &opts).expect("compiles");
+            // Warm the program cache outside the timed region (the cache
+            // is what the bench harness's inner loops hit).
+            if backend == Backend::Vm {
+                compiled.vm_program().expect("lowers");
+            }
+            let label = match backend {
+                Backend::TreeWalk => "treewalk",
+                Backend::Vm => "vm",
+            };
+            g.bench_with_input(BenchmarkId::new(*name, label), &compiled, |b, compiled| {
+                b.iter(|| run_once(compiled, grid))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,33 +1,72 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|abl-shift|abl-sched|abl-fuse|abl-overlap]
-//!       [--n <matrix size>] [--quick]
+//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|abl-shift|abl-sched|abl-fuse|abl-overlap]
+//!       [--n <matrix size>] [--quick] [--backend treewalk|vm]
 //! ```
 //!
 //! `--quick` shrinks the Gaussian-elimination size (255 instead of 1023)
 //! so the whole suite finishes in about a minute; the shapes are
 //! unchanged. EXPERIMENTS.md records a full-size run.
+//!
+//! `--backend` selects the execution engine for the executing experiments
+//! (fig5 / table4 / fig6 / port): the tree-walking interpreter or the
+//! register-bytecode VM. Modelled (virtual) times are identical by
+//! construction; the host wall-clock printed beside each experiment is
+//! what the VM accelerates. `--exp vmcmp` prints both backends
+//! head-to-head so BENCH records can track the VM speedup.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use f90d_bench::experiments as exp;
 use f90d_bench::workloads;
 use f90d_core::detect::{classify_pair, classify_subscript, DimAlign};
-use f90d_core::{compile, CompileOptions};
+use f90d_core::{compile, Backend, CompileOptions};
 use f90d_frontend::ast::{BinOp, Expr};
+use f90d_machine::MachineSpec;
+
+fn backend_name(b: Backend) -> &'static str {
+    match b {
+        Backend::TreeWalk => "treewalk",
+        Backend::Vm => "vm",
+    }
+}
+
+/// Run one executing experiment and print its host wall-clock beside the
+/// modelled output.
+fn timed(label: &str, backend: Backend, f: impl FnOnce()) {
+    let t0 = Instant::now();
+    f();
+    println!(
+        "  [{label}] wall-clock {:.1} ms (backend={})",
+        t0.elapsed().as_secs_f64() * 1e3,
+        backend_name(backend)
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut which = "all".to_string();
     let mut n: i64 = 1023;
     let mut quick = false;
+    let mut backend = Backend::TreeWalk;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--exp" => which = it.next().cloned().unwrap_or_else(|| "all".into()),
             "--n" => n = it.next().and_then(|v| v.parse().ok()).unwrap_or(1023),
             "--quick" => quick = true,
+            "--backend" => {
+                backend = match it.next().map(String::as_str) {
+                    Some("treewalk") => Backend::TreeWalk,
+                    Some("vm") => Backend::Vm,
+                    other => {
+                        eprintln!("--backend expects `treewalk` or `vm`, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -48,13 +87,18 @@ fn main() {
         exp_t3();
     }
     if all || which == "fig5" {
-        exp_fig5();
+        timed("fig5", backend, || exp_fig5(backend));
     }
     if all || which == "table4" || which == "fig6" {
-        exp_table4_fig6(n, which == "fig6");
+        timed("table4/fig6", backend, || {
+            exp_table4_fig6(n, which == "fig6", backend)
+        });
     }
     if all || which == "port" {
-        exp_portability();
+        timed("port", backend, || exp_portability(backend));
+    }
+    if all || which == "vmcmp" {
+        exp_vmcmp();
     }
     if all || which == "abl-shift" {
         exp_abl_shift();
@@ -70,11 +114,58 @@ fn main() {
     }
 }
 
+/// Backend head-to-head: host wall-clock of one full run per workload,
+/// plus a check that the modelled times agree.
+fn exp_vmcmp() {
+    let cases: Vec<(&str, String, Vec<i64>)> = vec![
+        (
+            "jacobi 256, 4 sweeps, [2,2]",
+            workloads::jacobi(256, 4),
+            vec![2, 2],
+        ),
+        ("gauss 96, [4]", workloads::gaussian(96), vec![4]),
+        ("irregular 4096, [4]", workloads::irregular(4096), vec![4]),
+    ];
+    let spec = MachineSpec::ipsc860();
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|(name, src, grid)| {
+            let (wt, wv, vt, vv) = exp::backend_wallclock(src, grid, &spec);
+            vec![
+                name.to_string(),
+                format!("{:.1}", wt * 1e3),
+                format!("{:.1}", wv * 1e3),
+                format!("{:.2}x", wt / wv),
+                if vt == vv {
+                    "yes".into()
+                } else {
+                    format!("NO ({vt} vs {vv})")
+                },
+            ]
+        })
+        .collect();
+    exp::print_table(
+        "VM backend — host wall-clock, tree walk vs bytecode (iPSC/860 model)",
+        &[
+            "workload",
+            "treewalk ms",
+            "vm ms",
+            "speedup",
+            "virtual time equal",
+        ],
+        &rows,
+    );
+}
+
 /// Table 1: structured communication detection.
 fn exp_t1() {
     let vars = vec!["I".to_string()];
     let params = HashMap::new();
-    let al = Some(DimAlign { tdim: 0, off: 0, block: true });
+    let al = Some(DimAlign {
+        tdim: 0,
+        off: 0,
+        block: true,
+    });
     let var = Expr::Var("I".into());
     let cases: Vec<(&str, Expr, Expr)> = vec![
         ("(i, s)", var.clone(), Expr::Var("S".into())),
@@ -156,9 +247,9 @@ fn exp_t3() {
 }
 
 /// Figure 5: GE time vs N, 16 nodes, iPSC/860 vs nCUBE/2.
-fn exp_fig5() {
+fn exp_fig5(backend: Backend) {
     let sizes: Vec<i64> = (2..=19).map(|k| k * 16).collect();
-    let rows: Vec<Vec<String>> = exp::fig5(&sizes, 16)
+    let rows: Vec<Vec<String>> = exp::fig5_backend(&sizes, 16, backend)
         .into_iter()
         .map(|(n, a, b)| vec![n.to_string(), format!("{a:.4}"), format!("{b:.4}")])
         .collect();
@@ -170,8 +261,8 @@ fn exp_fig5() {
 }
 
 /// Table 4 + Figure 6.
-fn exp_table4_fig6(n: i64, fig6_only: bool) {
-    let rows = exp::table4(n, &[1, 2, 4, 8, 16]);
+fn exp_table4_fig6(n: i64, fig6_only: bool, backend: Backend) {
+    let rows = exp::table4_backend(n, &[1, 2, 4, 8, 16], backend);
     if !fig6_only {
         let t: Vec<Vec<String>> = rows
             .iter()
@@ -201,8 +292,8 @@ fn exp_table4_fig6(n: i64, fig6_only: bool) {
     );
 }
 
-fn exp_portability() {
-    let rows: Vec<Vec<String>> = exp::portability(128, 16)
+fn exp_portability(backend: Backend) {
+    let rows: Vec<Vec<String>> = exp::portability_backend(128, 16, backend)
         .into_iter()
         .map(|(name, t)| vec![name, format!("{t:.4}")])
         .collect();

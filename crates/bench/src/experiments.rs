@@ -3,7 +3,9 @@
 //! `repro` binary, the criterion benches and EXPERIMENTS.md all draw
 //! from the same source.
 
-use f90d_core::{compile, CompileOptions, Executor, OptFlags};
+use std::sync::Arc;
+
+use f90d_core::{compile, Backend, CompileOptions, Executor, OptFlags};
 use f90d_distrib::ProcGrid;
 use f90d_machine::{ExecMode, Machine, MachineSpec};
 
@@ -14,8 +16,20 @@ use crate::workloads;
 /// returns the modelled elimination time (initialization excluded the
 /// same way for both variants).
 pub fn ge_compiled_time(n: i64, p: i64, spec: &MachineSpec, merge_comm: bool) -> f64 {
+    ge_compiled_time_backend(n, p, spec, merge_comm, Backend::TreeWalk)
+}
+
+/// [`ge_compiled_time`] with an explicit execution backend.
+pub fn ge_compiled_time_backend(
+    n: i64,
+    p: i64,
+    spec: &MachineSpec,
+    merge_comm: bool,
+    backend: Backend,
+) -> f64 {
     let mut opts = CompileOptions::on_grid(&[p]);
     opts.opt.merge_comm = merge_comm;
+    opts.backend = backend;
     let compiled = compile(&workloads::gaussian(n), &opts).expect("gaussian compiles");
     let mut m = Machine::new(spec.clone(), ProcGrid::new(&[p]));
     // Execute the initialization FORALLs, reset the clock, then eliminate
@@ -30,14 +44,63 @@ pub fn ge_compiled_time(n: i64, p: i64, spec: &MachineSpec, merge_comm: bool) ->
         stmts: elim,
         ..compiled.spmd.clone()
     };
-    // Run init with a throwaway executor sharing the machine arrays.
-    let mut ex0 = Executor::new(&init_prog, &mut m);
-    ex0.run(&mut m).expect("init runs");
-    m.reset_time();
-    let mut ex1 = Executor::new_preserving(&elim_prog, &mut m);
-    ex1.schedule_reuse = true;
-    ex1.run(&mut m).expect("elimination runs");
+    match backend {
+        Backend::TreeWalk => {
+            // Run init with a throwaway executor sharing the machine arrays.
+            let mut ex0 = Executor::new(&init_prog, &mut m);
+            ex0.run(&mut m).expect("init runs");
+            m.reset_time();
+            let mut ex1 = Executor::new_preserving(&elim_prog, &mut m);
+            ex1.schedule_reuse = true;
+            ex1.run(&mut m).expect("elimination runs");
+        }
+        Backend::Vm => {
+            let init_bc = f90d_core::vmlower::lower(&init_prog).expect("init lowers");
+            let elim_bc = f90d_core::vmlower::lower(&elim_prog).expect("elim lowers");
+            let mut e0 = f90d_vm::Engine::new(Arc::new(init_bc), &mut m);
+            e0.run(&mut m).expect("init runs");
+            m.reset_time();
+            let mut e1 = f90d_vm::Engine::new_preserving(Arc::new(elim_bc), &mut m);
+            e1.schedule_reuse = true;
+            e1.run(&mut m).expect("elimination runs");
+        }
+    }
     m.elapsed()
+}
+
+/// Host wall-clock and modelled time of one full run of `src` under each
+/// backend: `(wall_treewalk_s, wall_vm_s, virt_treewalk_s, virt_vm_s)`.
+/// Lowering is warmed outside the timed region (the program cache is what
+/// repeated-run harnesses hit).
+pub fn backend_wallclock(src: &str, grid: &[i64], spec: &MachineSpec) -> (f64, f64, f64, f64) {
+    let run = |backend: Backend| {
+        let opts = CompileOptions::on_grid(grid).with_backend(backend);
+        let compiled = compile(src, &opts).expect("compiles");
+        if backend == Backend::Vm {
+            compiled.vm_program().expect("lowers");
+        }
+        // One warm-up, then the best of three timed runs.
+        let once = || {
+            let mut m = Machine::new(spec.clone(), ProcGrid::new(grid));
+            let t0 = std::time::Instant::now();
+            let rep = compiled.run_on(&mut m).expect("runs");
+            (t0.elapsed().as_secs_f64(), rep.elapsed)
+        };
+        once();
+        (0..3).map(|_| once()).fold(
+            (f64::INFINITY, 0.0),
+            |acc, r| {
+                if r.0 < acc.0 {
+                    r
+                } else {
+                    acc
+                }
+            },
+        )
+    };
+    let (wt, vt) = run(Backend::TreeWalk);
+    let (wv, vv) = run(Backend::Vm);
+    (wt, wv, vt, vv)
 }
 
 /// Hand-written GE time on `p` processors of `spec`.
@@ -49,6 +112,11 @@ pub fn ge_hand_time(n: i64, p: i64, spec: &MachineSpec) -> f64 {
 /// Figure 5: compiled-GE execution time vs problem size on 16 nodes of
 /// the iPSC/860 and nCUBE/2 models. Returns `(n, t_ipsc, t_ncube)` rows.
 pub fn fig5(sizes: &[i64], p: i64) -> Vec<(i64, f64, f64)> {
+    fig5_backend(sizes, p, Backend::TreeWalk)
+}
+
+/// [`fig5`] with an explicit execution backend.
+pub fn fig5_backend(sizes: &[i64], p: i64, backend: Backend) -> Vec<(i64, f64, f64)> {
     let ipsc = MachineSpec::ipsc860();
     let ncube = MachineSpec::ncube2();
     sizes
@@ -56,8 +124,8 @@ pub fn fig5(sizes: &[i64], p: i64) -> Vec<(i64, f64, f64)> {
         .map(|&n| {
             (
                 n,
-                ge_compiled_time(n, p, &ipsc, true),
-                ge_compiled_time(n, p, &ncube, true),
+                ge_compiled_time_backend(n, p, &ipsc, true, backend),
+                ge_compiled_time_backend(n, p, &ncube, true, backend),
             )
         })
         .collect()
@@ -65,25 +133,36 @@ pub fn fig5(sizes: &[i64], p: i64) -> Vec<(i64, f64, f64)> {
 
 /// One Table 4 row: `(p, hand_time, compiled_time)`.
 pub fn table4_row(n: i64, p: i64) -> (i64, f64, f64) {
+    table4_row_backend(n, p, Backend::TreeWalk)
+}
+
+/// [`table4_row`] with an explicit execution backend.
+pub fn table4_row_backend(n: i64, p: i64, backend: Backend) -> (i64, f64, f64) {
     let spec = MachineSpec::ipsc860();
     (
         p,
         ge_hand_time(n, p, &spec),
-        ge_compiled_time(n, p, &spec, true),
+        ge_compiled_time_backend(n, p, &spec, true, backend),
     )
 }
 
 /// Table 4: hand-written vs compiled GE, iPSC/860 model.
 pub fn table4(n: i64, procs: &[i64]) -> Vec<(i64, f64, f64)> {
-    procs.iter().map(|&p| table4_row(n, p)).collect()
+    table4_backend(n, procs, Backend::TreeWalk)
+}
+
+/// [`table4`] with an explicit execution backend.
+pub fn table4_backend(n: i64, procs: &[i64], backend: Backend) -> Vec<(i64, f64, f64)> {
+    procs
+        .iter()
+        .map(|&p| table4_row_backend(n, p, backend))
+        .collect()
 }
 
 /// Figure 6: speedups against the sequential (P = 1) run of each code.
 pub fn fig6(rows: &[(i64, f64, f64)]) -> Vec<(i64, f64, f64)> {
     let (h1, c1) = (rows[0].1, rows[0].2);
-    rows.iter()
-        .map(|&(p, h, c)| (p, h1 / h, c1 / c))
-        .collect()
+    rows.iter().map(|&(p, h, c)| (p, h1 / h, c1 / c)).collect()
 }
 
 /// Table 3 microbenchmarks: modelled time of one representative intrinsic
@@ -117,7 +196,13 @@ pub fn table3_microbench(n: i64) -> Vec<(&'static str, &'static str, f64)> {
     // 3. multicasting: SPREAD
     {
         let mut m = Machine::new(spec.clone(), ProcGrid::new(&[4, 4]));
-        let v = DistArray::create(&mut m, "V", ElemType::Real, &[n.min(256)], &[DistKind::Block]);
+        let v = DistArray::create(
+            &mut m,
+            "V",
+            ElemType::Real,
+            &[n.min(256)],
+            &[DistKind::Block],
+        );
         let d = DistArray::create(
             &mut m,
             "D",
@@ -258,6 +343,11 @@ pub fn ablation_overlap_shift(n: i64, iters: i64, p: i64) -> (f64, f64) {
 /// Portability demonstration (paper §8.1): the same compiled program runs
 /// under every machine model; returns `(machine, time)` rows.
 pub fn portability(n: i64, p: i64) -> Vec<(String, f64)> {
+    portability_backend(n, p, Backend::TreeWalk)
+}
+
+/// [`portability`] with an explicit execution backend.
+pub fn portability_backend(n: i64, p: i64, backend: Backend) -> Vec<(String, f64)> {
     [
         MachineSpec::ipsc860(),
         MachineSpec::ncube2(),
@@ -266,7 +356,7 @@ pub fn portability(n: i64, p: i64) -> Vec<(String, f64)> {
     .into_iter()
     .map(|spec| {
         let name = spec.name.clone();
-        (name, ge_compiled_time(n, p, &spec, true))
+        (name, ge_compiled_time_backend(n, p, &spec, true, backend))
     })
     .collect()
 }

@@ -98,8 +98,7 @@ pub fn ge_reference_host(n: i64) -> Vec<f64> {
     let mut a = vec![0.0f64; (n * n) as usize];
     for i in 0..n {
         for j in 0..n {
-            a[(i * n + j) as usize] =
-                1.0 / ((i + j + 1) as f64) + if i == j { 2.0 } else { 0.0 };
+            a[(i * n + j) as usize] = 1.0 / ((i + j + 1) as f64) + if i == j { 2.0 } else { 0.0 };
         }
     }
     for k in 0..n - 1 {
@@ -130,7 +129,10 @@ mod tests {
             let a = DistArray {
                 name: "HW_A".into(),
                 dad: f90d_distrib::DadBuilder::new("HW_A", &[n, n])
-                    .distribute(&[f90d_distrib::DistKind::Collapsed, f90d_distrib::DistKind::Block])
+                    .distribute(&[
+                        f90d_distrib::DistKind::Collapsed,
+                        f90d_distrib::DistKind::Block,
+                    ])
                     .grid(ProcGrid::new(&[p]))
                     .build()
                     .unwrap(),

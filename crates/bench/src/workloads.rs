@@ -117,8 +117,7 @@ mod tests {
             (fft_butterfly(8, 2), vec![4]),
             (irregular(16), vec![4]),
         ] {
-            compile(&src, &CompileOptions::on_grid(&grid))
-                .unwrap_or_else(|e| panic!("{e}\n{src}"));
+            compile(&src, &CompileOptions::on_grid(&grid)).unwrap_or_else(|e| panic!("{e}\n{src}"));
         }
     }
 

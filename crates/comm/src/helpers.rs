@@ -101,8 +101,7 @@ pub fn exchange(m: &mut Machine, src: &str, dst: &str, moves: &PairMoves) {
                 }
             }
             let bytes = elems.len() as i64 * m.mems[from as usize].array(dst).elem_type().bytes();
-            m.transport
-                .charge_compute(from, copy_rate * bytes as f64);
+            m.transport.charge_compute(from, copy_rate * bytes as f64);
             continue;
         }
         // Pack.
@@ -115,8 +114,7 @@ pub fn exchange(m: &mut Machine, src: &str, dst: &str, moves: &PairMoves) {
             data
         };
         let bytes = payload.len() as i64 * payload.elem_type().bytes();
-        m.transport
-            .charge_compute(from, copy_rate * bytes as f64);
+        m.transport.charge_compute(from, copy_rate * bytes as f64);
         m.transport.send(from, to, tag, payload);
     }
     // Receives.
@@ -160,8 +158,7 @@ pub fn tree_broadcast(
             let t = s + step;
             if t < f {
                 let (from, to) = (rel(s), rel(t));
-                m.transport
-                    .charge_compute(from, copy_rate * bytes as f64);
+                m.transport.charge_compute(from, copy_rate * bytes as f64);
                 m.transport.send(from, to, tag, payload.clone());
                 let got = m.transport.recv(to, from, tag);
                 m.transport.charge_compute(to, copy_rate * bytes as f64);
@@ -195,8 +192,7 @@ pub fn tree_reduce(
             let (to, from) = (members[s], members[s + step]);
             let payload = contributions[s + step].clone();
             let bytes = payload.len() as i64 * payload.elem_type().bytes();
-            m.transport
-                .charge_compute(from, copy_rate * bytes as f64);
+            m.transport.charge_compute(from, copy_rate * bytes as f64);
             m.transport.send(from, to, tag, payload);
             let got = m.transport.recv(to, from, tag);
             // Charge the combine itself as element ops.
@@ -269,9 +265,7 @@ mod tests {
             mem.insert_array("S", LocalArray::zeros(ElemType::Real, &[4]));
             mem.insert_array("D", LocalArray::zeros(ElemType::Real, &[4]));
         }
-        m.mems[0]
-            .array_mut("S")
-            .set(&[1], Value::Real(42.0));
+        m.mems[0].array_mut("S").set(&[1], Value::Real(42.0));
         let mut moves = PairMoves::new();
         moves.insert((0, 1), vec![(1, 2)]);
         exchange(&mut m, "S", "D", &moves);

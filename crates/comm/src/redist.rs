@@ -194,7 +194,11 @@ mod tests {
         fill(&mut m, "A", &block);
         redistribute(&mut m, "A", &block, "B", &cyclic);
         // At most P*(P-1) = 12 messages regardless of 64 elements.
-        assert!(m.transport.messages <= 12, "{} messages", m.transport.messages);
+        assert!(
+            m.transport.messages <= 12,
+            "{} messages",
+            m.transport.messages
+        );
         verify(&m, "B", &cyclic);
     }
 }

@@ -153,8 +153,7 @@ fn charge_inspector(m: &mut Machine, kind: ScheduleKind, reqs: &[ElementReq], re
                 }
             }
             for (&(from, to), &n) in &pairs {
-                m.transport
-                    .send(from, to, tag, ArrayData::Int(vec![0; n]));
+                m.transport.send(from, to, tag, ArrayData::Int(vec![0; n]));
             }
             for &(from, to) in pairs.keys() {
                 m.transport.recv(to, from, tag);
@@ -251,9 +250,24 @@ mod tests {
         let mut m = machine(3);
         // rank 0 wants SRC[2] of rank 1 into DST[0], SRC[3] of rank 2 into DST[1]
         let reqs = vec![
-            ElementReq { requester: 0, owner: 1, src_off: 2, dst_off: 0 },
-            ElementReq { requester: 0, owner: 2, src_off: 3, dst_off: 1 },
-            ElementReq { requester: 2, owner: 0, src_off: 5, dst_off: 7 },
+            ElementReq {
+                requester: 0,
+                owner: 1,
+                src_off: 2,
+                dst_off: 0,
+            },
+            ElementReq {
+                requester: 0,
+                owner: 2,
+                src_off: 3,
+                dst_off: 1,
+            },
+            ElementReq {
+                requester: 2,
+                owner: 0,
+                src_off: 5,
+                dst_off: 7,
+            },
         ];
         let sched = schedule2(&mut m, &reqs);
         assert_eq!(sched.message_count(), 3);
@@ -269,7 +283,12 @@ mod tests {
         let mut m = machine(2);
         // 5 elements all from rank 1 to rank 0 → exactly one data message.
         let reqs: Vec<ElementReq> = (0..5)
-            .map(|k| ElementReq { requester: 0, owner: 1, src_off: k, dst_off: k })
+            .map(|k| ElementReq {
+                requester: 0,
+                owner: 1,
+                src_off: k,
+                dst_off: k,
+            })
             .collect();
         let sched = schedule1(&mut m, &reqs);
         let before = m.transport.messages;
@@ -280,19 +299,35 @@ mod tests {
     #[test]
     fn schedule1_inspector_is_local() {
         let mut m = machine(4);
-        let reqs = vec![ElementReq { requester: 0, owner: 3, src_off: 0, dst_off: 0 }];
+        let reqs = vec![ElementReq {
+            requester: 0,
+            owner: 3,
+            src_off: 0,
+            dst_off: 0,
+        }];
         let msgs_before = m.transport.messages;
         schedule1(&mut m, &reqs);
-        assert_eq!(m.transport.messages, msgs_before, "schedule1 must not communicate");
+        assert_eq!(
+            m.transport.messages, msgs_before,
+            "schedule1 must not communicate"
+        );
     }
 
     #[test]
     fn schedule2_inspector_communicates() {
         let mut m = machine(4);
-        let reqs = vec![ElementReq { requester: 0, owner: 3, src_off: 0, dst_off: 0 }];
+        let reqs = vec![ElementReq {
+            requester: 0,
+            owner: 3,
+            src_off: 0,
+            dst_off: 0,
+        }];
         let msgs_before = m.transport.messages;
         schedule2(&mut m, &reqs);
-        assert!(m.transport.messages > msgs_before, "schedule2 fans in requests");
+        assert!(
+            m.transport.messages > msgs_before,
+            "schedule2 fans in requests"
+        );
     }
 
     #[test]
@@ -323,11 +358,21 @@ mod tests {
         let mut m = machine(2);
         let a = schedule1(
             &mut m,
-            &[ElementReq { requester: 0, owner: 1, src_off: 0, dst_off: 0 }],
+            &[ElementReq {
+                requester: 0,
+                owner: 1,
+                src_off: 0,
+                dst_off: 0,
+            }],
         );
         let b = schedule1(
             &mut m,
-            &[ElementReq { requester: 0, owner: 1, src_off: 1, dst_off: 0 }],
+            &[ElementReq {
+                requester: 0,
+                owner: 1,
+                src_off: 1,
+                dst_off: 0,
+            }],
         );
         assert_ne!(a.signature(), b.signature());
     }
@@ -337,8 +382,18 @@ mod tests {
         let mut m = machine(2);
         // rank 0 produced DST-values in SRC[0..2] destined for rank 1.
         let reqs = vec![
-            ElementReq { requester: 1, owner: 0, src_off: 0, dst_off: 4 },
-            ElementReq { requester: 1, owner: 0, src_off: 1, dst_off: 5 },
+            ElementReq {
+                requester: 1,
+                owner: 0,
+                src_off: 0,
+                dst_off: 4,
+            },
+            ElementReq {
+                requester: 1,
+                owner: 0,
+                src_off: 1,
+                dst_off: 5,
+            },
         ];
         let sched = schedule3(&mut m, &reqs);
         execute_write(&mut m, &sched, "SRC", "DST");
@@ -349,7 +404,12 @@ mod tests {
     #[test]
     fn local_requests_cost_no_messages() {
         let mut m = machine(2);
-        let reqs = vec![ElementReq { requester: 0, owner: 0, src_off: 1, dst_off: 2 }];
+        let reqs = vec![ElementReq {
+            requester: 0,
+            owner: 0,
+            src_off: 1,
+            dst_off: 2,
+        }];
         let sched = schedule2(&mut m, &reqs);
         let before = m.transport.messages;
         execute_read(&mut m, &sched, "SRC", "DST");

@@ -133,12 +133,10 @@ pub fn transfer(
         if dst_rank == rank {
             slab_unpack(m, tmp, rank, &payload, &offsets);
             let bytes = payload.len() as i64 * payload.elem_type().bytes();
-            m.transport
-                .charge_compute(rank, copy_rate * bytes as f64);
+            m.transport.charge_compute(rank, copy_rate * bytes as f64);
         } else {
             let bytes = payload.len() as i64 * payload.elem_type().bytes();
-            m.transport
-                .charge_compute(rank, copy_rate * bytes as f64);
+            m.transport.charge_compute(rank, copy_rate * bytes as f64);
             m.transport.send(rank, dst_rank, tag, payload);
             let got = m.transport.recv(dst_rank, rank, tag);
             m.transport
@@ -269,7 +267,9 @@ pub fn temporary_shift(
 ) {
     m.stats.record("temporary_shift");
     let dm = &dad.dims[dim];
-    let axis = dm.grid_axis.expect("temporary_shift needs a distributed dim");
+    let axis = dm
+        .grid_axis
+        .expect("temporary_shift needs a distributed dim");
     let n = dm.extent;
     let mut moves: PairMoves = PairMoves::new();
     for rank in 0..m.nranks() {
@@ -406,7 +406,9 @@ pub fn multicast_shift(
         if let Some(sax) = sdm.grid_axis {
             if sdm.is_distributed() && s != 0 {
                 let bytes = vals.len() as i64 * ty.bytes();
-                let neigh = m.grid.neighbor_wrap(&coords, sax, if s > 0 { 1 } else { -1 });
+                let neigh = m
+                    .grid
+                    .neighbor_wrap(&coords, sax, if s > 0 { 1 } else { -1 });
                 if neigh != rank {
                     let t = m.spec().msg_time(neigh, rank, bytes);
                     m.transport.charge_compute(rank, t);
@@ -439,11 +441,7 @@ pub fn concatenation(m: &mut Machine, src: &str, dad: &Dad, dst: &str) {
     for rank in 0..nranks {
         let coords = m.grid.coords_of(rank);
         // Skip non-canonical replicas (they hold the same data).
-        if dad
-            .replicated_axes
-            .iter()
-            .any(|&ax| coords[ax] != 0)
-        {
+        if dad.replicated_axes.iter().any(|&ax| coords[ax] != 0) {
             continue;
         }
         let owned = dad.owned_elements(&coords);
@@ -462,12 +460,10 @@ pub fn concatenation(m: &mut Machine, src: &str, dad: &Dad, dst: &str) {
             }
         } else {
             let bytes = payload.len() as i64 * ty.bytes();
-            m.transport
-                .charge_compute(rank, copy_rate * bytes as f64);
+            m.transport.charge_compute(rank, copy_rate * bytes as f64);
             m.transport.send(rank, 0, tag, payload);
             let got = m.transport.recv(0, rank, tag);
-            m.transport
-                .charge_compute(0, copy_rate * bytes as f64);
+            m.transport.charge_compute(0, copy_rate * bytes as f64);
             for ((g, _), k) in owned.iter().zip(0..) {
                 assembled.push((g.clone(), got.get(k)));
             }
@@ -534,8 +530,7 @@ mod tests {
             .unwrap();
         for rank in 0..m.nranks() {
             let coords = m.grid.coords_of(rank);
-            let mut la =
-                LocalArray::with_ghost(ElemType::Real, &dad.local_shape(), &[4], &[4]);
+            let mut la = LocalArray::with_ghost(ElemType::Real, &dad.local_shape(), &[4], &[4]);
             for (g, l) in dad.owned_elements(&coords) {
                 la.set(&l, Value::Real(g[0] as f64));
             }

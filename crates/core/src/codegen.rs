@@ -8,9 +8,7 @@ use f90d_distrib::{
     AlignExpr, Alignment, AxisAlign, Dad, DadBuilder, DistKind, ProcGrid, Template,
 };
 use f90d_frontend::ast::{self, BinOp, Expr, LhsRef, Stmt, Subscript, Ty};
-use f90d_frontend::sema::{
-    AnalyzedProgram, ArrayMapping, AxisAlignSpec, DistKindSpec, UnitInfo,
-};
+use f90d_frontend::sema::{AnalyzedProgram, ArrayMapping, AxisAlignSpec, DistKindSpec, UnitInfo};
 use f90d_machine::{ElemType, Value};
 
 use crate::detect::{
@@ -115,7 +113,11 @@ impl<'a> Codegen<'a> {
         names.sort(); // deterministic ids
         for name in names {
             let arr = &info.arrays[name];
-            let dad = self.build_dad(&format!("{prefix}{name}"), &arr.extents, info.mappings.get(name))?;
+            let dad = self.build_dad(
+                &format!("{prefix}{name}"),
+                &arr.extents,
+                info.mappings.get(name),
+            )?;
             let id = self.arrays.len();
             self.arrays.push(ArrayDecl {
                 name: format!("{prefix}{name}"),
@@ -154,7 +156,11 @@ impl<'a> Codegen<'a> {
                     .axes
                     .iter()
                     .map(|a| match a {
-                        AxisAlignSpec::Aligned { tdim, stride, offset } => AxisAlign::Aligned {
+                        AxisAlignSpec::Aligned {
+                            tdim,
+                            stride,
+                            offset,
+                        } => AxisAlign::Aligned {
                             template_dim: *tdim,
                             expr: AlignExpr::new(*stride, *offset),
                         },
@@ -267,7 +273,11 @@ impl<'a> Codegen<'a> {
     ) -> CResult<()> {
         match s {
             Stmt::Assign { lhs, rhs } => self.lower_assign(lhs, rhs, info, names, prefix, out),
-            Stmt::Forall { indices, mask, body } => {
+            Stmt::Forall {
+                indices,
+                mask,
+                body,
+            } => {
                 // A FORALL construct runs each assignment to completion
                 // before the next: split into one node per assignment.
                 for b in body {
@@ -280,7 +290,13 @@ impl<'a> Codegen<'a> {
                 }
                 Ok(())
             }
-            Stmt::Do { var, lb, ub, st, body } => {
+            Stmt::Do {
+                var,
+                lb,
+                ub,
+                st,
+                body,
+            } => {
                 let (mut pre, lb) = self.scalar_expr(lb, info, names, prefix)?;
                 let (pre2, ub) = self.scalar_expr(ub, info, names, prefix)?;
                 let (pre3, st) = self.scalar_expr(st, info, names, prefix)?;
@@ -436,16 +452,38 @@ impl<'a> Codegen<'a> {
                     _ => 0,
                 };
                 if fname == "CSHIFT" {
-                    RtCall::CShift { src, dst, dim, shift }
+                    RtCall::CShift {
+                        src,
+                        dst,
+                        dim,
+                        shift,
+                    }
                 } else {
                     let (pre, boundary) = self.scalar_expr(arg_expr(2)?, info, names, "")?;
                     out.extend(pre);
-                    RtCall::EoShift { src, dst, dim, shift, boundary }
+                    RtCall::EoShift {
+                        src,
+                        dst,
+                        dim,
+                        shift,
+                        boundary,
+                    }
                 }
             }
-            "TRANSPOSE" => RtCall::Transpose { src: arg_arr(0)?, dst },
-            "MATMUL" => RtCall::Matmul { a: arg_arr(0)?, b: arg_arr(1)?, c: dst },
-            other => return cerr(format!("array-valued intrinsic `{other}` not supported as statement")),
+            "TRANSPOSE" => RtCall::Transpose {
+                src: arg_arr(0)?,
+                dst,
+            },
+            "MATMUL" => RtCall::Matmul {
+                a: arg_arr(0)?,
+                b: arg_arr(1)?,
+                c: dst,
+            },
+            other => {
+                return cerr(format!(
+                    "array-valued intrinsic `{other}` not supported as statement"
+                ))
+            }
         };
         out.push(SStmt::Runtime(call));
         Ok(())
@@ -516,8 +554,13 @@ impl<'a> Codegen<'a> {
                     name: format!("{sub_prefix}{dummy}"),
                     rhs: se,
                 });
-                if !self.scalars.iter().any(|(n, _)| n == &format!("{sub_prefix}{dummy}")) {
-                    self.scalars.push((format!("{sub_prefix}{dummy}"), ElemType::Int));
+                if !self
+                    .scalars
+                    .iter()
+                    .any(|(n, _)| n == &format!("{sub_prefix}{dummy}"))
+                {
+                    self.scalars
+                        .push((format!("{sub_prefix}{dummy}"), ElemType::Int));
                 }
             }
         }
@@ -612,9 +655,7 @@ impl<'a> Codegen<'a> {
                             Expr::Var(n) => names.get(n).copied().ok_or_else(|| {
                                 CodegenError(format!("{name}: `{n}` is not an array"))
                             }),
-                            _ => cerr(format!(
-                                "{name}: only whole-array operands are supported"
-                            )),
+                            _ => cerr(format!("{name}: only whole-array operands are supported")),
                         }
                     };
                     let first = match subs.first() {
@@ -753,10 +794,21 @@ impl<'a> Codegen<'a> {
                     return cerr("FORALL bounds must be scalar expressions");
                 }
                 let part = match var_dim.get(&ix.var) {
-                    Some(&(dim, a, b)) => Partition::OwnerDim { arr: lhs_arr, dim, a, b },
+                    Some(&(dim, a, b)) => Partition::OwnerDim {
+                        arr: lhs_arr,
+                        dim,
+                        a,
+                        b,
+                    },
                     None => Partition::Replicate,
                 };
-                specs.push(LoopSpec { var: ix.var.clone(), lb, ub, st, part });
+                specs.push(LoopSpec {
+                    var: ix.var.clone(),
+                    lb,
+                    ub,
+                    st,
+                    part,
+                });
             }
         } else {
             // Non-canonical / vector-valued LHS: block-partition the
@@ -782,7 +834,11 @@ impl<'a> Codegen<'a> {
                     ub,
                     st,
                     // Block-split the first var only; others replicate.
-                    part: if k == 0 { Partition::BlockIter } else { Partition::Replicate },
+                    part: if k == 0 {
+                        Partition::BlockIter
+                    } else {
+                        Partition::Replicate
+                    },
                 });
             }
         }
@@ -810,9 +866,12 @@ impl<'a> Codegen<'a> {
             owned_write,
             lhs_replicated,
         };
-        let rhs_expr = self.lower_elem_expr(rhs, &mut ctx, &mut pre, &mut gathers, &mut seq_slots)?;
+        let rhs_expr =
+            self.lower_elem_expr(rhs, &mut ctx, &mut pre, &mut gathers, &mut seq_slots)?;
         let mask_expr = match mask {
-            Some(m) => Some(self.lower_elem_expr(m, &mut ctx, &mut pre, &mut gathers, &mut seq_slots)?),
+            Some(m) => {
+                Some(self.lower_elem_expr(m, &mut ctx, &mut pre, &mut gathers, &mut seq_slots)?)
+            }
             None => None,
         };
 
@@ -989,7 +1048,8 @@ impl<'a> Codegen<'a> {
                     } else {
                         // Optimization disabled: use the temporary form.
                         if tshift.is_some() {
-                            return self.emit_gather(arr, &sub_exprs, &pats, ctx, gathers, seq_slots);
+                            return self
+                                .emit_gather(arr, &sub_exprs, &pats, ctx, gathers, seq_slots);
                         }
                         tshift = Some((d, Expr::Int(*c)));
                     }
@@ -1054,7 +1114,12 @@ impl<'a> Codegen<'a> {
             (Some((d, src_g)), None, None) => {
                 let tmp = self.fresh_tmp("MCAST", decl.ty, self.slab_dad(arr, d));
                 let src_g = self.loopvar_expr(&src_g, ctx.vars, ctx.info, ctx.names, ctx.prefix)?;
-                pre.push(CommStmt::Multicast { src: arr, tmp, dim: d, src_g });
+                pre.push(CommStmt::Multicast {
+                    src: arr,
+                    tmp,
+                    dim: d,
+                    src_g,
+                });
                 Ok(SExpr::Read {
                     arr: tmp,
                     plan: ReadPlan::SlabTmp { tmp, fixed_dim: d },
@@ -1063,16 +1128,18 @@ impl<'a> Codegen<'a> {
             }
             (None, None, Some((d, amount))) => {
                 let tmp = self.fresh_tmp("SHIFT", decl.ty, decl.dad.clone());
-                let amount = self.loopvar_expr(&amount, ctx.vars, ctx.info, ctx.names, ctx.prefix)?;
-                pre.push(CommStmt::TempShift { src: arr, tmp, dim: d, amount: amount.clone() });
+                let amount =
+                    self.loopvar_expr(&amount, ctx.vars, ctx.info, ctx.names, ctx.prefix)?;
+                pre.push(CommStmt::TempShift {
+                    src: arr,
+                    tmp,
+                    dim: d,
+                    amount: amount.clone(),
+                });
                 // Read the temporary at the canonical (unshifted)
                 // position: subscript - shift.
                 let mut subs2 = sub_sexprs.clone();
-                subs2[d] = SExpr::Bin(
-                    BinOp::Sub,
-                    Box::new(subs2[d].clone()),
-                    Box::new(amount),
-                );
+                subs2[d] = SExpr::Bin(BinOp::Sub, Box::new(subs2[d].clone()), Box::new(amount));
                 Ok(SExpr::Read {
                     arr: tmp,
                     plan: ReadPlan::SameTmp { tmp },
@@ -1115,10 +1182,18 @@ impl<'a> Codegen<'a> {
                         amount: amount_se,
                     });
                     let t2 = self.fresh_tmp("MCAST", decl.ty, self.slab_dad(arr, md));
-                    pre.push(CommStmt::Multicast { src: t1, tmp: t2, dim: md, src_g });
+                    pre.push(CommStmt::Multicast {
+                        src: t1,
+                        tmp: t2,
+                        dim: md,
+                        src_g,
+                    });
                     Ok(SExpr::Read {
                         arr: t2,
-                        plan: ReadPlan::SlabTmp { tmp: t2, fixed_dim: md },
+                        plan: ReadPlan::SlabTmp {
+                            tmp: t2,
+                            fixed_dim: md,
+                        },
                         subs: subs2,
                     })
                 }
@@ -1148,12 +1223,9 @@ impl<'a> Codegen<'a> {
         seq_slots: &mut usize,
     ) -> CResult<SExpr> {
         let decl = &self.arrays[arr];
-        let local_only = pats.iter().all(|p| {
-            matches!(
-                unstructured_of(p),
-                UnstructKind::PrecompRead
-            )
-        });
+        let local_only = pats
+            .iter()
+            .all(|p| matches!(unstructured_of(p), UnstructKind::PrecompRead));
         // Placeholder 1-element replicated dad; the executor sizes the
         // buffer per rank.
         let dad = DadBuilder::new("", &[1])
@@ -1231,7 +1303,11 @@ impl<'a> Codegen<'a> {
                     } else {
                         ReadPlan::Owned
                     };
-                    Ok(SExpr::Read { arr, plan, subs: s_subs })
+                    Ok(SExpr::Read {
+                        arr,
+                        plan,
+                        subs: s_subs,
+                    })
                 } else {
                     let mut args = Vec::new();
                     for s in subs {
@@ -1292,7 +1368,11 @@ impl ArrayDecl {
     /// Source-level name with inlining prefixes stripped.
     pub fn base_name(&self) -> String {
         match self.name.rfind("__") {
-            Some(k) if self.name[..k].chars().all(|c| c.is_ascii_alphanumeric() || c == '_') => {
+            Some(k)
+                if self.name[..k]
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_') =>
+            {
                 self.name[k + 2..].to_string()
             }
             _ => self.name.clone(),
@@ -1309,7 +1389,11 @@ fn dim_align(mapping: Option<&ArrayMapping>, decl: &ArrayDecl, d: usize) -> Opti
     let block = matches!(dm.dist.kind, DistKind::Block);
     match mapping {
         Some(m) => match m.axes.get(d)? {
-            AxisAlignSpec::Aligned { tdim, stride: 1, offset } => Some(DimAlign {
+            AxisAlignSpec::Aligned {
+                tdim,
+                stride: 1,
+                offset,
+            } => Some(DimAlign {
                 tdim: *tdim,
                 off: *offset,
                 block,

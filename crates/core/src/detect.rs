@@ -49,11 +49,7 @@ pub enum SubPattern {
 }
 
 /// Classify one subscript expression.
-pub fn classify_subscript(
-    e: &Expr,
-    vars: &[String],
-    params: &HashMap<String, i64>,
-) -> SubPattern {
+pub fn classify_subscript(e: &Expr, vars: &[String], params: &HashMap<String, i64>) -> SubPattern {
     // Vector-valued: any array-style Ref inside that uses an index var.
     if contains_indexed_ref(e, vars) {
         return SubPattern::VectorValued;
@@ -83,11 +79,7 @@ pub fn classify_subscript(
 /// Split `e` as `coeff*var + rest` where `rest` does not mention `var`.
 /// Returns `None` when `e` is not linear in `var` with a literal
 /// coefficient.
-pub fn split_linear(
-    e: &Expr,
-    var: &str,
-    params: &HashMap<String, i64>,
-) -> Option<(i64, Expr)> {
+pub fn split_linear(e: &Expr, var: &str, params: &HashMap<String, i64>) -> Option<(i64, Expr)> {
     if !expr_uses_var(e, var) {
         return Some((0, e.clone()));
     }
@@ -129,7 +121,9 @@ pub fn split_linear(
 fn contains_indexed_ref(e: &Expr, vars: &[String]) -> bool {
     match e {
         Expr::Ref(_, subs) => subs.iter().any(|s| match s {
-            Subscript::Index(ix) => vars.iter().any(|v| expr_uses_var(ix, v)) || contains_indexed_ref(ix, vars),
+            Subscript::Index(ix) => {
+                vars.iter().any(|v| expr_uses_var(ix, v)) || contains_indexed_ref(ix, vars)
+            }
             _ => false,
         }),
         Expr::Bin(_, l, r) => contains_indexed_ref(l, vars) || contains_indexed_ref(r, vars),
@@ -202,8 +196,16 @@ pub fn classify_pair(
     match (lhs, rhs) {
         // rows 2,3,7: (i, i±c) including c = 0
         (
-            SubPattern::Affine { var: lv, a: 1, b: lb },
-            SubPattern::Affine { var: rv, a: 1, b: rb },
+            SubPattern::Affine {
+                var: lv,
+                a: 1,
+                b: lb,
+            },
+            SubPattern::Affine {
+                var: rv,
+                a: 1,
+                b: rb,
+            },
         ) if lv == rv => {
             // Template-space shift.
             let c = (rb + ra.off) - (lb + la.off);
@@ -223,11 +225,13 @@ pub fn classify_pair(
         }
         // rows 4,5: (i, i±s)
         (
-            SubPattern::Affine { var: lv, a: 1, b: lb },
+            SubPattern::Affine {
+                var: lv,
+                a: 1,
+                b: lb,
+            },
             SubPattern::VarPlusScalar { var: rv, shift },
-        ) if lv == rv && la.off == ra.off => {
-            DimTag::TempShift(fold_add(shift.clone(), -lb))
-        }
+        ) if lv == rv && la.off == ra.off => DimTag::TempShift(fold_add(shift.clone(), -lb)),
         // row 1: (i, s)
         (SubPattern::Affine { a: 1, .. }, SubPattern::ScalarInvariant(s)) => {
             DimTag::Multicast(s.clone())
@@ -246,9 +250,9 @@ pub fn classify_pair(
 /// Table 2: the unstructured family of a subscript pattern.
 pub fn unstructured_of(p: &SubPattern) -> UnstructKind {
     match p {
-        SubPattern::Affine { .. } | SubPattern::ScalarInvariant(_) | SubPattern::VarPlusScalar { .. } => {
-            UnstructKind::PrecompRead
-        }
+        SubPattern::Affine { .. }
+        | SubPattern::ScalarInvariant(_)
+        | SubPattern::VarPlusScalar { .. } => UnstructKind::PrecompRead,
         SubPattern::VectorValued | SubPattern::Unknown => UnstructKind::Gather,
     }
 }
@@ -278,7 +282,11 @@ mod tests {
     }
 
     fn al(block: bool) -> Option<DimAlign> {
-        Some(DimAlign { tdim: 0, off: 0, block })
+        Some(DimAlign {
+            tdim: 0,
+            off: 0,
+            block,
+        })
     }
 
     // ---- Table 1 rows (EXP-T1) -----------------------------------------
@@ -333,7 +341,10 @@ mod tests {
         let rhs = cls(Expr::Int(2)); // 0-based 3
         assert_eq!(
             classify_pair(&lhs, &rhs, al(true), al(true)),
-            DimTag::Transfer { src: Expr::Int(2), dst: Expr::Int(7) }
+            DimTag::Transfer {
+                src: Expr::Int(2),
+                dst: Expr::Int(7)
+            }
         );
     }
 
@@ -341,7 +352,10 @@ mod tests {
     fn table1_row7_no_communication() {
         let lhs = cls(var("I"));
         let rhs = cls(var("I"));
-        assert_eq!(classify_pair(&lhs, &rhs, al(true), al(true)), DimTag::NoComm);
+        assert_eq!(
+            classify_pair(&lhs, &rhs, al(true), al(true)),
+            DimTag::NoComm
+        );
     }
 
     #[test]
@@ -363,24 +377,47 @@ mod tests {
         // shift — it routes through precomp_read.
         let lhs = cls(var("I"));
         let rhs = cls(var("I"));
-        let la = Some(DimAlign { tdim: 0, off: 1, block: true });
-        let ra = Some(DimAlign { tdim: 0, off: 0, block: true });
+        let la = Some(DimAlign {
+            tdim: 0,
+            off: 1,
+            block: true,
+        });
+        let ra = Some(DimAlign {
+            tdim: 0,
+            off: 0,
+            block: true,
+        });
         assert_eq!(
             classify_pair(&lhs, &rhs, la, ra),
             DimTag::Unstructured(UnstructKind::PrecompRead)
         );
         // Co-aligned offsets keep the structured shift.
-        let both = Some(DimAlign { tdim: 0, off: 1, block: true });
+        let both = Some(DimAlign {
+            tdim: 0,
+            off: 1,
+            block: true,
+        });
         let rhs2 = cls(var("I").plus(1));
-        assert_eq!(classify_pair(&lhs, &rhs2, both, both), DimTag::OverlapShift(1));
+        assert_eq!(
+            classify_pair(&lhs, &rhs2, both, both),
+            DimTag::OverlapShift(1)
+        );
     }
 
     #[test]
     fn different_template_dims_fall_through() {
         let lhs = cls(var("I"));
         let rhs = cls(var("I"));
-        let la = Some(DimAlign { tdim: 0, off: 0, block: true });
-        let ra = Some(DimAlign { tdim: 1, off: 0, block: true });
+        let la = Some(DimAlign {
+            tdim: 0,
+            off: 0,
+            block: true,
+        });
+        let ra = Some(DimAlign {
+            tdim: 1,
+            off: 0,
+            block: true,
+        });
         assert_eq!(
             classify_pair(&lhs, &rhs, la, ra),
             DimTag::Unstructured(UnstructKind::PrecompRead)
@@ -398,7 +435,14 @@ mod tests {
             Expr::bin(BinOp::Mul, Expr::Int(2), var("I")),
             Expr::Int(1),
         ));
-        assert_eq!(rhs, SubPattern::Affine { var: "I".into(), a: 2, b: 1 });
+        assert_eq!(
+            rhs,
+            SubPattern::Affine {
+                var: "I".into(),
+                a: 2,
+                b: 1
+            }
+        );
         assert_eq!(
             classify_pair(&lhs, &rhs, al(true), al(true)),
             DimTag::Unstructured(UnstructKind::PrecompRead)
@@ -408,10 +452,7 @@ mod tests {
     #[test]
     fn table2_row2_vector_valued() {
         // V(i) → gather / scatter.
-        let rhs = cls(Expr::Ref(
-            "V".into(),
-            vec![Subscript::Index(var("I"))],
-        ));
+        let rhs = cls(Expr::Ref("V".into(), vec![Subscript::Index(var("I"))]));
         assert_eq!(rhs, SubPattern::VectorValued);
         assert_eq!(unstructured_of(&rhs), UnstructKind::Gather);
     }
@@ -436,7 +477,11 @@ mod tests {
         // whereas a single-var non-canonical stays affine:
         assert_eq!(
             cls(Expr::bin(BinOp::Mul, Expr::Int(2), var("I"))),
-            SubPattern::Affine { var: "I".into(), a: 2, b: 0 }
+            SubPattern::Affine {
+                var: "I".into(),
+                a: 2,
+                b: 0
+            }
         );
     }
 

@@ -4,12 +4,11 @@
 
 use std::collections::HashMap;
 
-
 use f90d_comm::schedule::{self, ElementReq, Schedule};
 use f90d_comm::structured;
 use f90d_distrib::{set_bound, Dad, DistKind};
-use f90d_machine::{ElemType, LocalArray, Machine, Value};
 use f90d_frontend::ast::{BinOp, UnOp};
+use f90d_machine::{ElemType, LocalArray, Machine, Value};
 use f90d_runtime::intrinsics as rt;
 use f90d_runtime::DistArray;
 
@@ -239,7 +238,13 @@ impl<'p> Executor<'p> {
                 }
                 Ok(())
             }
-            SStmt::DoSeq { var, lb, ub, st, body } => {
+            SStmt::DoSeq {
+                var,
+                lb,
+                ub,
+                st,
+                body,
+            } => {
                 let lb = self.eval_scalar(lb, m, env)?.as_int();
                 let ub = self.eval_scalar(ub, m, env)?.as_int();
                 let st = self.eval_scalar(st, m, env)?.as_int();
@@ -301,13 +306,24 @@ impl<'p> Executor<'p> {
 
     fn exec_runtime(&mut self, call: &RtCall, m: &mut Machine, env: &mut Env) -> EResult<()> {
         match call {
-            RtCall::CShift { src, dst, dim, shift } => {
+            RtCall::CShift {
+                src,
+                dst,
+                dim,
+                shift,
+            } => {
                 let s = self.eval_scalar(shift, m, env)?.as_int();
                 let (a, b) = (self.dist_array(*src), self.dist_array(*dst));
                 rt::cshift(m, &a, &b, *dim, s);
                 Ok(())
             }
-            RtCall::EoShift { src, dst, dim, shift, boundary } => {
+            RtCall::EoShift {
+                src,
+                dst,
+                dim,
+                shift,
+                boundary,
+            } => {
                 let s = self.eval_scalar(shift, m, env)?.as_int();
                 let bv = self.eval_scalar(boundary, m, env)?;
                 let (a, b) = (self.dist_array(*src), self.dist_array(*dst));
@@ -320,7 +336,11 @@ impl<'p> Executor<'p> {
                 Ok(())
             }
             RtCall::Matmul { a, b, c } => {
-                let (aa, bb, cc) = (self.dist_array(*a), self.dist_array(*b), self.dist_array(*c));
+                let (aa, bb, cc) = (
+                    self.dist_array(*a),
+                    self.dist_array(*b),
+                    self.dist_array(*c),
+                );
                 rt::matmul(m, &aa, &bb, &cc);
                 Ok(())
             }
@@ -350,7 +370,12 @@ impl<'p> Executor<'p> {
 
     fn exec_comm(&mut self, c: &CommStmt, m: &mut Machine, env: &mut Env) -> EResult<()> {
         match c {
-            CommStmt::Multicast { src, tmp, dim, src_g } => {
+            CommStmt::Multicast {
+                src,
+                tmp,
+                dim,
+                src_g,
+            } => {
                 let g = self.eval_scalar(src_g, m, env)?.as_int();
                 let dad = self.dads[*src].clone();
                 structured::multicast(
@@ -363,7 +388,15 @@ impl<'p> Executor<'p> {
                 );
                 Ok(())
             }
-            CommStmt::Transfer { src, tmp, dim, src_g, dst_g, dst_arr, dst_dim } => {
+            CommStmt::Transfer {
+                src,
+                tmp,
+                dim,
+                src_g,
+                dst_g,
+                dst_arr,
+                dst_dim,
+            } => {
                 let sg = self.eval_scalar(src_g, m, env)?.as_int();
                 let dg = self.eval_scalar(dst_g, m, env)?.as_int();
                 let dst_coord = self.dads[*dst_arr].dims[*dst_dim].proc_of(dg);
@@ -384,7 +417,12 @@ impl<'p> Executor<'p> {
                 structured::overlap_shift(m, &self.prog.arrays[*arr].name, &dad, *dim, *c, false);
                 Ok(())
             }
-            CommStmt::TempShift { src, tmp, dim, amount } => {
+            CommStmt::TempShift {
+                src,
+                tmp,
+                dim,
+                amount,
+            } => {
                 let s = self.eval_scalar(amount, m, env)?.as_int();
                 let dad = self.dads[*src].clone();
                 structured::temporary_shift(
@@ -398,7 +436,14 @@ impl<'p> Executor<'p> {
                 );
                 Ok(())
             }
-            CommStmt::MulticastShift { src, tmp, mdim, src_g, sdim, amount } => {
+            CommStmt::MulticastShift {
+                src,
+                tmp,
+                mdim,
+                src_g,
+                sdim,
+                amount,
+            } => {
                 let g = self.eval_scalar(src_g, m, env)?.as_int();
                 let s = self.eval_scalar(amount, m, env)?.as_int();
                 let dad = self.dads[*src].clone();
@@ -432,7 +477,9 @@ impl<'p> Executor<'p> {
                 let dad = &self.dads[*arr];
                 let owner = dad.owner_ranks(&g)[0];
                 let l = dad.local_index(&g);
-                let v = m.mems[owner as usize].array(&self.prog.arrays[*arr].name).get(&l);
+                let v = m.mems[owner as usize]
+                    .array(&self.prog.arrays[*arr].name)
+                    .get(&l);
                 // Tree broadcast of one element to all ranks.
                 let members: Vec<i64> = (0..m.nranks()).collect();
                 let root_pos = members.iter().position(|&r| r == owner).unwrap();
@@ -443,7 +490,12 @@ impl<'p> Executor<'p> {
                 self.scalars.insert(target.clone(), v);
                 Ok(())
             }
-            CommStmt::ReduceScalar { kind, arr, arr2, target } => {
+            CommStmt::ReduceScalar {
+                kind,
+                arr,
+                arr2,
+                target,
+            } => {
                 let a = self.dist_array(*arr);
                 let v = match kind {
                     ReduceKind::Sum => Value::Real(rt::sum(m, &a)),
@@ -459,8 +511,13 @@ impl<'p> Executor<'p> {
                     }
                 };
                 let v = if self.prog.arrays[*arr].ty == ElemType::Int
-                    && matches!(kind, ReduceKind::Sum | ReduceKind::Product | ReduceKind::MaxVal | ReduceKind::MinVal)
-                {
+                    && matches!(
+                        kind,
+                        ReduceKind::Sum
+                            | ReduceKind::Product
+                            | ReduceKind::MaxVal
+                            | ReduceKind::MinVal
+                    ) {
                     Value::Int(v.as_real() as i64)
                 } else {
                     v
@@ -510,13 +567,10 @@ impl<'p> Executor<'p> {
             self.exec_gather(f, g, slot, m, env, &iter_lists)?;
         }
         // Main loop, rank by rank (loosely synchronous local phase).
-        let scatter = f
-            .body
-            .iter()
-            .find_map(|b| match &b.write {
-                WritePlan::ScatterSeq { invertible } => Some(*invertible),
-                WritePlan::Owned => None,
-            });
+        let scatter = f.body.iter().find_map(|b| match &b.write {
+            WritePlan::ScatterSeq { invertible } => Some(*invertible),
+            WritePlan::Owned => None,
+        });
         let mut scatter_out: Vec<Vec<(Vec<i64>, Value)>> = vec![Vec::new(); m.nranks() as usize];
         let var_names: Vec<String> = f.vars.iter().map(|v| v.var.clone()).collect();
         let mask_ops = f.mask.as_ref().map_or(0, |m| m.op_count_cse(&var_names));
@@ -552,7 +606,10 @@ impl<'p> Executor<'p> {
                         let g: Vec<i64> = b
                             .subs
                             .iter()
-                            .map(|e| self.eval_elem(e, m, rank, env, &mut seq_counters).map(|x| x.as_int()))
+                            .map(|e| {
+                                self.eval_elem(e, m, rank, env, &mut seq_counters)
+                                    .map(|x| x.as_int())
+                            })
                             .collect::<EResult<_>>()?;
                         match &b.write {
                             WritePlan::Owned => {
@@ -750,8 +807,7 @@ impl<'p> Executor<'p> {
         let ty = self.prog.arrays[g.tmp].ty;
         for rank in 0..m.nranks() {
             let n = counts[rank as usize].max(1) as i64;
-            m.mems[rank as usize]
-                .insert_array(tmp_name.clone(), LocalArray::zeros(ty, &[n]));
+            m.mems[rank as usize].insert_array(tmp_name.clone(), LocalArray::zeros(ty, &[n]));
         }
         // Schedule (with §7(3) reuse).
         let sig = req_signature(&reqs);
@@ -976,7 +1032,8 @@ impl<'p> Executor<'p> {
                     let g: Vec<i64> = subs
                         .iter()
                         .map(|s| {
-                            self.eval_elem(s, m, rank, env, seq_counters).map(|v| v.as_int())
+                            self.eval_elem(s, m, rank, env, seq_counters)
+                                .map(|v| v.as_int())
                         })
                         .collect::<EResult<_>>()?;
                     let off = self.owned_offset(*arr, m, rank, &g)?;
@@ -990,7 +1047,8 @@ impl<'p> Executor<'p> {
                         .enumerate()
                         .filter(|&(d, _)| d != *fixed_dim)
                         .map(|(_, s)| {
-                            self.eval_elem(s, m, rank, env, seq_counters).map(|v| v.as_int())
+                            self.eval_elem(s, m, rank, env, seq_counters)
+                                .map(|v| v.as_int())
                         })
                         .collect::<EResult<_>>()?;
                     let off = self.owned_offset(*tmp, m, rank, &g)?;
@@ -1002,7 +1060,8 @@ impl<'p> Executor<'p> {
                     let g: Vec<i64> = subs
                         .iter()
                         .map(|s| {
-                            self.eval_elem(s, m, rank, env, seq_counters).map(|v| v.as_int())
+                            self.eval_elem(s, m, rank, env, seq_counters)
+                                .map(|v| v.as_int())
                         })
                         .collect::<EResult<_>>()?;
                     let off = self.owned_offset(*tmp, m, rank, &g)?;
@@ -1038,6 +1097,9 @@ fn req_signature(reqs: &[ElementReq]) -> u64 {
 }
 
 // ---- value operators ---------------------------------------------------
+//
+// Operator semantics live in `f90d_vm::ops`, shared with the bytecode
+// engine so the two backends cannot drift apart.
 
 /// Public alias of the value-level binary evaluator (shared with the
 /// sequential reference interpreter).
@@ -1056,138 +1118,13 @@ pub fn eval_elemental_pub(name: &str, args: &[Value]) -> EResult<Value> {
 }
 
 fn eval_bin(op: BinOp, a: Value, b: Value) -> EResult<Value> {
-    use BinOp::*;
-    if op.is_logical() {
-        let (x, y) = (a.as_bool(), b.as_bool());
-        return Ok(Value::Bool(match op {
-            And => x && y,
-            Or => x || y,
-            _ => unreachable!(),
-        }));
-    }
-    if op.is_comparison() {
-        // Numeric comparison with promotion.
-        let (x, y) = (a.as_real(), b.as_real());
-        return Ok(Value::Bool(match op {
-            Eq => x == y,
-            Ne => x != y,
-            Lt => x < y,
-            Le => x <= y,
-            Gt => x > y,
-            Ge => x >= y,
-            _ => unreachable!(),
-        }));
-    }
-    // Arithmetic with Fortran promotion.
-    match (a, b) {
-        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(match op {
-            Add => x + y,
-            Sub => x - y,
-            Mul => x * y,
-            Div => {
-                if y == 0 {
-                    return eerr("integer division by zero");
-                }
-                x / y
-            }
-            Pow => {
-                if y < 0 {
-                    return eerr("negative integer exponent");
-                }
-                x.pow(y.min(62) as u32)
-            }
-            _ => unreachable!(),
-        })),
-        (Value::Complex(xr, xi), y) => {
-            let (yr, yi) = match y {
-                Value::Complex(r, i) => (r, i),
-                other => (other.as_real(), 0.0),
-            };
-            complex_bin(op, (xr, xi), (yr, yi))
-        }
-        (x, Value::Complex(yr, yi)) => complex_bin(op, (x.as_real(), 0.0), (yr, yi)),
-        (x, y) => {
-            let (x, y) = (x.as_real(), y.as_real());
-            Ok(Value::Real(match op {
-                Add => x + y,
-                Sub => x - y,
-                Mul => x * y,
-                Div => x / y,
-                Pow => x.powf(y),
-                _ => unreachable!(),
-            }))
-        }
-    }
-}
-
-fn complex_bin(op: BinOp, (ar, ai): (f64, f64), (br, bi): (f64, f64)) -> EResult<Value> {
-    use BinOp::*;
-    let v = match op {
-        Add => (ar + br, ai + bi),
-        Sub => (ar - br, ai - bi),
-        Mul => (ar * br - ai * bi, ar * bi + ai * br),
-        Div => {
-            let d = br * br + bi * bi;
-            ((ar * br + ai * bi) / d, (ai * br - ar * bi) / d)
-        }
-        _ => return eerr("unsupported complex operation"),
-    };
-    Ok(Value::Complex(v.0, v.1))
+    f90d_vm::ops::eval_bin(op, a, b).map_err(ExecError)
 }
 
 fn eval_un(op: UnOp, v: Value) -> EResult<Value> {
-    Ok(match op {
-        UnOp::Neg => match v {
-            Value::Int(x) => Value::Int(-x),
-            Value::Real(x) => Value::Real(-x),
-            Value::Complex(r, i) => Value::Complex(-r, -i),
-            Value::Bool(_) => return eerr("negating a LOGICAL"),
-        },
-        UnOp::Not => Value::Bool(!v.as_bool()),
-    })
+    f90d_vm::ops::eval_un(op, v).map_err(ExecError)
 }
 
 fn eval_elemental(name: &str, args: &[Value]) -> EResult<Value> {
-    let f1 = |f: fn(f64) -> f64| -> EResult<Value> { Ok(Value::Real(f(args[0].as_real()))) };
-    match name {
-        "ABS" => match args[0] {
-            Value::Int(x) => Ok(Value::Int(x.abs())),
-            other => Ok(Value::Real(other.as_real().abs())),
-        },
-        "SQRT" => f1(f64::sqrt),
-        "EXP" => f1(f64::exp),
-        "LOG" => f1(f64::ln),
-        "SIN" => f1(f64::sin),
-        "COS" => f1(f64::cos),
-        "TAN" => f1(f64::tan),
-        "MOD" => match (args[0], args[1]) {
-            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a % b)),
-            (a, b) => Ok(Value::Real(a.as_real() % b.as_real())),
-        },
-        "MIN" => Ok(fold_minmax(args, true)),
-        "MAX" => Ok(fold_minmax(args, false)),
-        "REAL" | "FLOAT" | "DBLE" => Ok(Value::Real(args[0].as_real())),
-        "INT" => Ok(Value::Int(args[0].as_int())),
-        "NINT" => Ok(Value::Int(args[0].as_real().round() as i64)),
-        "SIGN" => {
-            let (a, b) = (args[0].as_real(), args[1].as_real());
-            Ok(Value::Real(if b >= 0.0 { a.abs() } else { -a.abs() }))
-        }
-        other => eerr(format!("unknown elemental intrinsic `{other}`")),
-    }
-}
-
-fn fold_minmax(args: &[Value], min: bool) -> Value {
-    let all_int = args.iter().all(|v| matches!(v, Value::Int(_)));
-    if all_int {
-        let it = args.iter().map(|v| v.as_int());
-        Value::Int(if min { it.min().unwrap() } else { it.max().unwrap() })
-    } else {
-        let it = args.iter().map(|v| v.as_real());
-        Value::Real(if min {
-            it.fold(f64::INFINITY, f64::min)
-        } else {
-            it.fold(f64::NEG_INFINITY, f64::max)
-        })
-    }
+    f90d_vm::ops::eval_elemental(name, args).map_err(ExecError)
 }

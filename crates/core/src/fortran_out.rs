@@ -11,7 +11,10 @@ use crate::ir::*;
 /// Render the whole node program.
 pub fn to_fortran77(prog: &SProgram) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "C     Fortran 90D/HPF compiler output (SPMD node program)");
+    let _ = writeln!(
+        out,
+        "C     Fortran 90D/HPF compiler output (SPMD node program)"
+    );
     let _ = writeln!(
         out,
         "C     logical grid: ({})   [0-based internal indices]",
@@ -82,7 +85,13 @@ impl Printer {
                 );
                 self.line(&line);
             }
-            SStmt::DoSeq { var, lb, ub, st, body } => {
+            SStmt::DoSeq {
+                var,
+                lb,
+                ub,
+                st,
+                body,
+            } => {
                 let line = format!(
                     "DO {var} = {}, {}, {}",
                     expr(lb, prog),
@@ -122,14 +131,25 @@ impl Printer {
             }
             SStmt::Runtime(call) => {
                 let line = match call {
-                    RtCall::CShift { src, dst, dim, shift } => format!(
+                    RtCall::CShift {
+                        src,
+                        dst,
+                        dim,
+                        shift,
+                    } => format!(
                         "call cshift({}, {}, dim={}, shift={})",
                         prog.arrays[*dst].name,
                         prog.arrays[*src].name,
                         dim + 1,
                         expr(shift, prog)
                     ),
-                    RtCall::EoShift { src, dst, dim, shift, boundary } => format!(
+                    RtCall::EoShift {
+                        src,
+                        dst,
+                        dim,
+                        shift,
+                        boundary,
+                    } => format!(
                         "call eoshift({}, {}, dim={}, shift={}, boundary={})",
                         prog.arrays[*dst].name,
                         prog.arrays[*src].name,
@@ -241,12 +261,18 @@ impl Printer {
             self.comm(c, prog);
         }
         for g in &f.gathers {
-            let sched = if g.local_only { "schedule1" } else { "schedule2" };
-            let line = format!(
-                "isch = {sched}(receive_list, send_list, local_list, count)"
-            );
+            let sched = if g.local_only {
+                "schedule1"
+            } else {
+                "schedule2"
+            };
+            let line = format!("isch = {sched}(receive_list, send_list, local_list, count)");
             self.line(&line);
-            let prim = if g.local_only { "precomp_read" } else { "gather" };
+            let prim = if g.local_only {
+                "precomp_read"
+            } else {
+                "gather"
+            };
             let line = format!(
                 "call {prim}(isch, {}, {})",
                 prog.arrays[g.tmp].name, prog.arrays[g.src].name
@@ -286,11 +312,9 @@ impl Printer {
         }
         for b in &f.body {
             let target = match b.write {
-                WritePlan::Owned => format!(
-                    "{}({})",
-                    prog.arrays[b.arr].name,
-                    exprs(&b.subs, prog)
-                ),
+                WritePlan::Owned => {
+                    format!("{}({})", prog.arrays[b.arr].name, exprs(&b.subs, prog))
+                }
                 WritePlan::ScatterSeq { .. } => "buf(count); count = count+1".to_string(),
             };
             let line = format!("{target} = {}", expr(&b.rhs, prog));
@@ -313,10 +337,7 @@ impl Printer {
                 };
                 let line = format!("isch = {sched}(proc_to, local_to, count)");
                 self.line(&line);
-                let line = format!(
-                    "call {prim}(isch, {}, buf)",
-                    prog.arrays[b.arr].name
-                );
+                let line = format!("call {prim}(isch, {}, buf)", prog.arrays[b.arr].name);
                 self.line(&line);
             }
         }
@@ -324,7 +345,10 @@ impl Printer {
 }
 
 fn exprs(es: &[SExpr], prog: &SProgram) -> String {
-    es.iter().map(|e| expr(e, prog)).collect::<Vec<_>>().join(",")
+    es.iter()
+        .map(|e| expr(e, prog))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn expr(e: &SExpr, prog: &SProgram) -> String {

@@ -10,8 +10,8 @@
 //! machine-wide.
 
 use f90d_distrib::Dad;
-use f90d_machine::{ElemType, Value};
 use f90d_frontend::ast::{BinOp, UnOp};
+use f90d_machine::{ElemType, Value};
 
 /// Index of an array in the program's array table.
 pub type ArrId = usize;
@@ -134,14 +134,10 @@ impl SExpr {
         }
         match self {
             SExpr::Const(_) | SExpr::Scalar(_) | SExpr::LoopVar(_) => 0,
-            SExpr::Read { subs, .. } => {
-                1 + subs.iter().map(|s| s.op_count_cse(vars)).sum::<i64>()
-            }
+            SExpr::Read { subs, .. } => 1 + subs.iter().map(|s| s.op_count_cse(vars)).sum::<i64>(),
             SExpr::Bin(_, l, r) => 1 + l.op_count_cse(vars) + r.op_count_cse(vars),
             SExpr::Un(_, x) => 1 + x.op_count_cse(vars),
-            SExpr::Elemental(_, args) => {
-                1 + args.iter().map(|a| a.op_count_cse(vars)).sum::<i64>()
-            }
+            SExpr::Elemental(_, args) => 1 + args.iter().map(|a| a.op_count_cse(vars)).sum::<i64>(),
         }
     }
 
@@ -152,9 +148,7 @@ impl SExpr {
             SExpr::Read { subs, .. } => 1 + subs.iter().map(|s| s.op_count()).sum::<i64>(),
             SExpr::Bin(_, l, r) => 1 + l.op_count() + r.op_count(),
             SExpr::Un(_, x) => 1 + x.op_count(),
-            SExpr::Elemental(_, args) => {
-                1 + args.iter().map(|a| a.op_count()).sum::<i64>()
-            }
+            SExpr::Elemental(_, args) => 1 + args.iter().map(|a| a.op_count()).sum::<i64>(),
         }
     }
 }
@@ -524,10 +518,7 @@ impl SProgram {
                 CommStmt::ReduceScalar { .. } => "reduce",
             }
         }
-        fn walk(
-            stmts: &[SStmt],
-            census: &mut std::collections::BTreeMap<&'static str, usize>,
-        ) {
+        fn walk(stmts: &[SStmt], census: &mut std::collections::BTreeMap<&'static str, usize>) {
             for s in stmts {
                 match s {
                     SStmt::Comm(c) => *census.entry(comm_name(c)).or_insert(0) += 1,
@@ -536,12 +527,20 @@ impl SProgram {
                             *census.entry(comm_name(c)).or_insert(0) += 1;
                         }
                         for g in &f.gathers {
-                            let name = if g.local_only { "precomp_read" } else { "gather" };
+                            let name = if g.local_only {
+                                "precomp_read"
+                            } else {
+                                "gather"
+                            };
                             *census.entry(name).or_insert(0) += 1;
                         }
                         for b in &f.body {
                             if let WritePlan::ScatterSeq { invertible } = b.write {
-                                let name = if invertible { "postcomp_write" } else { "scatter" };
+                                let name = if invertible {
+                                    "postcomp_write"
+                                } else {
+                                    "scatter"
+                                };
                                 *census.entry(name).or_insert(0) += 1;
                             }
                         }

@@ -56,12 +56,17 @@ pub mod ir;
 pub mod optimize;
 pub mod options;
 pub mod reference;
+pub mod vmlower;
+
+use std::sync::{Arc, OnceLock};
 
 use f90d_frontend::sema::AnalyzedProgram;
 use f90d_machine::Machine;
+use f90d_vm::cache::fnv1a;
+use f90d_vm::{ProgramCache, VmProgram};
 
 pub use exec::{ExecReport, Executor};
-pub use options::{CompileOptions, OptFlags};
+pub use options::{Backend, CompileOptions, OptFlags};
 
 /// A compiled program: the SPMD IR plus the analyzed source it came from.
 #[derive(Debug, Clone)]
@@ -73,22 +78,82 @@ pub struct Compiled {
     pub analyzed: AnalyzedProgram,
     /// The options it was compiled with.
     pub options: CompileOptions,
+    /// Hash of the source text — with the options and grid it keys the
+    /// bytecode program cache.
+    pub source_hash: u64,
 }
 
 impl Compiled {
-    /// Execute on a machine (which must have the compiled grid shape).
-    /// Arrays start zero-initialized; use [`Executor`] directly to seed
+    /// Execute on a machine (which must have the compiled grid shape)
+    /// with the backend selected in [`CompileOptions::backend`]. Arrays
+    /// start zero-initialized; use [`Executor`] (tree walk) or
+    /// [`f90d_vm::Engine`] over [`Compiled::vm_program`] directly to seed
     /// inputs first.
     pub fn run_on(&self, m: &mut Machine) -> Result<ExecReport, exec::ExecError> {
-        let mut ex = Executor::new(&self.spmd, m);
-        ex.schedule_reuse = self.options.opt.schedule_reuse;
-        ex.run(m)
+        match self.options.backend {
+            Backend::TreeWalk => {
+                let mut ex = Executor::new(&self.spmd, m);
+                ex.schedule_reuse = self.options.opt.schedule_reuse;
+                ex.run(m)
+            }
+            Backend::Vm => {
+                let prog = self.vm_program().map_err(exec::ExecError)?;
+                let mut eng = f90d_vm::Engine::new(prog, m);
+                eng.schedule_reuse = self.options.opt.schedule_reuse;
+                let rep = eng.run(m).map_err(|e| exec::ExecError(e.0))?;
+                Ok(ExecReport {
+                    elapsed: rep.elapsed,
+                    messages: rep.messages,
+                    bytes: rep.bytes,
+                    printed: rep.printed,
+                })
+            }
+        }
+    }
+
+    /// The lowered bytecode program, via the global cache keyed by
+    /// (source hash, options, grid): repeated runs skip lowering.
+    pub fn vm_program(&self) -> Result<Arc<VmProgram>, String> {
+        vm_cache().get_or_lower(self.vm_cache_key(), || vmlower::lower(&self.spmd))
+    }
+
+    fn vm_cache_key(&self) -> u64 {
+        // Exhaustive destructuring: adding an OptFlags field without
+        // extending the cache key is a compile error, not a silent
+        // cross-configuration cache hit.
+        let OptFlags {
+            merge_comm,
+            schedule_reuse,
+            fuse_multicast_shift,
+            hoist_invariant_comm,
+            overlap_shift,
+        } = self.options.opt;
+        let mut bytes = self.source_hash.to_le_bytes().to_vec();
+        for flag in [
+            merge_comm,
+            schedule_reuse,
+            fuse_multicast_shift,
+            hoist_invariant_comm,
+            overlap_shift,
+        ] {
+            bytes.push(flag as u8);
+        }
+        for e in &self.spmd.grid_shape {
+            bytes.extend_from_slice(&e.to_le_bytes());
+        }
+        fnv1a(&bytes)
     }
 
     /// Render the generated node program as Fortran 77 + MP text.
     pub fn fortran77(&self) -> String {
         fortran_out::to_fortran77(&self.spmd)
     }
+}
+
+/// The process-wide bytecode program cache.
+pub fn vm_cache() -> &'static ProgramCache {
+    static CACHE: OnceLock<ProgramCache> = OnceLock::new();
+    CACHE.get_or_init(ProgramCache::new)
 }
 
 /// Compile Fortran 90D/HPF source text.
@@ -100,5 +165,6 @@ pub fn compile(source: &str, opts: &CompileOptions) -> Result<Compiled, String> 
         spmd,
         analyzed,
         options: opts.clone(),
+        source_hash: fnv1a(source.as_bytes()),
     })
 }

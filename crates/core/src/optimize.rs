@@ -57,20 +57,32 @@ fn merge_in(stmts: &mut [SStmt]) {
 /// Key identifying a comm statement up to its temporary.
 fn comm_key(c: &CommStmt) -> Option<(String, Option<ArrId>)> {
     match c {
-        CommStmt::Multicast { src, dim, src_g, .. } => {
-            Some((format!("mc:{src}:{dim}:{src_g:?}"), None))
-        }
-        CommStmt::Transfer { src, dim, src_g, dst_g, dst_arr, dst_dim, .. } => Some((
+        CommStmt::Multicast {
+            src, dim, src_g, ..
+        } => Some((format!("mc:{src}:{dim}:{src_g:?}"), None)),
+        CommStmt::Transfer {
+            src,
+            dim,
+            src_g,
+            dst_g,
+            dst_arr,
+            dst_dim,
+            ..
+        } => Some((
             format!("xf:{src}:{dim}:{src_g:?}:{dst_g:?}:{dst_arr}:{dst_dim}"),
             None,
         )),
-        CommStmt::TempShift { src, dim, amount, .. } => {
-            Some((format!("ts:{src}:{dim}:{amount:?}"), None))
-        }
-        CommStmt::MulticastShift { src, mdim, src_g, sdim, amount, .. } => Some((
-            format!("ms:{src}:{mdim}:{src_g:?}:{sdim}:{amount:?}"),
-            None,
-        )),
+        CommStmt::TempShift {
+            src, dim, amount, ..
+        } => Some((format!("ts:{src}:{dim}:{amount:?}"), None)),
+        CommStmt::MulticastShift {
+            src,
+            mdim,
+            src_g,
+            sdim,
+            amount,
+            ..
+        } => Some((format!("ms:{src}:{mdim}:{src_g:?}:{sdim}:{amount:?}"), None)),
         CommStmt::Concat { src, .. } => Some((format!("cc:{src}"), None)),
         // Overlap shifts merge by (arr, dim, sign) keeping the widest.
         CommStmt::OverlapShift { .. } => None,
@@ -96,7 +108,12 @@ fn merge_forall(f: &mut ForallNode) {
     // Widest overlap shift per (arr, dim, sign).
     let mut widest: HashMap<(ArrId, usize, bool), i64> = HashMap::new();
     for c in &f.pre {
-        if let CommStmt::OverlapShift { arr, dim, c: amount } = c {
+        if let CommStmt::OverlapShift {
+            arr,
+            dim,
+            c: amount,
+        } = c
+        {
             let key = (*arr, *dim, *amount > 0);
             let e = widest.entry(key).or_insert(0);
             if amount.abs() > e.abs() {
@@ -107,7 +124,11 @@ fn merge_forall(f: &mut ForallNode) {
     let mut emitted_shift: HashSet<(ArrId, usize, bool)> = HashSet::new();
     for c in f.pre.drain(..) {
         match &c {
-            CommStmt::OverlapShift { arr, dim, c: amount } => {
+            CommStmt::OverlapShift {
+                arr,
+                dim,
+                c: amount,
+            } => {
                 let key = (*arr, *dim, *amount > 0);
                 if emitted_shift.insert(key) {
                     kept.push(CommStmt::OverlapShift {
@@ -243,14 +264,14 @@ fn comm_invariant(
     };
     let args_invariant: bool = match c {
         CommStmt::Multicast { src, src_g, .. } => src_ok(*src) && !uses_var(src_g, do_var),
-        CommStmt::Transfer { src, src_g, dst_g, .. } => {
-            src_ok(*src) && !uses_var(src_g, do_var) && !uses_var(dst_g, do_var)
-        }
+        CommStmt::Transfer {
+            src, src_g, dst_g, ..
+        } => src_ok(*src) && !uses_var(src_g, do_var) && !uses_var(dst_g, do_var),
         CommStmt::OverlapShift { arr, .. } => src_ok(*arr),
         CommStmt::TempShift { src, amount, .. } => src_ok(*src) && !uses_var(amount, do_var),
-        CommStmt::MulticastShift { src, src_g, amount, .. } => {
-            src_ok(*src) && !uses_var(src_g, do_var) && !uses_var(amount, do_var)
-        }
+        CommStmt::MulticastShift {
+            src, src_g, amount, ..
+        } => src_ok(*src) && !uses_var(src_g, do_var) && !uses_var(amount, do_var),
         CommStmt::Concat { src, .. } => src_ok(*src),
         CommStmt::BroadcastElem { .. } | CommStmt::ReduceScalar { .. } => false,
     };

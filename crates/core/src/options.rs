@@ -46,6 +46,17 @@ impl OptFlags {
     }
 }
 
+/// Which execution engine [`crate::Compiled::run_on`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Walk the SPMD statement tree directly ([`crate::exec::Executor`]).
+    #[default]
+    TreeWalk,
+    /// Lower once to register bytecode (cached by source/options/grid)
+    /// and run it on [`f90d_vm::Engine`].
+    Vm,
+}
+
 /// Options for one compilation.
 #[derive(Debug, Clone, Default)]
 pub struct CompileOptions {
@@ -54,6 +65,8 @@ pub struct CompileOptions {
     pub grid_shape: Option<Vec<i64>>,
     /// Optimization flags.
     pub opt: OptFlags,
+    /// Execution backend.
+    pub backend: Backend,
 }
 
 impl CompileOptions {
@@ -62,6 +75,13 @@ impl CompileOptions {
         CompileOptions {
             grid_shape: Some(shape.to_vec()),
             opt: OptFlags::default(),
+            backend: Backend::default(),
         }
+    }
+
+    /// Same options with a different backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }

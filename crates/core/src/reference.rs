@@ -98,7 +98,13 @@ pub fn run_reference(
     for (name, ty) in &info.scalars {
         st.scalars.insert(name.clone(), elem_type(*ty).zero());
     }
-    exec_block(&prog.program.units[main_idx].body, prog, info, &mut st, &mut Vec::new())?;
+    exec_block(
+        &prog.program.units[main_idx].body,
+        prog,
+        info,
+        &mut st,
+        &mut Vec::new(),
+    )?;
     Ok(st)
 }
 
@@ -151,7 +157,11 @@ fn exec_stmt(
             }
             Ok(())
         }
-        Stmt::Forall { indices, mask, body } => {
+        Stmt::Forall {
+            indices,
+            mask,
+            body,
+        } => {
             // Each body statement runs to completion (F90 construct
             // semantics) with RHS-before-write snapshot staging.
             for b in body {
@@ -188,7 +198,13 @@ fn exec_stmt(
             }
             Ok(())
         }
-        Stmt::Do { var, lb, ub, st: step, body } => {
+        Stmt::Do {
+            var,
+            lb,
+            ub,
+            st: step,
+            body,
+        } => {
             let lb = eval(lb, info, st, env)?.as_int();
             let ub = eval(ub, info, st, env)?.as_int();
             let sp = eval(step, info, st, env)?.as_int();
@@ -234,8 +250,10 @@ fn exec_stmt(
             // Save caller state, build callee state with arg binding.
             let mut sub = RefState::default();
             for (aname, arr) in &callee_info.arrays {
-                sub.arrays
-                    .insert(aname.clone(), HostArray::zeros(elem_type(arr.ty), &arr.extents));
+                sub.arrays.insert(
+                    aname.clone(),
+                    HostArray::zeros(elem_type(arr.ty), &arr.extents),
+                );
             }
             for (sname, ty) in &callee_info.scalars {
                 sub.scalars.insert(sname.clone(), elem_type(*ty).zero());
@@ -309,7 +327,9 @@ fn exec_array_intrinsic(
     env: &mut Frame,
 ) -> Result<(), String> {
     let Expr::Ref(fname, args) = rhs else {
-        return Err(format!("whole-array assignment to {lhs} must be an intrinsic"));
+        return Err(format!(
+            "whole-array assignment to {lhs} must be an intrinsic"
+        ));
     };
     let arg_expr = |k: usize| -> Result<&Expr, String> {
         match args.get(k) {
@@ -465,8 +485,10 @@ fn eval(e: &Expr, info: &UnitInfo, st: &RefState, env: &Frame) -> Result<Value, 
                         })
                     }
                     "DOTPRODUCT" | "DOT_PRODUCT" => {
-                        let (Some(Subscript::Index(Expr::Var(a))), Some(Subscript::Index(Expr::Var(b)))) =
-                            (subs.first(), subs.get(1))
+                        let (
+                            Some(Subscript::Index(Expr::Var(a))),
+                            Some(Subscript::Index(Expr::Var(b))),
+                        ) = (subs.first(), subs.get(1))
                         else {
                             return Err("DOTPRODUCT: two whole arrays required".into());
                         };

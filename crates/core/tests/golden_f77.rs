@@ -78,7 +78,10 @@ FORALL (I=1:7) A(I) = B(2*I+1)
 END
 ";
     let out = f77(src, &[4]);
-    assert!(out.contains("isch = schedule1(receive_list, send_list, local_list, count)"), "{out}");
+    assert!(
+        out.contains("isch = schedule1(receive_list, send_list, local_list, count)"),
+        "{out}"
+    );
     assert!(out.contains("call precomp_read(isch,"), "{out}");
     // The body reads the buffer with the running counter idiom.
     assert!(out.contains("(count); count = count+1"), "{out}");
@@ -120,7 +123,10 @@ FORALL (I=1:N) A(U(I)) = B(I)
 END
 ";
     let out = f77(src, &[4]);
-    assert!(out.contains("isch = schedule3(proc_to, local_to, count)"), "{out}");
+    assert!(
+        out.contains("isch = schedule3(proc_to, local_to, count)"),
+        "{out}"
+    );
     assert!(out.contains("call scatter(isch,"), "{out}");
     assert!(out.contains("call set_BOUND_block_iter("), "{out}");
 }
@@ -141,11 +147,26 @@ FORALL (I=2:N-1, J=2:N-1) B(I,J) = 0.25*(A(I-1,J)+A(I+1,J)+A(I,J-1)+A(I,J+1))
 END
 ";
     let out = f77(src, &[2, 2]);
-    assert!(out.contains("call overlap_shift(A, dim=1, width=-1)"), "{out}");
-    assert!(out.contains("call overlap_shift(A, dim=1, width=1)"), "{out}");
-    assert!(out.contains("call overlap_shift(A, dim=2, width=-1)"), "{out}");
-    assert!(out.contains("call overlap_shift(A, dim=2, width=1)"), "{out}");
-    assert!(out.contains("overlap(1)"), "ghost allocation comment: {out}");
+    assert!(
+        out.contains("call overlap_shift(A, dim=1, width=-1)"),
+        "{out}"
+    );
+    assert!(
+        out.contains("call overlap_shift(A, dim=1, width=1)"),
+        "{out}"
+    );
+    assert!(
+        out.contains("call overlap_shift(A, dim=2, width=-1)"),
+        "{out}"
+    );
+    assert!(
+        out.contains("call overlap_shift(A, dim=2, width=1)"),
+        "{out}"
+    );
+    assert!(
+        out.contains("overlap(1)"),
+        "ghost allocation comment: {out}"
+    );
 }
 
 #[test]

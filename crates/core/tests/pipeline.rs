@@ -29,7 +29,9 @@ fn differential(
     for (name, data) in inits {
         assert!(ex.seed_array(&mut m, name, data), "unknown array {name}");
     }
-    let report = ex.run(&mut m).unwrap_or_else(|e| panic!("exec failed: {e}"));
+    let report = ex
+        .run(&mut m)
+        .unwrap_or_else(|e| panic!("exec failed: {e}"));
     for (name, href) in &reference.arrays {
         let got = ex
             .gather_array(&mut m, name)
@@ -304,7 +306,10 @@ END
 ";
     let inits = HashMap::from([
         ("X".to_string(), real_ramp(32)),
-        ("TERM".to_string(), ArrayData::Real((0..32).map(|x| 0.25 * x as f64).collect())),
+        (
+            "TERM".to_string(),
+            ArrayData::Real((0..32).map(|x| 0.25 * x as f64).collect()),
+        ),
     ]);
     for g in grids_1d() {
         differential(src, &g, &inits, None);
@@ -552,7 +557,12 @@ END
         .spmd
         .stmts
         .iter()
-        .filter(|s| matches!(s, f90d_core::ir::SStmt::Runtime(f90d_core::ir::RtCall::RemapCopy { .. })))
+        .filter(|s| {
+            matches!(
+                s,
+                f90d_core::ir::SStmt::Runtime(f90d_core::ir::RtCall::RemapCopy { .. })
+            )
+        })
         .count();
     assert_eq!(remaps, 2);
 }
@@ -691,8 +701,14 @@ END
     on.opt.merge_comm = true;
     let mut off = CompileOptions::on_grid(&[4]);
     off.opt.merge_comm = false;
-    assert_eq!(compile(src, &on).unwrap().spmd.comm_census()["multicast"], 1);
-    assert_eq!(compile(src, &off).unwrap().spmd.comm_census()["multicast"], 2);
+    assert_eq!(
+        compile(src, &on).unwrap().spmd.comm_census()["multicast"],
+        1
+    );
+    assert_eq!(
+        compile(src, &off).unwrap().spmd.comm_census()["multicast"],
+        2
+    );
 }
 
 #[test]

@@ -18,7 +18,9 @@ fn differential(src: &str, grid: &[i64], inits: &HashMap<String, ArrayData>) -> 
     for (name, data) in inits {
         assert!(ex.seed_array(&mut m, name, data), "unknown array {name}");
     }
-    let report = ex.run(&mut m).unwrap_or_else(|e| panic!("exec failed: {e}\n{src}"));
+    let report = ex
+        .run(&mut m)
+        .unwrap_or_else(|e| panic!("exec failed: {e}\n{src}"));
     for (name, href) in &reference.arrays {
         let got = ex.gather_array(&mut m, name).unwrap();
         for k in 0..got.len() {
@@ -196,7 +198,10 @@ END
     // COUNT over a comparison expression is not a whole-array operand —
     // the compiler should reject it cleanly rather than miscompile.
     let r = compile(src, &CompileOptions::on_grid(&[2]));
-    assert!(r.is_err(), "array-expression reduction operands unsupported");
+    assert!(
+        r.is_err(),
+        "array-expression reduction operands unsupported"
+    );
     let src2 = "
 PROGRAM PRT
 INTEGER, PARAMETER :: N = 6

@@ -24,7 +24,10 @@ struct RandProgram {
 
 fn program(p: &RandProgram) -> String {
     let n = p.n;
-    let (lo, hi) = (1 + p.shift1.abs().max(p.shift2.abs()), n - p.shift1.abs().max(p.shift2.abs()));
+    let (lo, hi) = (
+        1 + p.shift1.abs().max(p.shift2.abs()),
+        n - p.shift1.abs().max(p.shift2.abs()),
+    );
     let mask = if p.masked { ", B(I) > 0.0" } else { "" };
     format!(
         "
@@ -65,15 +68,17 @@ fn rand_program() -> impl Strategy<Value = RandProgram> {
         any::<bool>(),
         1i64..6,
     )
-        .prop_map(|(n, dist, shift1, shift2, scale, masked, grid)| RandProgram {
-            n,
-            dist,
-            shift1,
-            shift2,
-            scale,
-            masked,
-            grid,
-        })
+        .prop_map(
+            |(n, dist, shift1, shift2, scale, masked, grid)| RandProgram {
+                n,
+                dist,
+                shift1,
+                shift2,
+                scale,
+                masked,
+                grid,
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`: a tiny wall-clock bench harness with
+//! the same macro/entry-point surface the in-tree benches use.
+//!
+//! Each benchmark runs one warm-up iteration, then `sample_size` timed
+//! iterations, and prints `name  time: [min median max]`. There is no
+//! statistical analysis, HTML report, or baseline comparison — see
+//! `crates/devtools/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the payload.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run and time `f`, once as warm-up and `samples` times measured.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, results: &mut [Duration]) {
+    if results.is_empty() {
+        return;
+    }
+    results.sort_unstable();
+    let (min, med, max) = (
+        results[0],
+        results[results.len() / 2],
+        results[results.len() - 1],
+    );
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_dur(min),
+        fmt_dur(med),
+        fmt_dur(max)
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else {
+        format!("{:.4} µs", s * 1e6)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: DEFAULT_SAMPLES,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.id, &mut b.results);
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &mut b.results);
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &mut b.results);
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for `proptest`: deterministic random-input testing
+//! with the subset of the API the in-tree property tests use.
+//!
+//! Differences from the real crate (see `crates/devtools/README.md`):
+//! no shrinking (a failure reports the raw inputs), `prop_assume!` skips
+//! the case instead of drawing a replacement, and generation is seeded
+//! from the test's module path so runs are reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports: `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `cases` times over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::Rng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    $( let $arg = ($strat).generate(&mut __rng); )+
+                    let __desc = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            __case + 1, __config.cases, e.0, __desc
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body (reports the generated inputs on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        $crate::prop_assert_eq!($a, $b, "{} != {}", stringify!($a), stringify!($b))
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(*__left == *__right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                __left,
+                __right
+            )));
+        }
+    }};
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static RUNS: AtomicU32 = AtomicU32::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        // No #[test] here: invoked (once) by `case_count_honored` so the
+        // exact case count can be asserted without double execution.
+        fn runs_configured_cases(x in 0i64..100, flip in any::<bool>()) {
+            RUNS.fetch_add(1, Ordering::SeqCst);
+            prop_assert!((0..100).contains(&x));
+            prop_assume!(flip | !flip);
+        }
+    }
+
+    #[test]
+    fn case_count_honored() {
+        runs_configured_cases();
+        assert_eq!(RUNS.load(Ordering::SeqCst), 17);
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![Just(1i64), Just(2i64), (10i64..20).prop_map(|x| x * 2)],
+        ) {
+            prop_assert!(v == 1 || v == 2 || (20..40).contains(&v), "v = {v}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Config, error type and the deterministic generator.
+
+/// How many cases each property test runs.
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property (carries the formatted assertion message).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Deterministic splitmix64 generator, seeded from the test name so every
+/// run of a given test sees the same input sequence.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seed from a test identifier.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Rng { state: h | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! See `crates/devtools/README.md` for scope and how to swap the real
+//! crate back in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (never invoked in-tree).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (never invoked in-tree).
+pub trait Deserialize<'de> {}

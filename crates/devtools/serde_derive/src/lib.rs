@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//!
+//! Nothing in this workspace serializes values — the derives on the
+//! mapping/spec types only declare the intent so the real crate can be
+//! swapped back in without source changes (crates/devtools/README.md).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -123,9 +123,9 @@ impl Alignment {
 
     /// The array axis aligned with template dimension `tdim`, if any.
     pub fn axis_of_template_dim(&self, tdim: usize) -> Option<usize> {
-        self.axes.iter().position(|a| {
-            matches!(a, AxisAlign::Aligned { template_dim, .. } if *template_dim == tdim)
-        })
+        self.axes.iter().position(
+            |a| matches!(a, AxisAlign::Aligned { template_dim, .. } if *template_dim == tdim),
+        )
     }
 
     /// Map a full array index vector to the template cells it occupies on

@@ -28,7 +28,11 @@ pub struct LocalRange {
 
 impl LocalRange {
     /// The canonical empty range.
-    pub const EMPTY: LocalRange = LocalRange { lb: 0, ub: -1, st: 1 };
+    pub const EMPTY: LocalRange = LocalRange {
+        lb: 0,
+        ub: -1,
+        st: 1,
+    };
 
     /// `true` when the range contains no iterations.
     pub fn is_empty(&self) -> bool {
@@ -47,7 +51,9 @@ impl LocalRange {
     /// Iterate the local indices.
     pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
         let (lb, ub, st) = (self.lb, self.ub, self.st);
-        (0..self.len()).map(move |k| lb + k * st).filter(move |&l| l <= ub)
+        (0..self.len())
+            .map(move |k| lb + k * st)
+            .filter(move |&l| l <= ub)
     }
 }
 
@@ -310,7 +316,11 @@ mod tests {
 
     #[test]
     fn local_range_len_and_iter() {
-        let r = LocalRange { lb: 2, ub: 10, st: 3 };
+        let r = LocalRange {
+            lb: 2,
+            ub: 10,
+            st: 3,
+        };
         assert_eq!(r.len(), 3);
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![2, 5, 8]);
         assert!(LocalRange::EMPTY.is_empty());

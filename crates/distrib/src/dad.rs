@@ -158,13 +158,7 @@ impl Dad {
         self.dims
             .iter()
             .zip(index)
-            .map(|(d, &i)| {
-                if d.is_distributed() {
-                    d.local_of(i)
-                } else {
-                    i
-                }
-            })
+            .map(|(d, &i)| if d.is_distributed() { d.local_of(i) } else { i })
             .collect()
     }
 

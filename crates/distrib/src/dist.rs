@@ -230,10 +230,7 @@ mod tests {
         assert_eq!(d.local_of(6), 2);
         assert_eq!(d.local_of(7), 3);
         assert_eq!(d.local_count(0), 4);
-        assert_eq!(
-            d.owned_globals(1).collect::<Vec<_>>(),
-            vec![2, 3, 8, 9]
-        );
+        assert_eq!(d.owned_globals(1).collect::<Vec<_>>(), vec![2, 3, 8, 9]);
     }
 
     #[test]

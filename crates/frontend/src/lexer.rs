@@ -105,7 +105,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             Some(rest.to_string())
         } else if let Some(rest) = upper.strip_prefix("!HPF$") {
             Some(rest.to_string())
-        } else { upper.strip_prefix("!F90D$").map(|rest| rest.to_string()) };
+        } else {
+            upper.strip_prefix("!F90D$").map(|rest| rest.to_string())
+        };
         let (is_directive, body) = match directive_body {
             Some(b) => (true, b),
             None => {
@@ -224,9 +226,7 @@ fn lex_chars(chars: &[char], line: usize, out: &mut Vec<Token>) -> Result<(), Le
             i = j;
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == '.' && i + 1 < n && chars[i + 1].is_ascii_digit())
-        {
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && chars[i + 1].is_ascii_digit()) {
             let (tok, next) = lex_number(chars, i, line)?;
             push(out, tok);
             i = next;
@@ -467,10 +467,17 @@ mod tests {
 
     #[test]
     fn directive_lines() {
-        for s in ["C$ DISTRIBUTE T(BLOCK)", "!HPF$ DISTRIBUTE T(BLOCK)", "!f90d$ distribute t(block)"] {
+        for s in [
+            "C$ DISTRIBUTE T(BLOCK)",
+            "!HPF$ DISTRIBUTE T(BLOCK)",
+            "!f90d$ distribute t(block)",
+        ] {
             let k = kinds(s);
             assert_eq!(k[0], TokenKind::DirectiveStart, "{s}");
-            assert!(matches!(&k[1], TokenKind::Ident(w) if w == "DISTRIBUTE"), "{s}");
+            assert!(
+                matches!(&k[1], TokenKind::Ident(w) if w == "DISTRIBUTE"),
+                "{s}"
+            );
         }
     }
 

@@ -22,7 +22,14 @@ use crate::sema::{AnalyzedProgram, UnitInfo, PARALLEL_INTRINSICS};
 /// Array-valued parallel intrinsics that stay as whole-statement runtime
 /// calls (`B = CSHIFT(A, 1)` etc.) rather than being expanded.
 pub const ARRAY_VALUED_INTRINSICS: &[&str] = &[
-    "CSHIFT", "EOSHIFT", "SPREAD", "PACK", "UNPACK", "RESHAPE", "TRANSPOSE", "MATMUL",
+    "CSHIFT",
+    "EOSHIFT",
+    "SPREAD",
+    "PACK",
+    "UNPACK",
+    "RESHAPE",
+    "TRANSPOSE",
+    "MATMUL",
 ];
 
 /// Normalize an analyzed program in place.
@@ -32,10 +39,7 @@ pub fn normalize(prog: &mut AnalyzedProgram) {
         let mut counter = 0usize;
         let body = std::mem::take(&mut unit.body);
         let expanded = expand_stmts(body, info, &mut counter);
-        let mut shifted: Vec<Stmt> = expanded
-            .into_iter()
-            .map(|s| shift_stmt(s, info))
-            .collect();
+        let mut shifted: Vec<Stmt> = expanded.into_iter().map(|s| shift_stmt(s, info)).collect();
         for s in &mut shifted {
             rebase_foralls(s);
         }
@@ -85,7 +89,11 @@ fn expand_stmt(
             }
             out.push(expand_array_assign(lhs, rhs, where_mask, info, counter));
         }
-        Stmt::Where { mask, then, elsewhere } => {
+        Stmt::Where {
+            mask,
+            then,
+            elsewhere,
+        } => {
             for inner in then {
                 expand_stmt(inner, info, Some(&mask), counter, out);
             }
@@ -96,18 +104,38 @@ fn expand_stmt(
                 }
             }
         }
-        Stmt::Do { var, lb, ub, st, body } => {
+        Stmt::Do {
+            var,
+            lb,
+            ub,
+            st,
+            body,
+        } => {
             let body = expand_stmts(body, info, counter);
-            out.push(Stmt::Do { var, lb, ub, st, body });
+            out.push(Stmt::Do {
+                var,
+                lb,
+                ub,
+                st,
+                body,
+            });
         }
         Stmt::If { cond, then, else_ } => {
             let then = expand_stmts(then, info, counter);
             let else_ = expand_stmts(else_, info, counter);
             out.push(Stmt::If { cond, then, else_ });
         }
-        Stmt::Forall { indices, mask, body } => {
+        Stmt::Forall {
+            indices,
+            mask,
+            body,
+        } => {
             // Bodies of user FORALLs are already elementwise.
-            out.push(Stmt::Forall { indices, mask, body });
+            out.push(Stmt::Forall {
+                indices,
+                mask,
+                body,
+            });
         }
         other => out.push(other),
     }
@@ -226,20 +254,18 @@ fn map_elemental(e: Expr, sec_vars: &[(String, Expr)], info: &UnitInfo) -> Expr 
                             Subscript::Range { lb, ub: _, st } => {
                                 let (var, lhs_lb) = sec_vars
                                     .get(*pos)
-                                    .unwrap_or_else(|| panic!(
-                                        "RHS section of `{name}` has no matching LHS section"
-                                    ))
+                                    .unwrap_or_else(|| {
+                                        panic!(
+                                            "RHS section of `{name}` has no matching LHS section"
+                                        )
+                                    })
                                     .clone();
                                 *pos += 1;
                                 let rlb = lb.unwrap_or(Expr::Int(1));
                                 let rst = st.unwrap_or(Expr::Int(1));
                                 let _ = extents;
                                 // index = rlb + (var - lhs_lb) * rst
-                                let delta = Expr::bin(
-                                    BinOp::Sub,
-                                    Expr::Var(var),
-                                    lhs_lb,
-                                );
+                                let delta = Expr::bin(BinOp::Sub, Expr::Var(var), lhs_lb);
                                 let scaled = Expr::bin(BinOp::Mul, delta, rst);
                                 new_subs.push(Subscript::Index(simplify(Expr::bin(
                                     BinOp::Add,
@@ -258,9 +284,7 @@ fn map_elemental(e: Expr, sec_vars: &[(String, Expr)], info: &UnitInfo) -> Expr 
                     let subs = subs
                         .into_iter()
                         .map(|s| match s {
-                            Subscript::Index(ix) => {
-                                Subscript::Index(walk(ix, sec_vars, info, pos))
-                            }
+                            Subscript::Index(ix) => Subscript::Index(walk(ix, sec_vars, info, pos)),
                             other => other,
                         })
                         .collect();
@@ -294,7 +318,11 @@ fn shift_stmt(s: Stmt, info: &UnitInfo) -> Stmt {
             lhs: shift_lhs(lhs, info),
             rhs: shift_expr(rhs, info),
         },
-        Stmt::Forall { indices, mask, body } => Stmt::Forall {
+        Stmt::Forall {
+            indices,
+            mask,
+            body,
+        } => Stmt::Forall {
             indices: indices
                 .into_iter()
                 .map(|ix| ForallIndex {
@@ -307,12 +335,22 @@ fn shift_stmt(s: Stmt, info: &UnitInfo) -> Stmt {
             mask: mask.map(|m| shift_expr(m, info)),
             body: body.into_iter().map(|b| shift_stmt(b, info)).collect(),
         },
-        Stmt::Where { mask, then, elsewhere } => Stmt::Where {
+        Stmt::Where {
+            mask,
+            then,
+            elsewhere,
+        } => Stmt::Where {
             mask: shift_expr(mask, info),
             then: then.into_iter().map(|b| shift_stmt(b, info)).collect(),
             elsewhere: elsewhere.into_iter().map(|b| shift_stmt(b, info)).collect(),
         },
-        Stmt::Do { var, lb, ub, st, body } => Stmt::Do {
+        Stmt::Do {
+            var,
+            lb,
+            ub,
+            st,
+            body,
+        } => Stmt::Do {
             var,
             lb: simplify(shift_expr(lb, info)),
             ub: simplify(shift_expr(ub, info)),
@@ -369,9 +407,7 @@ fn shift_expr(e: Expr, info: &UnitInfo) -> Expr {
             if info.arrays.contains_key(&name) {
                 Expr::Ref(
                     name,
-                    subs.into_iter()
-                        .map(|s| shift_subscript(s, info))
-                        .collect(),
+                    subs.into_iter().map(|s| shift_subscript(s, info)).collect(),
                 )
             } else {
                 // Intrinsic: shift inside args (array refs there are real
@@ -403,7 +439,11 @@ fn shift_expr(e: Expr, info: &UnitInfo) -> Expr {
 /// body and mask.
 fn rebase_foralls(s: &mut Stmt) {
     match s {
-        Stmt::Forall { indices, mask, body } => {
+        Stmt::Forall {
+            indices,
+            mask,
+            body,
+        } => {
             for b in body.iter_mut() {
                 rebase_foralls(b);
             }
@@ -429,7 +469,9 @@ fn rebase_foralls(s: &mut Stmt) {
                 }
             }
         }
-        Stmt::Where { then, elsewhere, .. } => {
+        Stmt::Where {
+            then, elsewhere, ..
+        } => {
             for b in then.iter_mut().chain(elsewhere) {
                 rebase_foralls(b);
             }
@@ -446,7 +488,11 @@ fn subst_stmt(s: &mut Stmt, var: &str, replacement: &Expr) {
             }
             *rhs = simplify(subst_var(rhs.clone(), var, replacement));
         }
-        Stmt::Forall { indices, mask, body } => {
+        Stmt::Forall {
+            indices,
+            mask,
+            body,
+        } => {
             for ix in indices {
                 ix.lb = simplify(subst_var(ix.lb.clone(), var, replacement));
                 ix.ub = simplify(subst_var(ix.ub.clone(), var, replacement));
@@ -459,7 +505,9 @@ fn subst_stmt(s: &mut Stmt, var: &str, replacement: &Expr) {
                 subst_stmt(b, var, replacement);
             }
         }
-        Stmt::Do { lb, ub, st, body, .. } => {
+        Stmt::Do {
+            lb, ub, st, body, ..
+        } => {
             *lb = simplify(subst_var(lb.clone(), var, replacement));
             *ub = simplify(subst_var(ub.clone(), var, replacement));
             *st = simplify(subst_var(st.clone(), var, replacement));
@@ -473,7 +521,11 @@ fn subst_stmt(s: &mut Stmt, var: &str, replacement: &Expr) {
                 subst_stmt(b, var, replacement);
             }
         }
-        Stmt::Where { mask, then, elsewhere } => {
+        Stmt::Where {
+            mask,
+            then,
+            elsewhere,
+        } => {
             *mask = simplify(subst_var(mask.clone(), var, replacement));
             for b in then.iter_mut().chain(elsewhere) {
                 subst_stmt(b, var, replacement);
@@ -621,7 +673,11 @@ mod tests {
     fn whole_array_assign_becomes_forall() {
         let p = front("PROGRAM T\nREAL A(8), B(8)\nA = B\nEND\n");
         match &main_body(&p)[0] {
-            Stmt::Forall { indices, mask, body } => {
+            Stmt::Forall {
+                indices,
+                mask,
+                body,
+            } => {
                 assert_eq!(indices.len(), 1);
                 assert_eq!(indices[0].lb, Expr::Int(0));
                 assert_eq!(indices[0].ub, Expr::Int(7));
@@ -630,7 +686,10 @@ mod tests {
                     Stmt::Assign { lhs, rhs } => {
                         let v = indices[0].var.clone();
                         assert_eq!(lhs.subs, vec![Subscript::Index(Expr::Var(v.clone()))]);
-                        assert_eq!(rhs, &Expr::Ref("B".into(), vec![Subscript::Index(Expr::Var(v))]));
+                        assert_eq!(
+                            rhs,
+                            &Expr::Ref("B".into(), vec![Subscript::Index(Expr::Var(v))])
+                        );
                     }
                     other => panic!("{other:?}"),
                 }
@@ -756,9 +815,7 @@ mod tests {
 
     #[test]
     fn where_becomes_masked_forall() {
-        let p = front(
-            "PROGRAM T\nREAL A(8), B(8)\nWHERE (A > 0.0) B = A\nEND\n",
-        );
+        let p = front("PROGRAM T\nREAL A(8), B(8)\nWHERE (A > 0.0) B = A\nEND\n");
         match &main_body(&p)[0] {
             Stmt::Forall { mask, .. } => {
                 let m = mask.as_ref().expect("mask present");

@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 /// Parse a token stream into a [`Program`].
 pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     p.skip_eos();
     let mut units = Vec::new();
     while !p.at_eof() {
@@ -147,16 +150,15 @@ impl<'a> Parser<'a> {
         };
         let name = self.expect_ident()?;
         let mut args = Vec::new();
-        if is_subroutine && self.eat_punct("(")
-            && !self.eat_punct(")") {
-                loop {
-                    args.push(self.expect_ident()?);
-                    if !self.eat_punct(",") {
-                        break;
-                    }
+        if is_subroutine && self.eat_punct("(") && !self.eat_punct(")") {
+            loop {
+                args.push(self.expect_ident()?);
+                if !self.eat_punct(",") {
+                    break;
                 }
-                self.expect_punct(")")?;
             }
+            self.expect_punct(")")?;
+        }
         self.expect_eos()?;
         let mut decls = Vec::new();
         let mut directives = Directives::default();
@@ -171,9 +173,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 // optional PROGRAM/SUBROUTINE [name]
                 if (self.eat_kw("PROGRAM") || self.eat_kw("SUBROUTINE"))
-                    && matches!(self.peek(), TokenKind::Ident(_)) {
-                        self.bump();
-                    }
+                    && matches!(self.peek(), TokenKind::Ident(_))
+                {
+                    self.bump();
+                }
                 self.expect_eos()?;
                 break;
             }
@@ -396,7 +399,11 @@ impl<'a> Parser<'a> {
                 } else {
                     None
                 };
-                dirs.distributes.push(DistDirective { target, kinds, onto });
+                dirs.distributes.push(DistDirective {
+                    target,
+                    kinds,
+                    onto,
+                });
                 self.expect_eos()?;
                 Ok(None)
             }
@@ -513,7 +520,11 @@ impl<'a> Parser<'a> {
                 body.push(self.statement()?);
                 self.skip_eos();
             }
-            Ok(Stmt::Forall { indices, mask, body })
+            Ok(Stmt::Forall {
+                indices,
+                mask,
+                body,
+            })
         } else {
             let inner = self.assignment()?;
             Ok(Stmt::Forall {
@@ -552,7 +563,11 @@ impl<'a> Parser<'a> {
                 }
                 self.skip_eos();
             }
-            Ok(Stmt::Where { mask, then, elsewhere })
+            Ok(Stmt::Where {
+                mask,
+                then,
+                elsewhere,
+            })
         } else {
             let inner = self.assignment()?;
             Ok(Stmt::Where {
@@ -584,7 +599,13 @@ impl<'a> Parser<'a> {
             }
             body.push(self.statement()?);
         }
-        Ok(Stmt::Do { var, lb, ub, st, body })
+        Ok(Stmt::Do {
+            var,
+            lb,
+            ub,
+            st,
+            body,
+        })
     }
 
     fn if_stmt(&mut self) -> PResult<Stmt> {
@@ -630,16 +651,15 @@ impl<'a> Parser<'a> {
         self.bump(); // CALL
         let name = self.expect_ident()?;
         let mut args = Vec::new();
-        if self.eat_punct("(")
-            && !self.eat_punct(")") {
-                loop {
-                    args.push(self.expr()?);
-                    if !self.eat_punct(",") {
-                        break;
-                    }
+        if self.eat_punct("(") && !self.eat_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
                 }
-                self.expect_punct(")")?;
             }
+            self.expect_punct(")")?;
+        }
         self.expect_eos()?;
         Ok(Stmt::Call { name, args })
     }
@@ -901,7 +921,11 @@ mod tests {
     fn forall_single_statement() {
         let b = parse_body("FORALL (I=1:N, J=1:N) A(I,J) = B(I,J) + 1");
         match &b[0] {
-            Stmt::Forall { indices, mask, body } => {
+            Stmt::Forall {
+                indices,
+                mask,
+                body,
+            } => {
                 assert_eq!(indices.len(), 2);
                 assert_eq!(indices[0].var, "I");
                 assert!(mask.is_none());
@@ -934,9 +958,12 @@ mod tests {
 
     #[test]
     fn where_forms() {
-        let b = parse_body("WHERE (A > 0) B = A\nWHERE (A > 0)\nB = A\nELSEWHERE\nB = 0.0\nEND WHERE");
+        let b =
+            parse_body("WHERE (A > 0) B = A\nWHERE (A > 0)\nB = A\nELSEWHERE\nB = 0.0\nEND WHERE");
         assert!(matches!(&b[0], Stmt::Where { elsewhere, .. } if elsewhere.is_empty()));
-        assert!(matches!(&b[1], Stmt::Where { then, elsewhere, .. } if then.len() == 1 && elsewhere.len() == 1));
+        assert!(
+            matches!(&b[1], Stmt::Where { then, elsewhere, .. } if then.len() == 1 && elsewhere.len() == 1)
+        );
     }
 
     #[test]
@@ -954,7 +981,9 @@ mod tests {
     #[test]
     fn one_line_if() {
         let b = parse_body("IF (X > 0) Y = 1");
-        assert!(matches!(&b[0], Stmt::If { then, else_, .. } if then.len() == 1 && else_.is_empty()));
+        assert!(
+            matches!(&b[0], Stmt::If { then, else_, .. } if then.len() == 1 && else_.is_empty())
+        );
     }
 
     #[test]
@@ -1034,7 +1063,9 @@ mod tests {
     #[test]
     fn redistribute_is_executable() {
         let b = parse_body("C$ REDISTRIBUTE A(CYCLIC)");
-        assert!(matches!(&b[0], Stmt::Redistribute { array, dist } if array == "A" && dist == &vec![DistSpec::Cyclic]));
+        assert!(
+            matches!(&b[0], Stmt::Redistribute { array, dist } if array == "A" && dist == &vec![DistSpec::Cyclic])
+        );
     }
 
     #[test]
@@ -1044,7 +1075,9 @@ mod tests {
         );
         assert_eq!(p.units.len(), 2);
         assert!(p.subroutine("FOO").is_some());
-        assert!(matches!(&p.units[0].body[0], Stmt::Call { name, args } if name == "FOO" && args.len() == 2));
+        assert!(
+            matches!(&p.units[0].body[0], Stmt::Call { name, args } if name == "FOO" && args.len() == 2)
+        );
     }
 
     #[test]

@@ -130,15 +130,31 @@ impl AnalyzedProgram {
 
 /// The Fortran intrinsics we accept, parallel (Table 3) and elemental.
 pub const PARALLEL_INTRINSICS: &[&str] = &[
-    "SUM", "PRODUCT", "MAXVAL", "MINVAL", "COUNT", "ALL", "ANY", "MAXLOC", "MINLOC",
-    "DOTPRODUCT", "DOT_PRODUCT", "CSHIFT", "EOSHIFT", "SPREAD", "PACK", "UNPACK", "RESHAPE",
-    "TRANSPOSE", "MATMUL",
+    "SUM",
+    "PRODUCT",
+    "MAXVAL",
+    "MINVAL",
+    "COUNT",
+    "ALL",
+    "ANY",
+    "MAXLOC",
+    "MINLOC",
+    "DOTPRODUCT",
+    "DOT_PRODUCT",
+    "CSHIFT",
+    "EOSHIFT",
+    "SPREAD",
+    "PACK",
+    "UNPACK",
+    "RESHAPE",
+    "TRANSPOSE",
+    "MATMUL",
 ];
 
 /// Elemental (scalar-applicable) intrinsics.
 pub const ELEMENTAL_INTRINSICS: &[&str] = &[
-    "ABS", "SQRT", "EXP", "LOG", "SIN", "COS", "TAN", "MOD", "MIN", "MAX", "REAL", "INT",
-    "FLOAT", "DBLE", "NINT", "SIGN",
+    "ABS", "SQRT", "EXP", "LOG", "SIN", "COS", "TAN", "MOD", "MIN", "MAX", "REAL", "INT", "FLOAT",
+    "DBLE", "NINT", "SIGN",
 ];
 
 /// `true` when `name` is a recognized intrinsic function.
@@ -182,7 +198,9 @@ fn check_calls(body: &[Stmt], program: &Program) -> SResult<()> {
                 check_calls(then, program)?;
                 check_calls(else_, program)?;
             }
-            Stmt::Where { then, elsewhere, .. } => {
+            Stmt::Where {
+                then, elsewhere, ..
+            } => {
                 check_calls(then, program)?;
                 check_calls(elsewhere, program)?;
             }
@@ -234,7 +252,9 @@ fn analyze_unit(unit: &Unit) -> SResult<UnitInfo> {
     }
     // Subroutine dummies without declarations are scalars of implicit type.
     for a in &unit.args {
-        if !info.arrays.contains_key(a) && !info.scalars.contains_key(a) && !info.params.contains_key(a)
+        if !info.arrays.contains_key(a)
+            && !info.scalars.contains_key(a)
+            && !info.params.contains_key(a)
         {
             // Fortran implicit typing: I–N integer, else real.
             let ty = if a.starts_with(|c: char| ('I'..='N').contains(&c)) {
@@ -538,7 +558,11 @@ fn check_stmts(stmts: &[Stmt], info: &UnitInfo, loop_vars: &mut Vec<String>) -> 
                 check_lhs(lhs, info, loop_vars)?;
                 check_expr(rhs, info, loop_vars)?;
             }
-            Stmt::Forall { indices, mask, body } => {
+            Stmt::Forall {
+                indices,
+                mask,
+                body,
+            } => {
                 for ix in indices {
                     check_expr(&ix.lb, info, loop_vars)?;
                     check_expr(&ix.ub, info, loop_vars)?;
@@ -551,12 +575,22 @@ fn check_stmts(stmts: &[Stmt], info: &UnitInfo, loop_vars: &mut Vec<String>) -> 
                 }
                 check_stmts(body, info, &mut inner)?;
             }
-            Stmt::Where { mask, then, elsewhere } => {
+            Stmt::Where {
+                mask,
+                then,
+                elsewhere,
+            } => {
                 check_expr(mask, info, loop_vars)?;
                 check_stmts(then, info, loop_vars)?;
                 check_stmts(elsewhere, info, loop_vars)?;
             }
-            Stmt::Do { var, lb, ub, st, body } => {
+            Stmt::Do {
+                var,
+                lb,
+                ub,
+                st,
+                body,
+            } => {
                 check_expr(lb, info, loop_vars)?;
                 check_expr(ub, info, loop_vars)?;
                 check_expr(st, info, loop_vars)?;
@@ -722,9 +756,16 @@ mod tests {
         assert_eq!(m.template_extents, vec![8, 8]);
         assert_eq!(
             m.axes[0],
-            AxisAlignSpec::Aligned { tdim: 0, stride: 1, offset: 0 }
+            AxisAlignSpec::Aligned {
+                tdim: 0,
+                stride: 1,
+                offset: 0
+            }
         );
-        assert_eq!(m.dist_kinds, vec![DistKindSpec::Block, DistKindSpec::Cyclic]);
+        assert_eq!(
+            m.dist_kinds,
+            vec![DistKindSpec::Block, DistKindSpec::Cyclic]
+        );
     }
 
     #[test]
@@ -739,7 +780,11 @@ mod tests {
         let m = &a.main_info().mappings["A"];
         assert_eq!(
             m.axes[0],
-            AxisAlignSpec::Aligned { tdim: 0, stride: 1, offset: 1 }
+            AxisAlignSpec::Aligned {
+                tdim: 0,
+                stride: 1,
+                offset: 1
+            }
         );
     }
 
@@ -753,7 +798,11 @@ mod tests {
         let m = &a.main_info().mappings["A"];
         assert_eq!(
             m.axes[0],
-            AxisAlignSpec::Aligned { tdim: 0, stride: 2, offset: 1 }
+            AxisAlignSpec::Aligned {
+                tdim: 0,
+                stride: 2,
+                offset: 1
+            }
         );
     }
 
@@ -810,17 +859,13 @@ mod tests {
 
     #[test]
     fn intrinsics_accepted() {
-        let a = analyze_src(
-            "PROGRAM T\nREAL A(4), S\nS = SUM(A) + ABS(MINVAL(A))\nEND\n",
-        );
+        let a = analyze_src("PROGRAM T\nREAL A(4), S\nS = SUM(A) + ABS(MINVAL(A))\nEND\n");
         assert!(a.is_ok(), "{a:?}");
     }
 
     #[test]
     fn forall_index_visible_in_body() {
-        let a = analyze_src(
-            "PROGRAM T\nREAL A(4)\nFORALL (I=1:4) A(I) = REAL(I)\nEND\n",
-        );
+        let a = analyze_src("PROGRAM T\nREAL A(4)\nFORALL (I=1:4) A(I) = REAL(I)\nEND\n");
         assert!(a.is_ok(), "{a:?}");
     }
 

@@ -4,7 +4,7 @@
 //! Generated SPMD programs alternate *local computation* phases and
 //! *global communication* phases (paper §2). `Machine::local_phase` runs a
 //! per-rank closure over every node memory — sequentially, or truly in
-//! parallel over crossbeam scoped threads ([`ExecMode::Threaded`]) — and
+//! parallel over std scoped threads ([`ExecMode::Threaded`]) — and
 //! charges each node's modelled cost to its virtual clock. Communication
 //! phases are executed by the collective library (`f90d-comm`) through the
 //! machine's [`MailboxTransport`].
@@ -141,15 +141,14 @@ impl Machine {
                 .collect(),
             ExecMode::Threaded => {
                 let mut costs = vec![0i64; self.mems.len()];
-                crossbeam::thread::scope(|s| {
+                std::thread::scope(|s| {
                     for ((r, mem), c) in self.mems.iter_mut().enumerate().zip(costs.iter_mut()) {
                         let f = &f;
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             *c = f(r as i64, mem);
                         });
                     }
-                })
-                .expect("local phase thread panicked");
+                });
                 costs
             }
         };
@@ -175,7 +174,7 @@ impl Machine {
             }
             ExecMode::Threaded => {
                 let mut costs = vec![0i64; self.mems.len()];
-                crossbeam::thread::scope(|s| {
+                std::thread::scope(|s| {
                     for (((r, mem), c), slot) in self
                         .mems
                         .iter_mut()
@@ -184,20 +183,21 @@ impl Machine {
                         .zip(out.iter_mut())
                     {
                         let f = &f;
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             let (v, ops) = f(r as i64, mem);
                             *slot = Some(v);
                             *c = ops;
                         });
                     }
-                })
-                .expect("local phase thread panicked");
+                });
                 for (r, ops) in costs.into_iter().enumerate() {
                     self.transport.charge_elem_ops(r as i64, ops);
                 }
             }
         }
-        out.into_iter().map(|o| o.expect("phase filled slot")).collect()
+        out.into_iter()
+            .map(|o| o.expect("phase filled slot"))
+            .collect()
     }
 
     /// Barrier over all nodes.
@@ -264,9 +264,6 @@ mod tests {
         m.stats.record("transfer");
         assert_eq!(m.stats.count("multicast"), 2);
         assert_eq!(m.stats.count("gather"), 0);
-        assert_eq!(
-            m.stats.sorted(),
-            vec![("multicast", 2), ("transfer", 1)]
-        );
+        assert_eq!(m.stats.sorted(), vec![("multicast", 2), ("transfer", 1)]);
     }
 }

@@ -201,9 +201,7 @@ impl NodeMemory {
     /// Panics if the names are equal or either is missing.
     pub fn two_arrays_mut(&mut self, a: &str, b: &str) -> (&mut LocalArray, &mut LocalArray) {
         assert_ne!(a, b, "two_arrays_mut needs distinct names");
-        let [x, y] = self
-            .arrays
-            .get_disjoint_mut([a, b]);
+        let [x, y] = self.arrays.get_disjoint_mut([a, b]);
         (
             x.unwrap_or_else(|| panic!("array `{a}` not allocated")),
             y.unwrap_or_else(|| panic!("array `{b}` not allocated")),

@@ -6,9 +6,9 @@
 //! handle only carries the descriptor — mirroring how the paper's
 //! generated code passes `(array, DAD)` pairs to run-time primitives.
 
-use f90d_distrib::{Dad, DadBuilder, DistKind};
 #[cfg(test)]
 use f90d_distrib::ProcGrid;
+use f90d_distrib::{Dad, DadBuilder, DistKind};
 use f90d_machine::{ArrayData, ElemType, LocalArray, Machine, Value};
 
 /// Host-side handle to a distributed array.
@@ -129,12 +129,7 @@ impl DistArray {
         let mut host = ArrayData::zeros(self.ty, self.size() as usize);
         for rank in 0..m.nranks() {
             let coords = m.grid.coords_of(rank);
-            if self
-                .dad
-                .replicated_axes
-                .iter()
-                .any(|&ax| coords[ax] != 0)
-            {
+            if self.dad.replicated_axes.iter().any(|&ax| coords[ax] != 0) {
                 continue;
             }
             let owned = self.dad.owned_elements(&coords);

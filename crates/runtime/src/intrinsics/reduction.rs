@@ -125,8 +125,12 @@ fn loc_reduce(m: &mut Machine, a: &DistArray, op: ReduceOp) -> Vec<i64> {
                 let v = arr.get(&l).as_real();
                 let flat = flatten(&g, &strides) as i64;
                 let better = match op {
-                    ReduceOp::MaxLoc => v > best.0 || (v == best.0 && (best.1 < 0 || flat < best.1)),
-                    ReduceOp::MinLoc => v < best.0 || (v == best.0 && (best.1 < 0 || flat < best.1)),
+                    ReduceOp::MaxLoc => {
+                        v > best.0 || (v == best.0 && (best.1 < 0 || flat < best.1))
+                    }
+                    ReduceOp::MinLoc => {
+                        v < best.0 || (v == best.0 && (best.1 < 0 || flat < best.1))
+                    }
                     _ => unreachable!(),
                 };
                 if better {
@@ -316,7 +320,9 @@ mod tests {
             &[4, 6],
             &[DistKind::Block, DistKind::Block],
         );
-        a.fill_with(&mut m, |g| Value::Real((g[0] + 1) as f64 * (g[1] + 1) as f64));
+        a.fill_with(&mut m, |g| {
+            Value::Real((g[0] + 1) as f64 * (g[1] + 1) as f64)
+        });
         // SUM over dim 0: result(j) = (1+2+3+4)*(j+1) = 10*(j+1)
         let rdad = reduced_dad(&a.dad, 0);
         let dst = DistArray::from_dad(&mut m, "R", ElemType::Real, rdad, 0);

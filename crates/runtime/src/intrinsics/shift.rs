@@ -46,14 +46,7 @@ pub fn eoshift(
     }
 }
 
-fn fill_vacated(
-    m: &mut Machine,
-    dst: &DistArray,
-    dim: usize,
-    shift: i64,
-    n: i64,
-    boundary: Value,
-) {
+fn fill_vacated(m: &mut Machine, dst: &DistArray, dim: usize, shift: i64, n: i64, boundary: Value) {
     let dad = dst.dad.clone();
     let name = dst.name.clone();
     for rank in 0..m.nranks() {

@@ -158,9 +158,7 @@ fn matmul_fox(m: &mut Machine, a: &DistArray, b: &DistArray, c: &DistArray) {
             let mut moves: PairMoves = PairMoves::new();
             for rank in 0..m.nranks() {
                 let coords = m.grid.coords_of(rank);
-                let dst = m
-                    .grid
-                    .rank_of(&[(coords[0] - 1).rem_euclid(q), coords[1]]);
+                let dst = m.grid.rank_of(&[(coords[0] - 1).rem_euclid(q), coords[1]]);
                 let src_arr = m.mems[rank as usize].array(&b.name);
                 let dst_arr = m.mems[dst as usize].array("MM_BROLL");
                 let mut elems = Vec::with_capacity((blk * blk) as usize);
@@ -193,9 +191,7 @@ fn matmul_fox(m: &mut Machine, a: &DistArray, b: &DistArray, c: &DistArray) {
         let mut moves: PairMoves = PairMoves::new();
         for rank in 0..m.nranks() {
             let coords = m.grid.coords_of(rank);
-            let dst = m
-                .grid
-                .rank_of(&[(coords[0] - 1).rem_euclid(q), coords[1]]);
+            let dst = m.grid.rank_of(&[(coords[0] - 1).rem_euclid(q), coords[1]]);
             let src_arr = m.mems[rank as usize].array(&b.name);
             let dst_arr = m.mems[dst as usize].array("MM_BROLL");
             let mut elems = Vec::with_capacity((blk * blk) as usize);

@@ -256,9 +256,6 @@ mod tests {
         d.fill_with(&mut m, |_| Value::Real(-1.0));
         unpack(&mut m, &v, &mk, &d);
         let host = d.gather_host(&mut m);
-        assert_eq!(
-            host,
-            ArrayData::Real(vec![7.0, -1.0, -1.0, 8.0, -1.0, 9.0])
-        );
+        assert_eq!(host, ArrayData::Real(vec![7.0, -1.0, -1.0, 8.0, -1.0, 9.0]));
     }
 }

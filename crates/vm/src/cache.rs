@@ -1,0 +1,118 @@
+//! Keyed program cache: repeated runs of the same (source, options,
+//! grid) triple — the bench harness's inner loops — skip lowering and
+//! share one immutable [`VmProgram`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::bytecode::VmProgram;
+
+/// A concurrent key → `Arc<VmProgram>` map with hit/miss counters.
+#[derive(Default)]
+pub struct ProgramCache {
+    map: Mutex<HashMap<u64, Arc<VmProgram>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up `key`, lowering with `build` on a miss. `build` errors are
+    /// not cached.
+    pub fn get_or_lower(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<VmProgram, String>,
+    ) -> Result<Arc<VmProgram>, String> {
+        if let Some(p) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let p = Arc::new(build()?);
+        self.map
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| p.clone());
+        Ok(p)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (lowerings performed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached program (tests).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+/// FNV-1a over a byte string — the workspace's standard cache-key hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> VmProgram {
+        VmProgram {
+            grid_shape: vec![1],
+            arrays: vec![],
+            scalars: vec![],
+            nvars: 0,
+            consts: vec![],
+            accessors: vec![],
+            code: vec![],
+            foralls: vec![],
+            comms: vec![],
+            rtcalls: vec![],
+            prints: vec![],
+        }
+    }
+
+    #[test]
+    fn hit_returns_same_program() {
+        let c = ProgramCache::new();
+        let a = c.get_or_lower(7, || Ok(dummy())).unwrap();
+        let b = c.get_or_lower(7, || panic!("must not re-lower")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((c.hits(), c.misses(), c.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let c = ProgramCache::new();
+        assert!(c.get_or_lower(1, || Err("nope".into())).is_err());
+        assert!(c.is_empty());
+        assert!(c.get_or_lower(1, || Ok(dummy())).is_ok());
+    }
+}

@@ -1,0 +1,1296 @@
+//! The bytecode execution engine.
+//!
+//! Runs a [`VmProgram`] against a simulated machine with the same
+//! loosely synchronous structure and the same virtual-time cost model as
+//! the tree-walking executor in `f90d-core` — but the per-element hot
+//! path is a flat fetch/decode loop over pre-resolved register code:
+//! array accesses go through per-rank *resolved accessors* (affine
+//! local-index forms plus a row-major stride sum) instead of per-element
+//! descriptor math and name lookups.
+//!
+//! FORALL local phases run under the machine's [`ExecMode`] — rank by
+//! rank, or all ranks concurrently on scoped threads — because every
+//! element read of a compiled FORALL body targets the executing rank's
+//! own memory.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use f90d_comm::schedule::{self, ElementReq, Schedule};
+use f90d_comm::structured;
+use f90d_distrib::{set_bound, ArrayDimMap, Dad, DistKind};
+use f90d_machine::{ArrayData, LocalArray, Machine, NodeMemory, Value};
+use f90d_runtime::intrinsics as rt;
+use f90d_runtime::DistArray;
+
+use crate::bytecode::*;
+use crate::ops;
+
+/// Execution error (runtime faults in the compiled program).
+#[derive(Debug, Clone)]
+pub struct VmError(pub String);
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+type VmResult<T> = Result<T, VmError>;
+
+fn verr<T>(msg: impl Into<String>) -> VmResult<T> {
+    Err(VmError(msg.into()))
+}
+
+/// Result of one execution (mirror of the tree-walker's report).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Modelled elapsed time (seconds on the simulated machine).
+    pub elapsed: f64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Collected PRINT output.
+    pub printed: Vec<String>,
+}
+
+/// One dimension of a resolved accessor: how a global subscript becomes
+/// a padded local index on a specific rank.
+#[derive(Debug, Clone)]
+enum RDim {
+    /// `l_pad = a*g + b` (undistributed and BLOCK dimensions — ghost
+    /// offset folded into `b`).
+    Affine {
+        /// Stride.
+        a: i64,
+        /// Offset (includes the ghost_lo shift).
+        b: i64,
+    },
+    /// CYCLIC / BLOCK-CYCLIC: ownership check plus μ⁻¹ through the
+    /// dimension map.
+    General {
+        /// The composite dimension map.
+        dm: ArrayDimMap,
+        /// This rank's grid coordinate on the dimension's axis.
+        coord: i64,
+        /// Ghost cells below.
+        ghost_lo: i64,
+    },
+}
+
+/// A [`AccPlan`] resolved against one rank and the live descriptors:
+/// subscripts → flat padded offset with no descriptor math in the loop.
+#[derive(Debug, Clone)]
+struct ResolvedAcc {
+    /// The array actually read/written.
+    target: ArrId,
+    /// Source dimension dropped before indexing (slab reads).
+    drop_dim: Option<usize>,
+    /// Per-dimension index transforms.
+    dims: Vec<RDim>,
+    /// Global extent per dimension (bounds check).
+    extents: Vec<i64>,
+    /// Padded extent per dimension (ghost-range check).
+    padded: Vec<i64>,
+    /// Row-major strides over the padded extents.
+    strides: Vec<i64>,
+}
+
+impl ResolvedAcc {
+    /// Flat padded offset of global subscripts `subs` (which still
+    /// include any dropped slab dimension).
+    #[inline]
+    fn offset(&self, subs: &[i64], name: &str, rank: i64) -> Result<usize, String> {
+        let mut off: i64 = 0;
+        let mut k = 0usize;
+        for (d, &g) in subs.iter().enumerate() {
+            if Some(d) == self.drop_dim {
+                continue;
+            }
+            if g < 0 || g >= self.extents[k] {
+                return Err(format!(
+                    "subscript {} out of bounds on dim {d} of {name} (extent {})",
+                    g + 1,
+                    self.extents[k]
+                ));
+            }
+            let l_pad = match &self.dims[k] {
+                RDim::Affine { a, b } => a * g + b,
+                RDim::General {
+                    dm,
+                    coord,
+                    ghost_lo,
+                } => {
+                    let t = dm.align.apply(g);
+                    if dm.dist.proc_of(t) != *coord {
+                        return Err(format!(
+                            "rank {rank} reads unowned element {subs:?} of {name}"
+                        ));
+                    }
+                    dm.dist.local_of(t) + ghost_lo
+                }
+            };
+            if l_pad < 0 || l_pad >= self.padded[k] {
+                return Err(format!(
+                    "rank {rank} reads outside the padded segment of {name} at {subs:?}"
+                ));
+            }
+            off += l_pad * self.strides[k];
+            k += 1;
+        }
+        Ok(off as usize)
+    }
+}
+
+/// Engine state: live descriptors, replicated scalars, loop variables.
+pub struct Engine {
+    prog: Arc<VmProgram>,
+    /// Runtime descriptors (REDISTRIBUTE may change them).
+    dads: Vec<Dad>,
+    scalars: Vec<Value>,
+    vars: Vec<i64>,
+    printed: Vec<String>,
+    sched_cache: HashMap<u64, Schedule>,
+    /// §7(3) flag: reuse schedules across executions of the same pattern.
+    pub schedule_reuse: bool,
+}
+
+impl Engine {
+    /// Prepare an engine and allocate every array on the machine.
+    pub fn new(prog: Arc<VmProgram>, m: &mut Machine) -> Self {
+        assert_eq!(
+            m.grid.shape, prog.grid_shape,
+            "machine grid must match the compiled grid"
+        );
+        for decl in &prog.arrays {
+            let (shape, ghost) = decl_alloc(decl);
+            for mem in &mut m.mems {
+                mem.insert_array(
+                    decl.name.clone(),
+                    LocalArray::with_ghost(decl.ty, &shape, &ghost, &ghost),
+                );
+            }
+        }
+        Self::fresh(prog)
+    }
+
+    /// Like [`Engine::new`] but keeps existing array segments (running a
+    /// program fragment over state produced by an earlier fragment).
+    pub fn new_preserving(prog: Arc<VmProgram>, m: &mut Machine) -> Self {
+        for decl in &prog.arrays {
+            if !m.mems[0].has_array(&decl.name) {
+                let (shape, ghost) = decl_alloc(decl);
+                for mem in &mut m.mems {
+                    mem.insert_array(
+                        decl.name.clone(),
+                        LocalArray::with_ghost(decl.ty, &shape, &ghost, &ghost),
+                    );
+                }
+            }
+        }
+        Self::fresh(prog)
+    }
+
+    fn fresh(prog: Arc<VmProgram>) -> Self {
+        let scalars = prog.scalars.iter().map(|(_, ty)| ty.zero()).collect();
+        let dads = prog.arrays.iter().map(|a| a.dad.clone()).collect();
+        let nvars = prog.nvars;
+        Engine {
+            prog,
+            dads,
+            scalars,
+            vars: vec![0; nvars],
+            printed: Vec::new(),
+            sched_cache: HashMap::new(),
+            schedule_reuse: true,
+        }
+    }
+
+    /// Read a scalar by name (post-run inspection).
+    pub fn scalar(&self, name: &str) -> Option<Value> {
+        let slot = self.prog.scalar_slot(name)?;
+        Some(self.scalars[slot as usize])
+    }
+
+    /// Current runtime descriptor of array `id`.
+    pub fn dad(&self, id: ArrId) -> &Dad {
+        &self.dads[id]
+    }
+
+    /// Seed a named array from a host row-major buffer before running.
+    pub fn seed_array(&self, m: &mut Machine, name: &str, data: &ArrayData) -> bool {
+        let Some(id) = self.prog.array_id(name) else {
+            return false;
+        };
+        self.dist_array(id).scatter_host(m, data);
+        true
+    }
+
+    /// Gather a named array to a host buffer (inspection).
+    pub fn gather_array(&self, m: &mut Machine, name: &str) -> Option<ArrayData> {
+        let id = self.prog.array_id(name)?;
+        Some(self.dist_array(id).gather_host(m))
+    }
+
+    fn dist_array(&self, id: ArrId) -> DistArray {
+        DistArray {
+            name: self.prog.arrays[id].name.clone(),
+            dad: self.dads[id].clone(),
+            ty: self.prog.arrays[id].ty,
+        }
+    }
+
+    /// Run the whole program: a flat fetch/decode loop over the
+    /// statement stream.
+    pub fn run(&mut self, m: &mut Machine) -> VmResult<RunReport> {
+        let prog = self.prog.clone();
+        let mut regs: Vec<Value> = Vec::new();
+        let mut do_stack: Vec<(i64, i64)> = Vec::new();
+        let mut pc = 0usize;
+        while pc < prog.code.len() {
+            match &prog.code[pc] {
+                PInst::ScalarAssign { slot, rhs, cost } => {
+                    let v = self.eval_scalar(rhs, m, &mut regs)?;
+                    self.scalars[*slot as usize] = v;
+                    for r in 0..m.nranks() {
+                        m.transport.charge_elem_ops(r, *cost);
+                    }
+                    pc += 1;
+                }
+                PInst::OwnerAssign {
+                    arr,
+                    subs,
+                    rhs,
+                    cost,
+                } => {
+                    let g: Vec<i64> = subs
+                        .iter()
+                        .map(|e| self.eval_scalar(e, m, &mut regs).map(|v| v.as_int()))
+                        .collect::<VmResult<_>>()?;
+                    let v = self.eval_scalar(rhs, m, &mut regs)?;
+                    let dad = &self.dads[*arr];
+                    let l = dad.local_index(&g);
+                    let name = &prog.arrays[*arr].name;
+                    for rank in dad.owner_ranks(&g) {
+                        m.mems[rank as usize].array_mut(name).set(&l, v);
+                        m.transport.charge_elem_ops(rank, *cost);
+                    }
+                    pc += 1;
+                }
+                PInst::Comm(i) => {
+                    self.exec_comm(&prog.comms[*i as usize], m, &mut regs)?;
+                    pc += 1;
+                }
+                PInst::Forall(i) => {
+                    self.exec_forall(&prog.foralls[*i as usize], m)?;
+                    pc += 1;
+                }
+                PInst::Runtime(i) => {
+                    self.exec_runtime(&prog.rtcalls[*i as usize], m, &mut regs)?;
+                    pc += 1;
+                }
+                PInst::Print(i) => {
+                    let mut line = String::new();
+                    for (k, item) in prog.prints[*i as usize].iter().enumerate() {
+                        if k > 0 {
+                            line.push(' ');
+                        }
+                        match item {
+                            VmPrintItem::Text(t) => line.push_str(t),
+                            VmPrintItem::Val(e) => {
+                                let v = self.eval_scalar(e, m, &mut regs)?;
+                                line.push_str(&v.to_string());
+                            }
+                        }
+                    }
+                    self.printed.push(line);
+                    pc += 1;
+                }
+                PInst::BranchFalse { cond, cost, target } => {
+                    let c = self.eval_scalar(cond, m, &mut regs)?.as_bool();
+                    for r in 0..m.nranks() {
+                        m.transport.charge_elem_ops(r, *cost);
+                    }
+                    pc = if c { pc + 1 } else { *target };
+                }
+                PInst::Jump { target } => pc = *target,
+                PInst::DoStart {
+                    var,
+                    lb,
+                    ub,
+                    st,
+                    exit,
+                } => {
+                    let lb = self.eval_scalar(lb, m, &mut regs)?.as_int();
+                    let ub = self.eval_scalar(ub, m, &mut regs)?.as_int();
+                    let st = self.eval_scalar(st, m, &mut regs)?.as_int();
+                    if st == 0 {
+                        return verr("DO stride of zero");
+                    }
+                    if (st > 0 && lb <= ub) || (st < 0 && lb >= ub) {
+                        self.vars[*var as usize] = lb;
+                        do_stack.push((ub, st));
+                        pc += 1;
+                    } else {
+                        pc = *exit;
+                    }
+                }
+                PInst::DoNext { var, back } => {
+                    for r in 0..m.nranks() {
+                        m.transport.charge_elem_ops(r, 1); // loop control
+                    }
+                    let (ub, st) = *do_stack.last().expect("DoNext outside DO");
+                    let v = self.vars[*var as usize] + st;
+                    if (st > 0 && v <= ub) || (st < 0 && v >= ub) {
+                        self.vars[*var as usize] = v;
+                        pc = *back;
+                    } else {
+                        do_stack.pop();
+                        pc += 1;
+                    }
+                }
+            }
+        }
+        Ok(RunReport {
+            elapsed: m.elapsed(),
+            messages: m.transport.messages,
+            bytes: m.transport.bytes,
+            printed: std::mem::take(&mut self.printed),
+        })
+    }
+
+    // ---- scalar (replicated-context) evaluation ------------------------
+
+    fn eval_scalar(&self, code: &ExprCode, m: &Machine, regs: &mut Vec<Value>) -> VmResult<Value> {
+        let prog = &*self.prog;
+        regs.clear();
+        regs.resize(code.nregs as usize, Value::Int(0));
+        for op in &code.ops {
+            match *op {
+                Op::Const { dst, k } => regs[dst as usize] = prog.consts[k as usize],
+                Op::LoadVar { dst, slot } => {
+                    regs[dst as usize] = Value::Int(self.vars[slot as usize])
+                }
+                Op::LoadScalar { dst, slot } => regs[dst as usize] = self.scalars[slot as usize],
+                Op::Affine { dst, slot, a, b } => {
+                    regs[dst as usize] = Value::Int(a * self.vars[slot as usize] + b)
+                }
+                Op::Bin { op, dst, a, b } => {
+                    regs[dst as usize] =
+                        ops::eval_bin(op, regs[a as usize], regs[b as usize]).map_err(VmError)?
+                }
+                Op::Un { op, dst, a } => {
+                    regs[dst as usize] = ops::eval_un(op, regs[a as usize]).map_err(VmError)?
+                }
+                Op::Intrin { f, dst, base, n } => {
+                    let args = &regs[base as usize..(base + n) as usize];
+                    regs[dst as usize] = ops::eval_intrin(f, args).map_err(VmError)?
+                }
+                Op::Read { dst, acc, base, n } => {
+                    let plan = &prog.accessors[acc as usize];
+                    let AccPlan::Owned { arr } = plan else {
+                        return verr("non-replicated read in scalar context");
+                    };
+                    let g: Vec<i64> = regs[base as usize..(base + n) as usize]
+                        .iter()
+                        .map(|v| v.as_int())
+                        .collect();
+                    let dad = &self.dads[*arr];
+                    let rank = dad.owner_ranks(&g)[0];
+                    let l = dad.local_index(&g);
+                    regs[dst as usize] =
+                        m.mems[rank as usize].array(&prog.arrays[*arr].name).get(&l);
+                }
+                Op::ReadSeq { .. } => return verr("non-replicated read in scalar context"),
+            }
+        }
+        Ok(regs[code.out as usize])
+    }
+
+    // ---- communication and runtime calls -------------------------------
+
+    fn exec_comm(&mut self, c: &VmComm, m: &mut Machine, regs: &mut Vec<Value>) -> VmResult<()> {
+        let prog = self.prog.clone();
+        match c {
+            VmComm::Multicast {
+                src,
+                tmp,
+                dim,
+                src_g,
+            } => {
+                let g = self.eval_scalar(src_g, m, regs)?.as_int();
+                let dad = self.dads[*src].clone();
+                structured::multicast(
+                    m,
+                    &prog.arrays[*src].name,
+                    &dad,
+                    &prog.arrays[*tmp].name,
+                    *dim,
+                    g,
+                );
+                Ok(())
+            }
+            VmComm::Transfer {
+                src,
+                tmp,
+                dim,
+                src_g,
+                dst_g,
+                dst_arr,
+                dst_dim,
+            } => {
+                let sg = self.eval_scalar(src_g, m, regs)?.as_int();
+                let dg = self.eval_scalar(dst_g, m, regs)?.as_int();
+                let dst_coord = self.dads[*dst_arr].dims[*dst_dim].proc_of(dg);
+                let dad = self.dads[*src].clone();
+                structured::transfer(
+                    m,
+                    &prog.arrays[*src].name,
+                    &dad,
+                    &prog.arrays[*tmp].name,
+                    *dim,
+                    sg,
+                    dst_coord,
+                );
+                Ok(())
+            }
+            VmComm::OverlapShift { arr, dim, c } => {
+                let dad = self.dads[*arr].clone();
+                structured::overlap_shift(m, &prog.arrays[*arr].name, &dad, *dim, *c, false);
+                Ok(())
+            }
+            VmComm::TempShift {
+                src,
+                tmp,
+                dim,
+                amount,
+            } => {
+                let s = self.eval_scalar(amount, m, regs)?.as_int();
+                let dad = self.dads[*src].clone();
+                structured::temporary_shift(
+                    m,
+                    &prog.arrays[*src].name,
+                    &dad,
+                    &prog.arrays[*tmp].name,
+                    *dim,
+                    s,
+                    false,
+                );
+                Ok(())
+            }
+            VmComm::MulticastShift {
+                src,
+                tmp,
+                mdim,
+                src_g,
+                sdim,
+                amount,
+            } => {
+                let g = self.eval_scalar(src_g, m, regs)?.as_int();
+                let s = self.eval_scalar(amount, m, regs)?.as_int();
+                let dad = self.dads[*src].clone();
+                structured::multicast_shift(
+                    m,
+                    &prog.arrays[*src].name,
+                    &dad,
+                    &prog.arrays[*tmp].name,
+                    *mdim,
+                    g,
+                    *sdim,
+                    s,
+                );
+                Ok(())
+            }
+            VmComm::Concat { src, tmp } => {
+                let dad = self.dads[*src].clone();
+                structured::concatenation(
+                    m,
+                    &prog.arrays[*src].name,
+                    &dad,
+                    &prog.arrays[*tmp].name,
+                );
+                Ok(())
+            }
+            VmComm::BroadcastElem { arr, subs, target } => {
+                let g: Vec<i64> = subs
+                    .iter()
+                    .map(|e| self.eval_scalar(e, m, regs).map(|v| v.as_int()))
+                    .collect::<VmResult<_>>()?;
+                let dad = &self.dads[*arr];
+                let owner = dad.owner_ranks(&g)[0];
+                let l = dad.local_index(&g);
+                let v = m.mems[owner as usize]
+                    .array(&prog.arrays[*arr].name)
+                    .get(&l);
+                // Tree broadcast of one element to all ranks.
+                let members: Vec<i64> = (0..m.nranks()).collect();
+                let root_pos = members.iter().position(|&r| r == owner).unwrap();
+                let mut payload = ArrayData::zeros(v.elem_type(), 1);
+                payload.set(0, v);
+                m.stats.record("broadcast_elem");
+                f90d_comm::helpers::tree_broadcast(m, &members, root_pos, payload, |_, _, _| {});
+                self.scalars[*target as usize] = v;
+                Ok(())
+            }
+            VmComm::Reduce {
+                kind,
+                arr,
+                arr2,
+                target,
+                to_int,
+            } => {
+                let a = self.dist_array(*arr);
+                let v = match kind {
+                    VmReduce::Sum => Value::Real(rt::sum(m, &a)),
+                    VmReduce::Product => Value::Real(rt::product(m, &a)),
+                    VmReduce::MaxVal => Value::Real(rt::maxval(m, &a)),
+                    VmReduce::MinVal => Value::Real(rt::minval(m, &a)),
+                    VmReduce::Count => Value::Int(rt::count(m, &a)),
+                    VmReduce::All => Value::Bool(rt::all(m, &a)),
+                    VmReduce::Any => Value::Bool(rt::any(m, &a)),
+                    VmReduce::DotProduct => {
+                        let b = self.dist_array(arr2.expect("dotproduct second operand"));
+                        Value::Real(rt::dotproduct(m, &a, &b))
+                    }
+                };
+                let v = if *to_int {
+                    Value::Int(v.as_real() as i64)
+                } else {
+                    v
+                };
+                self.scalars[*target as usize] = v;
+                Ok(())
+            }
+        }
+    }
+
+    fn exec_runtime(
+        &mut self,
+        call: &VmRt,
+        m: &mut Machine,
+        regs: &mut Vec<Value>,
+    ) -> VmResult<()> {
+        match call {
+            VmRt::CShift {
+                src,
+                dst,
+                dim,
+                shift,
+            } => {
+                let s = self.eval_scalar(shift, m, regs)?.as_int();
+                let (a, b) = (self.dist_array(*src), self.dist_array(*dst));
+                rt::cshift(m, &a, &b, *dim, s);
+                Ok(())
+            }
+            VmRt::EoShift {
+                src,
+                dst,
+                dim,
+                shift,
+                boundary,
+            } => {
+                let s = self.eval_scalar(shift, m, regs)?.as_int();
+                let bv = self.eval_scalar(boundary, m, regs)?;
+                let (a, b) = (self.dist_array(*src), self.dist_array(*dst));
+                rt::eoshift(m, &a, &b, *dim, s, bv);
+                Ok(())
+            }
+            VmRt::Transpose { src, dst } => {
+                let (a, b) = (self.dist_array(*src), self.dist_array(*dst));
+                rt::transpose(m, &a, &b);
+                Ok(())
+            }
+            VmRt::Matmul { a, b, c } => {
+                let (aa, bb, cc) = (
+                    self.dist_array(*a),
+                    self.dist_array(*b),
+                    self.dist_array(*c),
+                );
+                rt::matmul(m, &aa, &bb, &cc);
+                Ok(())
+            }
+            VmRt::Redistribute { arr, new_dad } => {
+                let old = self.dist_array(*arr);
+                let staging = format!("__REDIST_{}", old.name);
+                let mut nd = new_dad.clone();
+                nd.name = old.name.clone();
+                let target = DistArray::from_dad(m, staging.clone(), old.ty, nd.clone(), 0);
+                f90d_comm::redist::redistribute(m, &old.name, &old.dad, &staging, &target.dad);
+                // Move staged segments under the original name.
+                for mem in &mut m.mems {
+                    let seg = mem.remove_array(&staging).expect("staging allocated");
+                    mem.insert_array(old.name.clone(), seg);
+                }
+                self.dads[*arr] = nd;
+                Ok(())
+            }
+            VmRt::RemapCopy { src, dst } => {
+                let s = self.dist_array(*src);
+                let d = self.dist_array(*dst);
+                f90d_comm::redist::redistribute(m, &s.name, &s.dad, &d.name, &d.dad);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- FORALL --------------------------------------------------------
+
+    fn exec_forall(&mut self, f: &VmForall, m: &mut Machine) -> VmResult<()> {
+        let prog = self.prog.clone();
+        let mut regs: Vec<Value> = Vec::new();
+        // Communication prelude.
+        for &c in &f.pre {
+            self.exec_comm(&prog.comms[c as usize], m, &mut regs)?;
+        }
+        let nranks = m.nranks() as usize;
+        // Owner filter: which ranks participate.
+        let mut active = vec![true; nranks];
+        for (arr, dim, idx) in &f.owner_filter {
+            let g = self.eval_scalar(idx, m, &mut regs)?.as_int();
+            let dad = &self.dads[*arr];
+            let dm = &dad.dims[*dim];
+            let axis = dm.grid_axis.expect("owner filter on distributed dim");
+            let owner = dm.proc_of(g);
+            for (rank, slot) in active.iter_mut().enumerate() {
+                if m.grid.coords_of(rank as i64)[axis] != owner {
+                    *slot = false;
+                }
+            }
+        }
+        // Bounds are replicated values: evaluate once.
+        let mut bounds = Vec::with_capacity(f.vars.len());
+        for spec in &f.vars {
+            let lb = self.eval_scalar(&spec.lb, m, &mut regs)?.as_int();
+            let ub = self.eval_scalar(&spec.ub, m, &mut regs)?.as_int();
+            let st = self.eval_scalar(&spec.st, m, &mut regs)?.as_int();
+            if st <= 0 {
+                return verr("FORALL stride must be positive");
+            }
+            bounds.push((lb, ub, st));
+        }
+        // Per-rank iteration lists (`set_BOUND`).
+        let mut iter_lists: Vec<Vec<Vec<i64>>> = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            if !active[rank] {
+                iter_lists.push(vec![vec![]; f.vars.len()]);
+                continue;
+            }
+            let mut lists = Vec::with_capacity(f.vars.len());
+            for (spec, &b) in f.vars.iter().zip(&bounds) {
+                lists.push(self.iterations_for(spec, b, m, rank as i64));
+            }
+            iter_lists.push(lists);
+        }
+        // Resolve the accessors this FORALL references, per rank.
+        let resolved: Vec<Vec<Option<ResolvedAcc>>> = (0..nranks)
+            .map(|rank| {
+                let coords = m.grid.coords_of(rank as i64);
+                let mut table: Vec<Option<ResolvedAcc>> = vec![None; prog.accessors.len()];
+                for &a in &f.accs_used {
+                    table[a as usize] =
+                        Some(self.resolve_acc(&prog.accessors[a as usize], &coords));
+                }
+                table
+            })
+            .collect();
+        // Unstructured reads: inspector + vectorized executor.
+        for g in &f.gathers {
+            self.exec_gather(f, g, m, &iter_lists, &resolved)?;
+        }
+        // Main loop: one local phase under the machine's ExecMode.
+        let scatter = f.body.iter().find_map(|b| b.scatter);
+        let max_regs = forall_max_regs(f);
+        let results: Vec<Result<ScatterOut, String>> = m.local_phase_map(|rank, mem| {
+            match run_forall_rank(
+                &prog,
+                f,
+                rank,
+                mem,
+                &iter_lists[rank as usize],
+                &resolved[rank as usize],
+                &self.vars,
+                &self.scalars,
+                max_regs,
+            ) {
+                Ok((scat, ops)) => (Ok(scat), ops),
+                Err(e) => (Err(e), 0),
+            }
+        });
+        let mut scatter_out: Vec<ScatterOut> = Vec::with_capacity(nranks);
+        for r in results {
+            scatter_out.push(r.map_err(VmError)?);
+        }
+        // Post-loop scatter.
+        if let Some(invertible) = scatter {
+            self.exec_scatter(f, m, invertible, &scatter_out)?;
+        }
+        Ok(())
+    }
+
+    /// The iterations of `spec` assigned to `rank` (`set_BOUND`),
+    /// returning global iteration values.
+    fn iterations_for(
+        &self,
+        spec: &VmLoopSpec,
+        (lb, ub, st): (i64, i64, i64),
+        m: &Machine,
+        rank: i64,
+    ) -> Vec<i64> {
+        if lb > ub {
+            return vec![];
+        }
+        match &spec.part {
+            VmPartition::Replicate => (0..)
+                .map(|k| lb + k * st)
+                .take_while(|&v| v <= ub)
+                .collect(),
+            VmPartition::BlockIter => {
+                let count = (ub - lb) / st + 1;
+                let p = m.nranks();
+                let chunk = (count + p - 1) / p;
+                let first = rank * chunk;
+                let last = ((rank + 1) * chunk).min(count);
+                (first..last).map(|k| lb + k * st).collect()
+            }
+            VmPartition::OwnerDim { arr, dim, a, b } => {
+                let dad = &self.dads[*arr];
+                let dm = &dad.dims[*dim];
+                if !dm.is_distributed() {
+                    return (0..)
+                        .map(|k| lb + k * st)
+                        .take_while(|&v| v <= ub)
+                        .collect();
+                }
+                let coord = m.grid.coords_of(rank)[dm.grid_axis.unwrap()];
+                // Template progression t(v) = S*v + O.
+                let s_align = dm.align.stride;
+                let o_align = dm.align.offset;
+                let s = s_align * a;
+                let o = s_align * b + o_align;
+                let t1 = s * lb + o;
+                let t2 = s * ub + o;
+                let (tlo, thi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+                let tstep = (s * st).abs();
+                let li = set_bound(&dm.dist, coord, tlo, thi, tstep);
+                let mut out = Vec::with_capacity(li.len() as usize);
+                for l in li.to_vec() {
+                    let t = dm
+                        .dist
+                        .global_of(coord, l)
+                        .expect("set_bound local maps to global");
+                    let num = t - o;
+                    if num % s != 0 {
+                        continue;
+                    }
+                    let v = num / s;
+                    if v >= lb && v <= ub && (v - lb) % st == 0 {
+                        out.push(v);
+                    }
+                }
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Resolve one accessor against the live descriptor for a node at
+    /// `coords`.
+    fn resolve_acc(&self, plan: &AccPlan, coords: &[i64]) -> ResolvedAcc {
+        let target = plan.target();
+        let decl = &self.prog.arrays[target];
+        let dad = &self.dads[target];
+        let alloc = dad.local_shape();
+        let ndim = dad.rank();
+        let mut dims = Vec::with_capacity(ndim);
+        let mut extents = Vec::with_capacity(ndim);
+        let mut padded = Vec::with_capacity(ndim);
+        for (d, dm) in dad.dims.iter().enumerate() {
+            let ghost = if dm.is_distributed() { decl.ghost } else { 0 };
+            let pad = alloc[d] + 2 * ghost;
+            let rd = if !dm.is_distributed() {
+                RDim::Affine { a: 1, b: ghost }
+            } else if dm.dist.kind == DistKind::Block {
+                let coord = coords[dm.grid_axis.unwrap()];
+                RDim::Affine {
+                    a: dm.align.stride,
+                    b: dm.align.offset - coord * dm.dist.block_size() + ghost,
+                }
+            } else {
+                let coord = coords[dm.grid_axis.unwrap()];
+                RDim::General {
+                    dm: dm.clone(),
+                    coord,
+                    ghost_lo: ghost,
+                }
+            };
+            dims.push(rd);
+            extents.push(dm.extent);
+            padded.push(pad);
+        }
+        let mut strides = vec![1i64; ndim];
+        for d in (0..ndim.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * padded[d + 1];
+        }
+        ResolvedAcc {
+            target,
+            drop_dim: plan.dropped_dim(),
+            dims,
+            extents,
+            padded,
+            strides,
+        }
+    }
+
+    // ---- unstructured communication ------------------------------------
+
+    fn exec_gather(
+        &mut self,
+        f: &VmForall,
+        g: &VmGather,
+        m: &mut Machine,
+        iter_lists: &[Vec<Vec<i64>>],
+        resolved: &[Vec<Option<ResolvedAcc>>],
+    ) -> VmResult<()> {
+        let prog = self.prog.clone();
+        let src_name = prog.arrays[g.src].name.clone();
+        let tmp_name = prog.arrays[g.tmp].name.clone();
+        let src_dad = self.dads[g.src].clone();
+        let nranks = m.nranks() as usize;
+        let max_regs = forall_max_regs(f);
+        // Inspector: per rank, evaluate the subscripts for every local
+        // iteration in iteration order, forming the request list.
+        let mut reqs: Vec<ElementReq> = Vec::new();
+        let mut counts = vec![0usize; nranks];
+        let mut insp_ops = vec![0i64; nranks];
+        let mut visited = vec![false; nranks];
+        for rank in 0..nranks {
+            let lists = &iter_lists[rank];
+            if lists.iter().any(|l| l.is_empty()) {
+                continue;
+            }
+            visited[rank] = true;
+            let table = &resolved[rank];
+            let views: Vec<Option<&LocalArray>> = table
+                .iter()
+                .map(|o| {
+                    o.as_ref()
+                        .map(|a| m.mems[rank].array(&prog.arrays[a.target].name))
+                })
+                .collect();
+            let mut vars = self.vars.clone();
+            let mut regs = vec![Value::Int(0); max_regs];
+            let mut dummy_counters: Vec<usize> = Vec::new();
+            let mut cursor = vec![0usize; lists.len()];
+            'iter: loop {
+                for (k, list) in lists.iter().enumerate() {
+                    vars[f.vars[k].var as usize] = list[cursor[k]];
+                }
+                let mut run = true;
+                if let Some(mask) = &f.mask {
+                    // Masks must not depend on gathered values.
+                    run = eval_elem(
+                        &prog,
+                        mask,
+                        &mut regs,
+                        &vars,
+                        &self.scalars,
+                        &views,
+                        table,
+                        &[],
+                        &mut dummy_counters,
+                        false,
+                        rank as i64,
+                    )
+                    .map_err(VmError)?
+                    .as_bool();
+                }
+                if run {
+                    let mut gidx = Vec::with_capacity(g.subs.len());
+                    for s in &g.subs {
+                        gidx.push(
+                            eval_elem(
+                                &prog,
+                                s,
+                                &mut regs,
+                                &vars,
+                                &self.scalars,
+                                &views,
+                                table,
+                                &[],
+                                &mut dummy_counters,
+                                false,
+                                rank as i64,
+                            )
+                            .map_err(VmError)?
+                            .as_int(),
+                        );
+                    }
+                    insp_ops[rank] += 4;
+                    let owner = src_dad.owner_ranks(&gidx)[0];
+                    let l = src_dad.local_index(&gidx);
+                    let src_off = m.mems[owner as usize].array(&src_name).offset(&l);
+                    reqs.push(ElementReq {
+                        requester: rank as i64,
+                        owner,
+                        src_off,
+                        dst_off: counts[rank],
+                    });
+                    counts[rank] += 1;
+                }
+                // advance cartesian cursor (last var fastest)
+                let mut d = lists.len();
+                loop {
+                    if d == 0 {
+                        break 'iter;
+                    }
+                    d -= 1;
+                    cursor[d] += 1;
+                    if cursor[d] < lists[d].len() {
+                        break;
+                    }
+                    cursor[d] = 0;
+                }
+            }
+        }
+        for rank in 0..nranks {
+            if visited[rank] {
+                m.transport.charge_elem_ops(rank as i64, insp_ops[rank]);
+            }
+        }
+        // Size the sequential buffers.
+        let ty = prog.arrays[g.tmp].ty;
+        for (rank, &n) in counts.iter().enumerate() {
+            m.mems[rank].insert_array(tmp_name.clone(), LocalArray::zeros(ty, &[n.max(1) as i64]));
+        }
+        // Schedule (with §7(3) reuse).
+        let sig = req_signature(&reqs);
+        let sched = self.schedule_for(m, sig, &reqs, g.local_only, false);
+        schedule::execute_read(m, &sched, &src_name, &tmp_name);
+        Ok(())
+    }
+
+    fn exec_scatter(
+        &mut self,
+        f: &VmForall,
+        m: &mut Machine,
+        invertible: bool,
+        outputs: &[ScatterOut],
+    ) -> VmResult<()> {
+        let prog = self.prog.clone();
+        let dst = f.body[0].arr;
+        let dst_name = prog.arrays[dst].name.clone();
+        let dst_dad = self.dads[dst].clone();
+        let ty = prog.arrays[dst].ty;
+        // Stage values into per-rank sequential source buffers.
+        let buf_name = format!("__SCATBUF_{dst_name}");
+        for (rank, vals) in outputs.iter().enumerate() {
+            let mut la = LocalArray::zeros(ty, &[vals.len().max(1) as i64]);
+            for (k, (_, v)) in vals.iter().enumerate() {
+                la.set(&[k as i64], *v);
+            }
+            m.mems[rank].insert_array(buf_name.clone(), la);
+        }
+        let mut reqs = Vec::new();
+        for (rank, vals) in outputs.iter().enumerate() {
+            for (k, (g, _)) in vals.iter().enumerate() {
+                let src_off = m.mems[rank].array(&buf_name).offset(&[k as i64]);
+                for owner in dst_dad.owner_ranks(g) {
+                    let l = dst_dad.local_index(g);
+                    let dst_off = m.mems[owner as usize].array(&dst_name).offset(&l);
+                    reqs.push(ElementReq {
+                        // For write schedules the "requester" is the
+                        // receiving owner and the "owner" the producer.
+                        requester: owner,
+                        owner: rank as i64,
+                        src_off,
+                        dst_off,
+                    });
+                }
+            }
+        }
+        let sig = req_signature(&reqs).wrapping_add(1);
+        let sched = self.schedule_for(m, sig, &reqs, invertible, true);
+        schedule::execute_write(m, &sched, &buf_name, &dst_name);
+        Ok(())
+    }
+
+    /// Build (or reuse) the schedule for a request list. For reads,
+    /// `fast_path` (= `local_only`) selects `schedule1` over `schedule2`;
+    /// for writes (`is_write`), it (= `invertible`) selects `schedule1`
+    /// over `schedule3`.
+    fn schedule_for(
+        &mut self,
+        m: &mut Machine,
+        sig: u64,
+        reqs: &[ElementReq],
+        fast_path: bool,
+        is_write: bool,
+    ) -> Schedule {
+        let build = |m: &mut Machine| {
+            if fast_path {
+                schedule::schedule1(m, reqs)
+            } else if is_write {
+                schedule::schedule3(m, reqs)
+            } else {
+                schedule::schedule2(m, reqs)
+            }
+        };
+        if self.schedule_reuse {
+            if let Some(s) = self.sched_cache.get(&sig) {
+                return s.clone();
+            }
+            let s = build(m);
+            self.sched_cache.insert(sig, s.clone());
+            s
+        } else {
+            build(m)
+        }
+    }
+}
+
+/// One rank's scatter-write output: `(global_subscripts, value)` pairs in
+/// iteration order.
+type ScatterOut = Vec<(Vec<i64>, Value)>;
+
+/// Allocation shape + symmetric ghost widths for one declared array.
+fn decl_alloc(decl: &VmArrayDecl) -> (Vec<i64>, Vec<i64>) {
+    let shape = decl.dad.local_shape();
+    let ghost: Vec<i64> = decl
+        .dad
+        .dims
+        .iter()
+        .map(|d| if d.is_distributed() { decl.ghost } else { 0 })
+        .collect();
+    (shape, ghost)
+}
+
+/// Largest register file any element-context code of `f` needs.
+fn forall_max_regs(f: &VmForall) -> usize {
+    let mut n = f.mask.as_ref().map_or(0, |c| c.nregs) as usize;
+    for v in &f.vars {
+        n = n
+            .max(v.lb.nregs as usize)
+            .max(v.ub.nregs as usize)
+            .max(v.st.nregs as usize);
+    }
+    for b in &f.body {
+        n = n.max(b.rhs.nregs as usize);
+        for s in &b.subs {
+            n = n.max(s.nregs as usize);
+        }
+    }
+    for g in &f.gathers {
+        for s in &g.subs {
+            n = n.max(s.nregs as usize);
+        }
+    }
+    n
+}
+
+/// The per-rank element loop: flat fetch/decode over the mask and body
+/// register code, with owned writes staged (FORALL RHS-before-LHS
+/// semantics within the rank) and scatter writes collected for the
+/// post-loop schedule. Returns the scatter outputs and the modelled cost.
+#[allow(clippy::too_many_arguments)]
+fn run_forall_rank(
+    prog: &VmProgram,
+    f: &VmForall,
+    rank: i64,
+    mem: &mut NodeMemory,
+    lists: &[Vec<i64>],
+    resolved: &[Option<ResolvedAcc>],
+    vars_base: &[i64],
+    scalars: &[Value],
+    max_regs: usize,
+) -> Result<(ScatterOut, i64), String> {
+    let mut scat: ScatterOut = Vec::new();
+    if lists.iter().any(|l| l.is_empty()) {
+        return Ok((scat, 0));
+    }
+    let views: Vec<Option<&LocalArray>> = resolved
+        .iter()
+        .map(|o| o.as_ref().map(|a| mem.array(&prog.arrays[a.target].name)))
+        .collect();
+    let seq_views: Vec<&LocalArray> = f
+        .gathers
+        .iter()
+        .map(|g| mem.array(&prog.arrays[g.tmp].name))
+        .collect();
+    let mut vars = vars_base.to_vec();
+    let mut regs = vec![Value::Int(0); max_regs];
+    let mut counters = vec![0usize; f.gathers.len()];
+    let mut staged: Vec<(usize, Value)> = Vec::new();
+    let mut subs_buf: Vec<i64> = Vec::new();
+    let mut ops: i64 = 0;
+    let mut cursor = vec![0usize; lists.len()];
+    'iter: loop {
+        for (k, list) in lists.iter().enumerate() {
+            vars[f.vars[k].var as usize] = list[cursor[k]];
+        }
+        let mut run = true;
+        if let Some(mask) = &f.mask {
+            ops += f.mask_cost;
+            run = eval_elem(
+                prog,
+                mask,
+                &mut regs,
+                &vars,
+                scalars,
+                &views,
+                resolved,
+                &seq_views,
+                &mut counters,
+                true,
+                rank,
+            )?
+            .as_bool();
+        }
+        if run {
+            for b in &f.body {
+                let v = eval_elem(
+                    prog,
+                    &b.rhs,
+                    &mut regs,
+                    &vars,
+                    scalars,
+                    &views,
+                    resolved,
+                    &seq_views,
+                    &mut counters,
+                    true,
+                    rank,
+                )?;
+                ops += b.cost;
+                subs_buf.clear();
+                for s in &b.subs {
+                    subs_buf.push(
+                        eval_elem(
+                            prog,
+                            s,
+                            &mut regs,
+                            &vars,
+                            scalars,
+                            &views,
+                            resolved,
+                            &seq_views,
+                            &mut counters,
+                            true,
+                            rank,
+                        )?
+                        .as_int(),
+                    );
+                }
+                match b.scatter {
+                    None => {
+                        let acc = resolved[b.lhs_acc.expect("owned write accessor") as usize]
+                            .as_ref()
+                            .expect("lhs accessor resolved");
+                        let off = acc.offset(&subs_buf, &prog.arrays[b.arr].name, rank)?;
+                        staged.push((off, v));
+                    }
+                    Some(_) => scat.push((subs_buf.clone(), v)),
+                }
+            }
+        }
+        // advance cartesian cursor (last var fastest)
+        let mut d = lists.len();
+        loop {
+            if d == 0 {
+                break 'iter;
+            }
+            d -= 1;
+            cursor[d] += 1;
+            if cursor[d] < lists[d].len() {
+                break;
+            }
+            cursor[d] = 0;
+        }
+    }
+    drop(views);
+    drop(seq_views);
+    // Commit staged owned writes (RHS-before-LHS within the rank); the
+    // commit target follows the tree walker: the first body assignment's
+    // array (lowering rejects mixed-array owned bodies).
+    if !staged.is_empty() {
+        let arr = mem.array_mut(&prog.arrays[f.body[0].arr].name);
+        for (off, v) in staged {
+            arr.set_flat(off, v);
+        }
+    }
+    Ok((scat, ops))
+}
+
+/// Element-context expression evaluation: the innermost fetch/decode
+/// loop. All array reads go through the rank's pre-borrowed `views` and
+/// pre-resolved accessors.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn eval_elem(
+    prog: &VmProgram,
+    code: &ExprCode,
+    regs: &mut [Value],
+    vars: &[i64],
+    scalars: &[Value],
+    views: &[Option<&LocalArray>],
+    resolved: &[Option<ResolvedAcc>],
+    seq_views: &[&LocalArray],
+    counters: &mut [usize],
+    seq_ok: bool,
+    rank: i64,
+) -> Result<Value, String> {
+    for op in &code.ops {
+        match *op {
+            Op::Const { dst, k } => regs[dst as usize] = prog.consts[k as usize],
+            Op::LoadVar { dst, slot } => regs[dst as usize] = Value::Int(vars[slot as usize]),
+            Op::LoadScalar { dst, slot } => regs[dst as usize] = scalars[slot as usize],
+            Op::Affine { dst, slot, a, b } => {
+                regs[dst as usize] = Value::Int(a * vars[slot as usize] + b)
+            }
+            Op::Bin { op, dst, a, b } => {
+                regs[dst as usize] = ops::eval_bin(op, regs[a as usize], regs[b as usize])?
+            }
+            Op::Un { op, dst, a } => regs[dst as usize] = ops::eval_un(op, regs[a as usize])?,
+            Op::Intrin { f, dst, base, n } => {
+                let args = &regs[base as usize..(base + n) as usize];
+                regs[dst as usize] = ops::eval_intrin(f, args)?
+            }
+            Op::Read { dst, acc, base, n } => {
+                let mut subs = [0i64; 8];
+                for (k, v) in regs[base as usize..(base + n) as usize].iter().enumerate() {
+                    subs[k] = v.as_int();
+                }
+                let racc = resolved[acc as usize].as_ref().expect("accessor resolved");
+                let off = racc.offset(&subs[..n as usize], &prog.arrays[racc.target].name, rank)?;
+                let view = views[acc as usize].expect("accessor view");
+                regs[dst as usize] = view.get_flat(off);
+            }
+            Op::ReadSeq { dst, gather } => {
+                if !seq_ok {
+                    return Err("gathered value read outside the element loop".into());
+                }
+                let k = counters[gather as usize];
+                counters[gather as usize] += 1;
+                regs[dst as usize] = seq_views[gather as usize].get(&[k as i64]);
+            }
+        }
+    }
+    Ok(regs[code.out as usize])
+}
+
+fn req_signature(reqs: &[ElementReq]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for r in reqs {
+        mix(r.requester as u64);
+        mix(r.owner as u64);
+        mix(r.src_off as u64);
+        mix(r.dst_off as u64 ^ 0x9e37);
+    }
+    h
+}

@@ -1,0 +1,35 @@
+//! # f90d-vm — register-bytecode execution engine for SPMD node programs
+//!
+//! The tree-walking executor in `f90d-core` re-dispatches on the IR enum
+//! for every element of every FORALL on every node. This crate is the
+//! standard interpreter→bytecode step: the compiler lowers each node
+//! program once into a compact register bytecode ([`bytecode::VmProgram`])
+//! — flat instruction streams, resolved array/scalar/loop-variable slots,
+//! constant-folded affine subscript forms — and the [`engine::Engine`]
+//! runs it with a flat fetch/decode loop, charging the **same**
+//! virtual-time cost model as the tree walker, under both sequential and
+//! threaded local-phase execution.
+//!
+//! Layering: this crate sits beside the runtime — it depends on the
+//! machine, mapping, communication and runtime crates but *not* on the
+//! compiler. The lowering pass (tree IR → bytecode) lives in
+//! `f90d-core::vmlower`; selecting the backend happens through
+//! `CompileOptions::backend` there.
+//!
+//! * [`bytecode`] — instruction set, expression code, program tables.
+//! * [`engine`] — the execution engine (mirrors the tree walker's
+//!   `Executor` API: seed, run, gather, scalar inspection).
+//! * [`ops`] — value-level operator semantics, shared with the tree
+//!   walker so the two backends cannot diverge.
+//! * [`cache`] — keyed program cache so repeated runs skip lowering.
+
+#![warn(missing_docs)]
+
+pub mod bytecode;
+pub mod cache;
+pub mod engine;
+pub mod ops;
+
+pub use bytecode::VmProgram;
+pub use cache::ProgramCache;
+pub use engine::{Engine, RunReport, VmError};

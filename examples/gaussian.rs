@@ -19,7 +19,10 @@ fn main() {
         None => vec![1, 2, 4, 8, 16],
     };
     for spec in [MachineSpec::ipsc860(), MachineSpec::ncube2()] {
-        println!("\n== Gaussian elimination {n}x{n} on the {} model ==", spec.name);
+        println!(
+            "\n== Gaussian elimination {n}x{n} on the {} model ==",
+            spec.name
+        );
         println!("PEs\thand (s)\tFortran 90D (s)\tratio");
         for &p in &procs {
             let h = ge_hand_time(n, p, &spec);

@@ -57,5 +57,23 @@ fn main() {
         report.messages,
         report.bytes
     );
-    println!("communication primitives used: {:?}", machine.stats.sorted());
+    println!(
+        "communication primitives used: {:?}",
+        machine.stats.sorted()
+    );
+
+    // 4. The same program on the register-bytecode backend: identical
+    //    modelled time and results, several times lower host wall-clock
+    //    (see `cargo bench -p f90d-bench --bench vm_vs_treewalk`).
+    use fortran90d::compiler::Backend;
+    let compiled_vm =
+        compile(SRC, &CompileOptions::default().with_backend(Backend::Vm)).expect("compiles");
+    let mut machine_vm = Machine::new(MachineSpec::ipsc860(), ProcGrid::new(&[4]));
+    let report_vm = compiled_vm.run_on(&mut machine_vm).expect("vm runs");
+    println!(
+        "vm backend: {:.3} ms modelled (identical: {}), bytecode: {}",
+        report_vm.elapsed * 1e3,
+        report_vm.elapsed == report.elapsed,
+        compiled_vm.vm_program().expect("lowers").summary()
+    );
 }

@@ -16,6 +16,9 @@
 //! * [`compiler`] — the compiler itself: partitioning, communication
 //!   detection/generation, optimizations, SPMD code generation, and the
 //!   loosely synchronous executor.
+//! * [`vm`] — the register-bytecode execution engine
+//!   (`CompileOptions::backend = Backend::Vm`): same results and virtual
+//!   times as the tree walker, several times lower host wall-clock.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the system inventory and the paper-reproduction index.
@@ -26,3 +29,4 @@ pub use f90d_distrib as distrib;
 pub use f90d_frontend as frontend;
 pub use f90d_machine as machine;
 pub use f90d_runtime as runtime;
+pub use f90d_vm as vm;

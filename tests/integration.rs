@@ -18,7 +18,11 @@ fn run_compiled(
     src: &str,
     grid: &[i64],
     spec: MachineSpec,
-) -> (Machine, fortran90d::compiler::ExecReport, fortran90d::compiler::Compiled) {
+) -> (
+    Machine,
+    fortran90d::compiler::ExecReport,
+    fortran90d::compiler::Compiled,
+) {
     let compiled = compile(src, &CompileOptions::on_grid(grid)).expect("compiles");
     let mut m = Machine::new(spec, ProcGrid::new(grid));
     let mut ex = Executor::new(&compiled.spmd, &mut m);
@@ -141,7 +145,9 @@ fn ablations_point_the_right_way() {
 fn jacobi_compiled_vs_reference_on_real_machine_model() {
     let src = workloads::jacobi(16, 3);
     let reference = run_reference(
-        &compile(&src, &CompileOptions::on_grid(&[2, 2])).unwrap().analyzed,
+        &compile(&src, &CompileOptions::on_grid(&[2, 2]))
+            .unwrap()
+            .analyzed,
         &HashMap::new(),
     )
     .unwrap();
@@ -190,4 +196,44 @@ END
 ";
     let (_, report, _) = run_compiled(src, &[4], MachineSpec::ipsc860());
     assert_eq!(report.printed, vec!["sum is 36.000000".to_string()]);
+}
+
+#[test]
+fn vm_backend_through_the_facade_matches_host_elimination() {
+    use fortran90d::compiler::Backend;
+    let n = 32i64;
+    let want = ge_reference_host(n);
+    let opts = CompileOptions::on_grid(&[4]).with_backend(Backend::Vm);
+    let compiled = compile(&workloads::gaussian(n), &opts).unwrap();
+    let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&[4]));
+    let report = compiled.run_on(&mut m).expect("vm backend runs");
+    assert!(report.elapsed > 0.0);
+    let prog = compiled.vm_program().unwrap();
+    let eng = fortran90d::vm::Engine::new_preserving(prog, &mut m);
+    let got = eng.gather_array(&mut m, "A").unwrap();
+    for (k, &w) in want.iter().enumerate() {
+        let g = got.get(k).as_real();
+        assert!(
+            (g - w).abs() <= 1e-6 * (1.0 + w.abs()),
+            "A[{k}] = {g}, host reference {w}"
+        );
+    }
+}
+
+#[test]
+fn vm_backend_experiment_runners_agree_with_treewalk() {
+    use fortran90d::compiler::Backend;
+    let t_tree = experiments::ge_compiled_time_backend(
+        48,
+        4,
+        &MachineSpec::ipsc860(),
+        true,
+        Backend::TreeWalk,
+    );
+    let t_vm =
+        experiments::ge_compiled_time_backend(48, 4, &MachineSpec::ipsc860(), true, Backend::Vm);
+    assert_eq!(
+        t_tree, t_vm,
+        "modelled elimination time must not depend on the backend"
+    );
 }
