@@ -1,8 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|abl-shift|abl-sched|abl-fuse|abl-overlap]
+//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|abl-shift|abl-sched|abl-fuse|abl-overlap|matrix]
 //!       [--n <matrix size>] [--quick] [--backend treewalk|vm]
+//!       [--jobs N] [--out results.json] [--baseline results.json] [--wall-tol F]
 //! ```
 //!
 //! `--quick` shrinks the Gaussian-elimination size (255 instead of 1023)
@@ -15,6 +16,15 @@
 //! construction; the host wall-clock printed beside each experiment is
 //! what the VM accelerates. `--exp vmcmp` prints both backends
 //! head-to-head so BENCH records can track the VM speedup.
+//!
+//! `--exp matrix` (implied by `--jobs`) runs the full §8 experiment
+//! matrix on a work-stealing worker pool (`f90d_bench::harness`).
+//! Stdout carries only the deterministic virtual metrics in canonical
+//! cell order — byte-identical for any `--jobs` value — while wall-clock
+//! and cache commentary goes to stderr. `--out` writes the structured
+//! `results.json`; `--baseline` diffs against a previous one and exits
+//! nonzero on any virtual-metric drift (wall clock is reported, and only
+//! gated when `--wall-tol <factor>` is given).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -51,12 +61,30 @@ fn main() {
     let mut n: i64 = 1023;
     let mut quick = false;
     let mut backend = Backend::TreeWalk;
+    let mut jobs: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut wall_tol: Option<f64> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--exp" => which = it.next().cloned().unwrap_or_else(|| "all".into()),
             "--n" => n = it.next().and_then(|v| v.parse().ok()).unwrap_or(1023),
             "--quick" => quick = true,
+            "--jobs" => {
+                jobs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs expects a worker count");
+                    std::process::exit(2);
+                }))
+            }
+            "--out" => out = it.next().cloned(),
+            "--baseline" => baseline = it.next().cloned(),
+            "--wall-tol" => {
+                wall_tol = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--wall-tol expects a slowdown factor (e.g. 3.0)");
+                    std::process::exit(2);
+                }))
+            }
             "--backend" => {
                 backend = match it.next().map(String::as_str) {
                     Some("treewalk") => Backend::TreeWalk,
@@ -72,6 +100,21 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    // The harness flags only make sense for the matrix experiment; they
+    // imply it, and combining them with another --exp is an error rather
+    // than a silently-skipped regression gate.
+    let matrix_flags = jobs.is_some() || out.is_some() || baseline.is_some() || wall_tol.is_some();
+    if matrix_flags && which == "all" {
+        which = "matrix".into();
+    }
+    if which == "matrix" {
+        exp_matrix(quick, jobs.unwrap_or(1), out, baseline, wall_tol);
+        return;
+    }
+    if matrix_flags {
+        eprintln!("--jobs/--out/--baseline/--wall-tol require the matrix experiment (--exp matrix), not --exp {which}");
+        std::process::exit(2);
     }
     if quick {
         n = 255;
@@ -111,6 +154,69 @@ fn main() {
     }
     if all || which == "abl-overlap" {
         exp_abl_overlap();
+    }
+}
+
+/// The full §8 experiment matrix on the work-stealing harness.
+///
+/// Deterministic metrics → stdout (canonical order, byte-identical for
+/// any `--jobs`); wall clock and cache commentary → stderr; structured
+/// results → `--out`; regression gate → `--baseline` (exit 1 on drift).
+fn exp_matrix(
+    quick: bool,
+    jobs: usize,
+    out: Option<String>,
+    baseline: Option<String>,
+    wall_tol: Option<f64>,
+) {
+    use f90d_bench::harness;
+
+    let scale = if quick {
+        harness::Scale::Quick
+    } else {
+        harness::Scale::Full
+    };
+    let cells = harness::matrix(scale);
+    eprintln!(
+        "# matrix: {} cells, {} jobs, suite {}",
+        cells.len(),
+        jobs,
+        scale.name()
+    );
+    let report = harness::run_matrix_scaled(&cells, jobs, scale);
+    print!("{}", harness::render_table(&report));
+    let per_cell_wall: f64 = report.cells.iter().map(|c| c.wall_s).sum();
+    eprintln!(
+        "# wall-clock {:.3} s on {} jobs (sum of cell wall-clocks {:.3} s, pool efficiency {:.0}%)",
+        report.wall_s,
+        report.jobs,
+        per_cell_wall,
+        100.0 * per_cell_wall / (report.wall_s * report.jobs as f64)
+    );
+    let json = harness::report_json(&report);
+    if let Some(path) = out {
+        std::fs::write(&path, json.render_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("# wrote {path}");
+    }
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let base = serde::json::Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        match harness::diff_baseline(&json, &base, wall_tol) {
+            Ok(summary) => eprintln!("# baseline: {summary}"),
+            Err(drift) => {
+                eprintln!("# BASELINE DRIFT against {path}:\n{drift}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -1,0 +1,564 @@
+//! Parallel repro harness: the full (workload × size × grid × machine ×
+//! backend) experiment matrix of the paper's §8 evaluation, run by a
+//! work-stealing pool of `std::thread::scope` workers.
+//!
+//! Execution is *virtual-time* deterministic — every cell builds its own
+//! [`Machine`], so the modelled seconds, message counts and byte counts
+//! of a cell are identical no matter which worker runs it or in what
+//! order. That is what makes the matrix CI-gateable: [`render_table`]
+//! emits only the deterministic columns in canonical cell order (so
+//! `--jobs 8` output is byte-identical to `--jobs 1`), and
+//! [`diff_baseline`] compares a run against a committed `results.json`
+//! bit-exactly on the virtual metrics while only reporting wall clock.
+//!
+//! The one piece of shared hot state is the VM program cache
+//! (`f90d_vm::ProgramCache`, sharded): all workers reuse a single
+//! lowering per (source, options, grid) key, and the per-run hit/miss
+//! deltas are surfaced in the report.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use f90d_core::{compile, vm_cache, Backend, CompileOptions};
+use f90d_distrib::ProcGrid;
+use f90d_machine::{Machine, MachineSpec};
+use serde::json::Json;
+
+use crate::workloads;
+
+/// Matrix size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smallest cells — fast enough for debug-build unit tests.
+    Tiny,
+    /// CI preset (`repro --quick --jobs 4`): every shape, small sizes.
+    Quick,
+    /// Paper-scale sizes.
+    Full,
+}
+
+impl Scale {
+    /// Name recorded in `results.json` (baselines must match suites).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// One experiment-matrix cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Workload name: `gaussian`, `jacobi`, `fft`, `irregular`.
+    pub workload: &'static str,
+    /// Primary problem size (matrix side, grid side, vector length …).
+    pub n: i64,
+    /// Logical processor grid shape.
+    pub grid: Vec<i64>,
+    /// Machine model: `ipsc860` or `ncube2`.
+    pub machine: &'static str,
+    /// Execution backend.
+    pub backend: Backend,
+}
+
+impl Cell {
+    /// Canonical id, e.g. `jacobi/n96/g2x2/ipsc860/vm`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/n{}/g{}/{}/{}",
+            self.workload,
+            self.n,
+            grid_name(&self.grid),
+            self.machine,
+            backend_name(self.backend)
+        )
+    }
+
+    fn source(&self) -> String {
+        match self.workload {
+            "gaussian" => workloads::gaussian(self.n),
+            // Secondary parameters are fixed so a cell is fully described
+            // by (workload, n): 4 Jacobi sweeps, FFT increment 2.
+            "jacobi" => workloads::jacobi(self.n, 4),
+            "fft" => workloads::fft_butterfly(self.n, 2),
+            "irregular" => workloads::irregular(self.n),
+            other => panic!("unknown workload {other}"),
+        }
+    }
+
+    fn spec(&self) -> MachineSpec {
+        match self.machine {
+            "ipsc860" => MachineSpec::ipsc860(),
+            "ncube2" => MachineSpec::ncube2(),
+            other => panic!("unknown machine {other}"),
+        }
+    }
+}
+
+/// Deterministic metrics plus informational timing for one cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that produced this.
+    pub cell: Cell,
+    /// Modelled elapsed seconds (deterministic, gated bit-exactly).
+    pub virt_s: f64,
+    /// Messages sent (deterministic, gated).
+    pub messages: u64,
+    /// Payload bytes sent (deterministic, gated).
+    pub bytes: u64,
+    /// PRINT output (deterministic, gated).
+    pub printed: Vec<String>,
+    /// Host wall clock for the run (informational — never gated by
+    /// default, scheduling-dependent).
+    pub wall_s: f64,
+    /// Program-cache outcome: `Some(true)` hit, `Some(false)` this cell
+    /// performed the lowering, `None` tree walk. Which cell of a key
+    /// group lowers depends on worker scheduling, so this is
+    /// informational; the *totals* are deterministic.
+    pub cache_hit: Option<bool>,
+}
+
+/// One full matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Suite preset name.
+    pub suite: &'static str,
+    /// Worker count used.
+    pub jobs: usize,
+    /// Wall clock of the whole run.
+    pub wall_s: f64,
+    /// Program-cache hits during this run.
+    pub cache_hits: u64,
+    /// Program-cache misses (lowerings) during this run.
+    pub cache_misses: u64,
+    /// Per-cell results, in canonical matrix order.
+    pub cells: Vec<CellResult>,
+}
+
+fn grid_name(grid: &[i64]) -> String {
+    grid.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+fn backend_name(b: Backend) -> &'static str {
+    match b {
+        Backend::TreeWalk => "treewalk",
+        Backend::Vm => "vm",
+    }
+}
+
+fn backend_of(name: &str) -> Option<Backend> {
+    match name {
+        "treewalk" => Some(Backend::TreeWalk),
+        "vm" => Some(Backend::Vm),
+        _ => None,
+    }
+}
+
+/// Intern a serialized workload name back to the matrix's static name
+/// (also validates it).
+fn workload_of(name: &str) -> Option<&'static str> {
+    ["gaussian", "jacobi", "fft", "irregular"]
+        .into_iter()
+        .find(|&w| w == name)
+}
+
+/// Intern a serialized machine name back to the matrix's static name.
+fn machine_of(name: &str) -> Option<&'static str> {
+    ["ipsc860", "ncube2"].into_iter().find(|&m| m == name)
+}
+
+/// The experiment matrix at `scale`, in canonical order: workload, then
+/// size, then grid, then machine, then backend.
+pub fn matrix(scale: Scale) -> Vec<Cell> {
+    // (workload, sizes, grids) per scale.
+    type Row = (&'static str, Vec<i64>, Vec<Vec<i64>>);
+    let rows: Vec<Row> = match scale {
+        Scale::Tiny => vec![
+            ("gaussian", vec![16], vec![vec![1], vec![4]]),
+            ("jacobi", vec![12], vec![vec![2, 2]]),
+            ("fft", vec![8], vec![vec![4]]),
+            ("irregular", vec![64], vec![vec![4]]),
+        ],
+        Scale::Quick => vec![
+            ("gaussian", vec![96, 160], vec![vec![1], vec![4], vec![8]]),
+            ("jacobi", vec![96], vec![vec![2, 2], vec![4, 4]]),
+            ("fft", vec![64], vec![vec![4], vec![8]]),
+            ("irregular", vec![4096], vec![vec![4], vec![8]]),
+        ],
+        Scale::Full => vec![
+            ("gaussian", vec![256, 512], vec![vec![1], vec![4], vec![16]]),
+            ("jacobi", vec![256], vec![vec![2, 2], vec![4, 4]]),
+            ("fft", vec![256], vec![vec![8], vec![16]]),
+            ("irregular", vec![16384], vec![vec![8], vec![16]]),
+        ],
+    };
+    let mut cells = Vec::new();
+    for (workload, sizes, grids) in rows {
+        for &n in &sizes {
+            for grid in &grids {
+                for machine in ["ipsc860", "ncube2"] {
+                    for backend in [Backend::TreeWalk, Backend::Vm] {
+                        cells.push(Cell {
+                            workload,
+                            n,
+                            grid: grid.clone(),
+                            machine,
+                            backend,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Compile and run one cell on its own fresh [`Machine`].
+pub fn run_cell(cell: &Cell) -> CellResult {
+    let opts = CompileOptions::on_grid(&cell.grid).with_backend(cell.backend);
+    let compiled =
+        compile(&cell.source(), &opts).unwrap_or_else(|e| panic!("{} compiles: {e}", cell.id()));
+    let mut m = Machine::new(cell.spec(), ProcGrid::new(&cell.grid));
+    let t0 = Instant::now();
+    let (rep, cache_hit) = compiled
+        .run_on_traced(&mut m)
+        .unwrap_or_else(|e| panic!("{} runs: {e:?}", cell.id()));
+    CellResult {
+        cell: cell.clone(),
+        virt_s: rep.elapsed,
+        messages: rep.messages,
+        bytes: rep.bytes,
+        printed: rep.printed,
+        wall_s: t0.elapsed().as_secs_f64(),
+        cache_hit,
+    }
+}
+
+/// Run `cells` on `jobs` workers with work stealing; results come back
+/// in canonical (input) order regardless of execution interleaving.
+/// `scale` is recorded as the report's suite name — pass the same value
+/// the cells were built with ([`diff_baseline`] refuses cross-suite
+/// comparisons).
+///
+/// Each worker owns a deque seeded round-robin; it pops its own front
+/// (LIFO locality does not matter here — cells are independent — but
+/// front/back discipline keeps steals contention-free) and when empty
+/// steals from the back of the others. No worker ever blocks on another:
+/// the only shared state a cell touches is the sharded program cache.
+pub fn run_matrix_scaled(cells: &[Cell], jobs: usize, scale: Scale) -> MatrixReport {
+    let jobs = jobs.max(1);
+    let (hits0, misses0) = (vm_cache().hits(), vm_cache().misses());
+    let t0 = Instant::now();
+
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, _) in cells.iter().enumerate() {
+        queues[i % jobs].lock().unwrap().push_back(i);
+    }
+    let slots: Vec<OnceLock<CellResult>> = cells.iter().map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|s| {
+        for w in 0..jobs {
+            let queues = &queues;
+            let slots = &slots;
+            s.spawn(move || loop {
+                let job = queues[w].lock().unwrap().pop_front().or_else(|| {
+                    (1..jobs).find_map(|off| queues[(w + off) % jobs].lock().unwrap().pop_back())
+                });
+                match job {
+                    Some(i) => {
+                        let _ = slots[i].set(run_cell(&cells[i]));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    MatrixReport {
+        suite: scale.name(),
+        jobs,
+        wall_s: t0.elapsed().as_secs_f64(),
+        cache_hits: vm_cache().hits() - hits0,
+        cache_misses: vm_cache().misses() - misses0,
+        cells: slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every cell ran"))
+            .collect(),
+    }
+}
+
+/// Render the deterministic view of a report: one row per cell in
+/// canonical order, virtual metrics at full precision, plus the cache
+/// totals (which are scheduling-independent: misses = distinct keys).
+/// This is the `repro` stdout that must be byte-identical across
+/// `--jobs` values.
+pub fn render_table(rep: &MatrixReport) -> String {
+    let mut out = String::new();
+    out.push_str("workload\tn\tgrid\tmachine\tbackend\tvirt_s\tmessages\tbytes\n");
+    for c in &rep.cells {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            c.cell.workload,
+            c.cell.n,
+            grid_name(&c.cell.grid),
+            c.cell.machine,
+            backend_name(c.cell.backend),
+            c.virt_s,
+            c.messages,
+            c.bytes
+        ));
+        for line in &c.printed {
+            out.push_str(&format!("  print: {line}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "cache: hits={} misses={}\n",
+        rep.cache_hits, rep.cache_misses
+    ));
+    out
+}
+
+/// Serialize a report to the `results.json` tree (`f90d-results/v1`).
+pub fn report_json(rep: &MatrixReport) -> Json {
+    let cells = rep
+        .cells
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("workload".into(), Json::Str(c.cell.workload.into())),
+                ("n".into(), Json::Num(c.cell.n as f64)),
+                (
+                    "grid".into(),
+                    Json::Arr(c.cell.grid.iter().map(|&d| Json::Num(d as f64)).collect()),
+                ),
+                ("machine".into(), Json::Str(c.cell.machine.into())),
+                (
+                    "backend".into(),
+                    Json::Str(backend_name(c.cell.backend).into()),
+                ),
+                ("virt_s".into(), Json::Num(c.virt_s)),
+                ("messages".into(), Json::Num(c.messages as f64)),
+                ("bytes".into(), Json::Num(c.bytes as f64)),
+                (
+                    "printed".into(),
+                    Json::Arr(c.printed.iter().map(|s| Json::Str(s.clone())).collect()),
+                ),
+                ("wall_s".into(), Json::Num(c.wall_s)),
+                (
+                    "cache_hit".into(),
+                    match c.cache_hit {
+                        Some(b) => Json::Bool(b),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("f90d-results/v1".into())),
+        ("suite".into(), Json::Str(rep.suite.into())),
+        ("jobs".into(), Json::Num(rep.jobs as f64)),
+        ("wall_s".into(), Json::Num(rep.wall_s)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(rep.cache_hits as f64)),
+                ("misses".into(), Json::Num(rep.cache_misses as f64)),
+            ]),
+        ),
+        ("cells".into(), Json::Arr(cells)),
+    ])
+}
+
+/// The deterministic projection of one serialized cell, used as the
+/// comparison unit by [`diff_baseline`].
+#[derive(Debug, PartialEq)]
+struct CellMetrics {
+    virt_bits: u64,
+    messages: u64,
+    bytes: u64,
+    printed: Vec<String>,
+    wall_s: f64,
+}
+
+/// Reconstruct the [`Cell`] a serialized entry describes and return its
+/// canonical [`Cell::id`] — the one id format, shared with run panics
+/// and table rendering, so baseline keys can never drift from it.
+fn cell_key(c: &Json) -> Result<String, String> {
+    let field = |k: &'static str| c.get(k).ok_or(k);
+    let workload = field("workload")?.as_str().ok_or("workload")?;
+    let machine = field("machine")?.as_str().ok_or("machine")?;
+    let backend = field("backend")?.as_str().ok_or("backend")?;
+    let cell = Cell {
+        workload: workload_of(workload).ok_or_else(|| format!("unknown workload {workload}"))?,
+        n: field("n")?.as_f64().ok_or("n")? as i64,
+        grid: field("grid")?
+            .as_arr()
+            .ok_or("grid")?
+            .iter()
+            .map(|d| d.as_f64().map(|f| f as i64).ok_or("grid".to_string()))
+            .collect::<Result<_, _>>()?,
+        machine: machine_of(machine).ok_or_else(|| format!("unknown machine {machine}"))?,
+        backend: backend_of(backend).ok_or_else(|| format!("unknown backend {backend}"))?,
+    };
+    Ok(cell.id())
+}
+
+fn cell_metrics(c: &Json) -> Result<CellMetrics, String> {
+    Ok(CellMetrics {
+        virt_bits: c
+            .get("virt_s")
+            .and_then(Json::as_f64)
+            .ok_or("virt_s")?
+            .to_bits(),
+        messages: c.get("messages").and_then(Json::as_u64).ok_or("messages")?,
+        bytes: c.get("bytes").and_then(Json::as_u64).ok_or("bytes")?,
+        printed: c
+            .get("printed")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|s| s.as_str().unwrap_or("").to_string())
+            .collect(),
+        wall_s: c.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
+    })
+}
+
+fn doc_cells(doc: &Json) -> Result<Vec<(String, CellMetrics)>, String> {
+    if doc.get("schema").and_then(Json::as_str) != Some("f90d-results/v1") {
+        return Err("not a f90d-results/v1 document".into());
+    }
+    doc.get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("document has no cells array")?
+        .iter()
+        .map(|c| {
+            let key = cell_key(c).map_err(|e| format!("bad cell ({e})"))?;
+            let m = cell_metrics(c).map_err(|e| format!("cell {key}: missing {e}"))?;
+            Ok((key, m))
+        })
+        .collect()
+}
+
+/// Diff `current` against `baseline` (both `f90d-results/v1` trees).
+///
+/// Virtual time (bit-exact), message count, byte count, PRINT output and
+/// the cell set itself are gated; any drift returns `Err` with one line
+/// per mismatch. Wall clock is reported in the `Ok` summary and only
+/// gated when `wall_tol` is `Some(factor)`: the run fails if any cell is
+/// more than `factor`× slower than its baseline wall clock (CI leaves
+/// this off — wall clock depends on the host).
+pub fn diff_baseline(
+    current: &Json,
+    baseline: &Json,
+    wall_tol: Option<f64>,
+) -> Result<String, String> {
+    let cur_suite = current.get("suite").and_then(Json::as_str);
+    let base_suite = baseline.get("suite").and_then(Json::as_str);
+    if cur_suite != base_suite {
+        return Err(format!(
+            "suite mismatch: current {cur_suite:?} vs baseline {base_suite:?}"
+        ));
+    }
+    let cur = doc_cells(current)?;
+    let base = doc_cells(baseline)?;
+    let mut drift = Vec::new();
+    let mut wall_worst: (f64, &str) = (0.0, "");
+    for (key, b) in &base {
+        match cur.iter().find(|(k, _)| k == key) {
+            None => drift.push(format!("{key}: missing from current run")),
+            Some((_, c)) => {
+                if c.virt_bits != b.virt_bits {
+                    drift.push(format!(
+                        "{key}: virt_s {} != baseline {}",
+                        f64::from_bits(c.virt_bits),
+                        f64::from_bits(b.virt_bits)
+                    ));
+                }
+                if c.messages != b.messages {
+                    drift.push(format!(
+                        "{key}: messages {} != baseline {}",
+                        c.messages, b.messages
+                    ));
+                }
+                if c.bytes != b.bytes {
+                    drift.push(format!("{key}: bytes {} != baseline {}", c.bytes, b.bytes));
+                }
+                if c.printed != b.printed {
+                    drift.push(format!("{key}: PRINT output differs from baseline"));
+                }
+                if b.wall_s > 0.0 {
+                    let ratio = c.wall_s / b.wall_s;
+                    if ratio > wall_worst.0 {
+                        wall_worst = (ratio, key);
+                    }
+                    if let Some(tol) = wall_tol {
+                        if ratio > tol {
+                            drift.push(format!(
+                                "{key}: wall clock {:.4}s > {tol}x baseline {:.4}s",
+                                c.wall_s, b.wall_s
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (key, _) in &cur {
+        if !base.iter().any(|(k, _)| k == key) {
+            drift.push(format!("{key}: not in baseline (add it by regenerating)"));
+        }
+    }
+    if drift.is_empty() {
+        Ok(format!(
+            "{} cells match baseline bit-exactly; worst wall-clock ratio {:.2}x ({})",
+            base.len(),
+            wall_worst.0,
+            wall_worst.1
+        ))
+    } else {
+        Err(drift.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_order_is_canonical_and_ids_unique() {
+        let cells = matrix(Scale::Quick);
+        let ids: Vec<String> = cells.iter().map(Cell::id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "duplicate cell ids");
+        // Canonical order: same every call.
+        assert_eq!(
+            ids,
+            matrix(Scale::Quick)
+                .iter()
+                .map(Cell::id)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_scale_covers_all_workloads_machines_backends() {
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Full] {
+            let cells = matrix(scale);
+            for w in ["gaussian", "jacobi", "fft", "irregular"] {
+                assert!(cells.iter().any(|c| c.workload == w), "{scale:?} {w}");
+            }
+            assert!(cells.iter().any(|c| c.machine == "ncube2"));
+            assert!(cells.iter().any(|c| c.backend == Backend::Vm));
+        }
+    }
+}

@@ -9,11 +9,15 @@
 //! * [`handwritten`] — the hand-coded "Fortran 77 + MP" Gaussian
 //!   elimination baseline of Table 4, written directly against the
 //!   run-time system;
-//! * [`experiments`] — runners producing each table/figure's series.
+//! * [`experiments`] — runners producing each table/figure's series;
+//! * [`harness`] — the parallel (work-stealing) experiment-matrix
+//!   harness behind `repro --jobs N`, with `results.json` emission and
+//!   the `--baseline` CI perf gate.
 //!
 //! `cargo run -p f90d-bench --bin repro --release` prints every
 //! reproduction; `cargo bench -p f90d-bench` runs the criterion wrappers.
 
 pub mod experiments;
 pub mod handwritten;
+pub mod harness;
 pub mod workloads;

@@ -1,0 +1,173 @@
+//! Harness equivalence and perf-gate contract:
+//!
+//! * `--jobs 8` must produce exactly the deterministic output of
+//!   `--jobs 1` (canonical cell order, bit-exact virtual metrics);
+//! * `diff_baseline` must pass on a clean rerun and fail on injected
+//!   drift, missing cells, or extra cells.
+//!
+//! The cache-counter assertions live in the single matrix test — the
+//! gate tests below operate on synthetic documents and never touch the
+//! process-wide program cache.
+
+use f90d_bench::harness::{self, Scale};
+use serde::json::Json;
+
+/// Strip the `cache:` trailer — cross-run cache state (second run is all
+/// hits) is process history, not a property of a matrix run.
+fn cells_only(table: &str) -> String {
+    table
+        .lines()
+        .filter(|l| !l.starts_with("cache:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn jobs8_matches_jobs1_bit_exactly() {
+    let cells = harness::matrix(Scale::Tiny);
+    let serial = harness::run_matrix_scaled(&cells, 1, Scale::Tiny);
+    let parallel = harness::run_matrix_scaled(&cells, 8, Scale::Tiny);
+    assert_eq!(parallel.jobs, 8);
+
+    // Canonical order, bit-exact virtual metrics, identical rendering.
+    assert_eq!(serial.cells.len(), cells.len());
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(a.cell, b.cell, "cell order must be canonical");
+        assert_eq!(a.virt_s.to_bits(), b.virt_s.to_bits(), "{}", a.cell.id());
+        assert_eq!(a.messages, b.messages, "{}", a.cell.id());
+        assert_eq!(a.bytes, b.bytes, "{}", a.cell.id());
+        assert_eq!(a.printed, b.printed, "{}", a.cell.id());
+    }
+    assert_eq!(
+        cells_only(&harness::render_table(&serial)),
+        cells_only(&harness::render_table(&parallel)),
+        "deterministic stdout must be byte-identical across --jobs"
+    );
+
+    // The second run reused every lowering from the first: cross-run
+    // sharing through the process-wide cache.
+    assert_eq!(parallel.cache_misses, 0);
+    assert_eq!(
+        parallel.cache_hits,
+        cells
+            .iter()
+            .filter(|c| c.backend == f90d_core::Backend::Vm)
+            .count() as u64
+    );
+
+    // And the serialized documents agree on the gated metrics.
+    let a = harness::report_json(&serial);
+    let b = harness::report_json(&parallel);
+    harness::diff_baseline(&b, &a, None).expect("jobs=8 run must match jobs=1 baseline");
+}
+
+/// A tiny synthetic results document (no cells are actually run).
+fn synthetic() -> Json {
+    Json::parse(
+        r#"{
+  "schema": "f90d-results/v1",
+  "suite": "tiny",
+  "jobs": 1,
+  "wall_s": 1.0,
+  "cache": {"hits": 1, "misses": 1},
+  "cells": [
+    {"workload": "gaussian", "n": 16, "grid": [4], "machine": "ipsc860",
+     "backend": "vm", "virt_s": 0.125, "messages": 10, "bytes": 640,
+     "printed": [], "wall_s": 0.5, "cache_hit": false},
+    {"workload": "jacobi", "n": 12, "grid": [2, 2], "machine": "ncube2",
+     "backend": "treewalk", "virt_s": 0.25, "messages": 8, "bytes": 128,
+     "printed": ["SUM = 3.0"], "wall_s": 0.25, "cache_hit": null}
+  ]
+}"#,
+    )
+    .unwrap()
+}
+
+fn set_cell_field(doc: &mut Json, cell_idx: usize, field: &str, v: Json) {
+    let Json::Obj(top) = doc else { panic!() };
+    let cells = &mut top.iter_mut().find(|(k, _)| k == "cells").unwrap().1;
+    let Json::Arr(cells) = cells else { panic!() };
+    let Json::Obj(cell) = &mut cells[cell_idx] else {
+        panic!()
+    };
+    cell.iter_mut().find(|(k, _)| k == field).unwrap().1 = v;
+}
+
+#[test]
+fn gate_passes_clean_and_catches_each_drift_kind() {
+    let base = synthetic();
+    let summary = harness::diff_baseline(&base, &base, None).expect("identical docs pass");
+    assert!(summary.contains("2 cells match"), "{summary}");
+
+    // Virtual-time drift: even the last bit.
+    let mut drift = synthetic();
+    set_cell_field(
+        &mut drift,
+        0,
+        "virt_s",
+        Json::Num(0.125 + f64::EPSILON / 8.0),
+    );
+    let err = harness::diff_baseline(&drift, &base, None).unwrap_err();
+    assert!(err.contains("virt_s"), "{err}");
+
+    // Message-count drift.
+    let mut drift = synthetic();
+    set_cell_field(&mut drift, 1, "messages", Json::Num(9.0));
+    let err = harness::diff_baseline(&drift, &base, None).unwrap_err();
+    assert!(err.contains("messages 9 != baseline 8"), "{err}");
+
+    // Byte-count drift.
+    let mut drift = synthetic();
+    set_cell_field(&mut drift, 0, "bytes", Json::Num(648.0));
+    assert!(harness::diff_baseline(&drift, &base, None).is_err());
+
+    // PRINT drift.
+    let mut drift = synthetic();
+    set_cell_field(&mut drift, 1, "printed", Json::Arr(vec![]));
+    let err = harness::diff_baseline(&drift, &base, None).unwrap_err();
+    assert!(err.contains("PRINT"), "{err}");
+
+    // A cell vanishing from the run.
+    let mut missing = synthetic();
+    let Json::Obj(top) = &mut missing else {
+        panic!()
+    };
+    let Json::Arr(cells) = &mut top.iter_mut().find(|(k, _)| k == "cells").unwrap().1 else {
+        panic!()
+    };
+    cells.pop();
+    let err = harness::diff_baseline(&missing, &base, None).unwrap_err();
+    assert!(err.contains("missing from current run"), "{err}");
+    // …and the reverse: baseline missing a cell the run has.
+    let err = harness::diff_baseline(&base, &missing, None).unwrap_err();
+    assert!(err.contains("not in baseline"), "{err}");
+
+    // Suite mismatch refuses to compare at all.
+    let mut other = synthetic();
+    let Json::Obj(top) = &mut other else { panic!() };
+    top.iter_mut().find(|(k, _)| k == "suite").unwrap().1 = Json::Str("full".into());
+    assert!(harness::diff_baseline(&other, &base, None).is_err());
+}
+
+#[test]
+fn wall_clock_reported_not_gated_unless_asked() {
+    let base = synthetic();
+    let mut slow = synthetic();
+    // 100x slower cell — by default reported in the summary, never a failure.
+    set_cell_field(&mut slow, 0, "wall_s", Json::Num(50.0));
+    let summary = harness::diff_baseline(&slow, &base, None).expect("wall clock is not gated");
+    assert!(summary.contains("100.00x"), "{summary}");
+    // Opt-in tolerance: now it fails.
+    let err = harness::diff_baseline(&slow, &base, Some(3.0)).unwrap_err();
+    assert!(err.contains("wall clock"), "{err}");
+    // Within tolerance passes.
+    harness::diff_baseline(&slow, &base, Some(200.0)).expect("within tolerance");
+}
+
+#[test]
+fn results_json_round_trips() {
+    let doc = synthetic();
+    let parsed = Json::parse(&doc.render_pretty()).unwrap();
+    assert_eq!(parsed, doc);
+    harness::diff_baseline(&parsed, &doc, None).expect("round trip is drift-free");
+}

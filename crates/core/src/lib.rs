@@ -90,23 +90,37 @@ impl Compiled {
     /// [`f90d_vm::Engine`] over [`Compiled::vm_program`] directly to seed
     /// inputs first.
     pub fn run_on(&self, m: &mut Machine) -> Result<ExecReport, exec::ExecError> {
+        self.run_on_traced(m).map(|(rep, _)| rep)
+    }
+
+    /// [`Compiled::run_on`] that also reports whether the bytecode
+    /// program-cache lookup was a hit (`Some(true)`), a miss that lowered
+    /// (`Some(false)`), or not consulted at all (`None`, tree walk). The
+    /// parallel repro harness records this per matrix cell.
+    pub fn run_on_traced(
+        &self,
+        m: &mut Machine,
+    ) -> Result<(ExecReport, Option<bool>), exec::ExecError> {
         match self.options.backend {
             Backend::TreeWalk => {
                 let mut ex = Executor::new(&self.spmd, m);
                 ex.schedule_reuse = self.options.opt.schedule_reuse;
-                ex.run(m)
+                ex.run(m).map(|rep| (rep, None))
             }
             Backend::Vm => {
-                let prog = self.vm_program().map_err(exec::ExecError)?;
+                let (prog, hit) = self.vm_program_traced().map_err(exec::ExecError)?;
                 let mut eng = f90d_vm::Engine::new(prog, m);
                 eng.schedule_reuse = self.options.opt.schedule_reuse;
                 let rep = eng.run(m).map_err(|e| exec::ExecError(e.0))?;
-                Ok(ExecReport {
-                    elapsed: rep.elapsed,
-                    messages: rep.messages,
-                    bytes: rep.bytes,
-                    printed: rep.printed,
-                })
+                Ok((
+                    ExecReport {
+                        elapsed: rep.elapsed,
+                        messages: rep.messages,
+                        bytes: rep.bytes,
+                        printed: rep.printed,
+                    },
+                    Some(hit),
+                ))
             }
         }
     }
@@ -114,7 +128,13 @@ impl Compiled {
     /// The lowered bytecode program, via the global cache keyed by
     /// (source hash, options, grid): repeated runs skip lowering.
     pub fn vm_program(&self) -> Result<Arc<VmProgram>, String> {
-        vm_cache().get_or_lower(self.vm_cache_key(), || vmlower::lower(&self.spmd))
+        self.vm_program_traced().map(|(p, _)| p)
+    }
+
+    /// [`Compiled::vm_program`] that also reports whether the lookup was
+    /// a cache hit.
+    pub fn vm_program_traced(&self) -> Result<(Arc<VmProgram>, bool), String> {
+        vm_cache().get_or_lower_traced(self.vm_cache_key(), || vmlower::lower(&self.spmd))
     }
 
     fn vm_cache_key(&self) -> u64 {
@@ -155,6 +175,17 @@ pub fn vm_cache() -> &'static ProgramCache {
     static CACHE: OnceLock<ProgramCache> = OnceLock::new();
     CACHE.get_or_init(ProgramCache::new)
 }
+
+// The parallel repro harness compiles once and runs the same `Compiled`
+// from many workers sharing one `ProgramCache`; losing either bound (for
+// example by putting an `Rc` in the IR) is a compile error here, not a
+// runtime surprise there.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Compiled>();
+    assert_send_sync::<ProgramCache>();
+    assert_send_sync::<Arc<VmProgram>>();
+};
 
 /// Compile Fortran 90D/HPF source text.
 pub fn compile(source: &str, opts: &CompileOptions) -> Result<Compiled, String> {

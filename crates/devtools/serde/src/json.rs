@@ -1,0 +1,372 @@
+//! Minimal JSON tree, writer and parser — the offline stand-in for
+//! `serde_json`, sized for the repro harness's `results.json` files.
+//!
+//! Objects keep insertion order (no hashing), so rendering is fully
+//! deterministic: the same tree always produces the same bytes. Numbers
+//! are `f64` rendered with Rust's shortest round-trip formatting, so a
+//! value written and re-parsed compares bit-identical — that property is
+//! what lets the CI perf gate diff virtual times exactly.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers render without a fractional part).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field by key (`None` for absent keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as an unsigned count.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|n| n as u64)
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Render compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation and a trailing newline — the
+    /// format of committed baseline files, so diffs stay reviewable.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(v) => {
+                if v.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    e.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_str(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (the whole input must be one value).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if n.is_finite() {
+        // `{}` on f64 is the shortest representation that parses back to
+        // the identical bits — integers come out bare ("42").
+        let _ = write!(out, "{n}");
+    } else {
+        // JSON has no Inf/NaN; wall clocks and virtual times never are,
+        // but never emit an unparseable document.
+        out.push_str("null");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut v = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(v));
+            }
+            loop {
+                v.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(v));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let k = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                fields.push((k, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut s = String::new();
+    let mut chars = std::str::from_utf8(&b[*pos..])
+        .map_err(|e| e.to_string())?
+        .char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(s);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => s.push('"'),
+                Some((_, '\\')) => s.push('\\'),
+                Some((_, '/')) => s.push('/'),
+                Some((_, 'b')) => s.push('\u{8}'),
+                Some((_, 'f')) => s.push('\u{c}'),
+                Some((_, 'n')) => s.push('\n'),
+                Some((_, 'r')) => s.push('\r'),
+                Some((_, 't')) => s.push('\t'),
+                Some((_, 'u')) => {
+                    let hex: String = chars.by_ref().take(4).map(|(_, c)| c).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                    let code = if (0xD800..0xDC00).contains(&code) {
+                        // High surrogate: external writers (serde_json,
+                        // jq, …) escape non-BMP chars as a \uXXXX\uXXXX
+                        // pair; the low half must follow immediately.
+                        if !matches!(
+                            (chars.next(), chars.next()),
+                            (Some((_, '\\')), Some((_, 'u')))
+                        ) {
+                            return Err("high surrogate not followed by \\u escape".into());
+                        }
+                        let hex: String = chars.by_ref().take(4).map(|(_, c)| c).collect();
+                        let low = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        if !(0xDC00..0xE000).contains(&low) {
+                            return Err("high surrogate not followed by low surrogate".into());
+                        }
+                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                    } else {
+                        code
+                    };
+                    s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                _ => return Err("bad escape".into()),
+            },
+            c => s.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse()
+        .map_err(|_| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let vals = [0.0, 1.5, -2.25, 1.0 / 3.0, 6.02e23, f64::MIN_POSITIVE];
+        for v in vals {
+            let json = Json::Num(v).render();
+            let back = Json::parse(&json).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{json}");
+        }
+    }
+
+    #[test]
+    fn parse_renders_back() {
+        let src = r#"{"a":[1,2.5,"x\n"],"b":{"c":null,"d":true},"e":-3}"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(v.render(), src);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("e").unwrap().as_f64(), Some(-3.0));
+    }
+
+    #[test]
+    fn pretty_then_parse() {
+        let v = Json::Obj(vec![
+            ("cells".into(), Json::Arr(vec![Json::Num(1.0)])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let pretty = v.render_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // What ascii-escaping writers emit for a non-BMP char (U+1F600).
+        let v = Json::parse(r#""\uD83D\uDE00 ok A""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600} ok A"));
+        // A lone or malformed half is an error, not a panic.
+        assert!(Json::parse(r#""\uD83D""#).is_err());
+        assert!(Json::parse(r#""\uD83DA""#).is_err());
+        assert!(Json::parse(r#""\uDE00""#).is_err());
+    }
+}

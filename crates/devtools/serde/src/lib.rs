@@ -5,6 +5,8 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
+pub mod json;
+
 /// Marker counterpart of `serde::Serialize` (never invoked in-tree).
 pub trait Serialize {}
 

@@ -75,6 +75,15 @@ pub struct Machine {
     tag_seq: u32,
 }
 
+// Per-job isolation audit for the parallel repro harness: every matrix
+// cell constructs its own `Machine` and may hand it to a worker thread,
+// so the whole aggregate (grid, transport, memories, stats) must stay
+// owned data — `Send`, no shared interior mutability.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+};
+
 impl Machine {
     /// Build a machine running `spec` with the given logical grid.
     pub fn new(spec: MachineSpec, grid: ProcGrid) -> Self {

@@ -1,0 +1,132 @@
+//! Concurrency contract of the sharded [`ProgramCache`]: racing workers
+//! never lower the same key twice, never deadlock across keys, and the
+//! hit/miss counters stay exact under contention.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use f90d_vm::{ProgramCache, VmProgram};
+
+fn dummy(tag: usize) -> VmProgram {
+    VmProgram {
+        grid_shape: vec![tag as i64 + 1],
+        arrays: vec![],
+        scalars: vec![],
+        nvars: 0,
+        consts: vec![],
+        accessors: vec![],
+        code: vec![],
+        foralls: vec![],
+        comms: vec![],
+        rtcalls: vec![],
+        prints: vec![],
+    }
+}
+
+#[test]
+fn same_key_races_lower_exactly_once() {
+    const THREADS: usize = 16;
+    let cache = ProgramCache::new();
+    let builds = AtomicUsize::new(0);
+    let barrier = Barrier::new(THREADS);
+    let programs: Vec<Arc<VmProgram>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait(); // all threads hit the cold key together
+                    cache
+                        .get_or_lower(42, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            Ok(dummy(0))
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(builds.load(Ordering::SeqCst), 1, "duplicate lowering");
+    for p in &programs[1..] {
+        assert!(Arc::ptr_eq(&programs[0], p), "distinct programs returned");
+    }
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.hits(), THREADS as u64 - 1);
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn distinct_keys_lower_independently() {
+    const THREADS: usize = 12;
+    const ROUNDS: usize = 4;
+    let cache = ProgramCache::new();
+    let builds = AtomicUsize::new(0);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let builds = &builds;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                // Every thread touches every key, several times, in a
+                // thread-dependent order (covers same-shard neighbours).
+                for r in 0..ROUNDS {
+                    for k in 0..THREADS {
+                        let key = ((t + k + r) % THREADS) as u64;
+                        let p = cache
+                            .get_or_lower(key, || {
+                                builds.fetch_add(1, Ordering::SeqCst);
+                                Ok(dummy(key as usize))
+                            })
+                            .unwrap();
+                        assert_eq!(p.grid_shape, vec![key as i64 + 1], "wrong program");
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(builds.load(Ordering::SeqCst), THREADS, "one build per key");
+    assert_eq!(cache.misses(), THREADS as u64);
+    assert_eq!(
+        cache.hits(),
+        (THREADS * THREADS * ROUNDS - THREADS) as u64,
+        "every non-first lookup is a hit"
+    );
+    assert_eq!(cache.len(), THREADS);
+}
+
+#[test]
+fn failed_builds_retry_under_contention() {
+    const THREADS: usize = 8;
+    let cache = ProgramCache::new();
+    let attempts = AtomicUsize::new(0);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let cache = &cache;
+            let attempts = &attempts;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                // First attempt per thread fails; error must not be
+                // cached, so a later success fills the slot.
+                let n = attempts.fetch_add(1, Ordering::SeqCst);
+                let r = cache.get_or_lower(7, move || {
+                    if n == 0 {
+                        Err("transient".into())
+                    } else {
+                        Ok(dummy(7))
+                    }
+                });
+                if n > 0 {
+                    r.unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(cache.len(), 1, "eventually cached");
+    let p = cache
+        .get_or_lower(7, || panic!("must be cached by now"))
+        .unwrap();
+    assert_eq!(p.grid_shape, vec![8]);
+}
