@@ -4,6 +4,7 @@
 //! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|abl-shift|abl-sched|abl-fuse|abl-overlap|matrix]
 //!       [--n <matrix size>] [--quick] [--backend treewalk|vm]
 //!       [--jobs N] [--out results.json] [--baseline results.json] [--wall-tol F]
+//!       [--repeat N] [--no-sched-cache]
 //! ```
 //!
 //! `--quick` shrinks the Gaussian-elimination size (255 instead of 1023)
@@ -25,6 +26,14 @@
 //! `results.json`; `--baseline` diffs against a previous one and exits
 //! nonzero on any virtual-metric drift (wall clock is reported, and only
 //! gated when `--wall-tol <factor>` is given).
+//!
+//! `--repeat N` runs the matrix N times back to back in one process:
+//! every run is gated against `--baseline` (proving the warm schedule
+//! cache changes no virtual metric) and reports its schedule-cache
+//! hit/miss counts on stderr — the second run's hits are the cross-run
+//! reuse the CI job asserts on. `--no-sched-cache` disables the
+//! process-wide schedule cache entirely (every cell rebuilds its
+//! inspector schedules; virtual metrics are identical by construction).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -65,12 +74,25 @@ fn main() {
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut wall_tol: Option<f64> = None;
+    let mut repeat: usize = 1;
+    let mut sched_cache = true;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--exp" => which = it.next().cloned().unwrap_or_else(|| "all".into()),
             "--n" => n = it.next().and_then(|v| v.parse().ok()).unwrap_or(1023),
             "--quick" => quick = true,
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--repeat expects a run count >= 1");
+                        std::process::exit(2);
+                    })
+            }
+            "--no-sched-cache" => sched_cache = false,
             "--jobs" => {
                 jobs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--jobs expects a worker count");
@@ -104,16 +126,29 @@ fn main() {
     // The harness flags only make sense for the matrix experiment; they
     // imply it, and combining them with another --exp is an error rather
     // than a silently-skipped regression gate.
-    let matrix_flags = jobs.is_some() || out.is_some() || baseline.is_some() || wall_tol.is_some();
+    let matrix_flags = jobs.is_some()
+        || out.is_some()
+        || baseline.is_some()
+        || wall_tol.is_some()
+        || repeat > 1
+        || !sched_cache;
     if matrix_flags && which == "all" {
         which = "matrix".into();
     }
     if which == "matrix" {
-        exp_matrix(quick, jobs.unwrap_or(1), out, baseline, wall_tol);
+        exp_matrix(
+            quick,
+            jobs.unwrap_or(1),
+            out,
+            baseline,
+            wall_tol,
+            repeat,
+            sched_cache,
+        );
         return;
     }
     if matrix_flags {
-        eprintln!("--jobs/--out/--baseline/--wall-tol require the matrix experiment (--exp matrix), not --exp {which}");
+        eprintln!("--jobs/--out/--baseline/--wall-tol/--repeat/--no-sched-cache require the matrix experiment (--exp matrix), not --exp {which}");
         std::process::exit(2);
     }
     if quick {
@@ -161,13 +196,17 @@ fn main() {
 ///
 /// Deterministic metrics → stdout (canonical order, byte-identical for
 /// any `--jobs`); wall clock and cache commentary → stderr; structured
-/// results → `--out`; regression gate → `--baseline` (exit 1 on drift).
+/// results → `--out` (last run when `--repeat` > 1); regression gate →
+/// `--baseline`, applied to **every** repeat (exit 1 on drift — a warm
+/// schedule cache must not move a single virtual bit).
 fn exp_matrix(
     quick: bool,
     jobs: usize,
     out: Option<String>,
     baseline: Option<String>,
     wall_tol: Option<f64>,
+    repeat: usize,
+    sched_cache: bool,
 ) {
     use f90d_bench::harness;
 
@@ -178,43 +217,57 @@ fn exp_matrix(
     };
     let cells = harness::matrix(scale);
     eprintln!(
-        "# matrix: {} cells, {} jobs, suite {}",
+        "# matrix: {} cells, {} jobs, suite {}, {} run(s), schedule cache {}",
         cells.len(),
         jobs,
-        scale.name()
+        scale.name(),
+        repeat,
+        if sched_cache { "on" } else { "off" }
     );
-    let report = harness::run_matrix_scaled(&cells, jobs, scale);
-    print!("{}", harness::render_table(&report));
-    let per_cell_wall: f64 = report.cells.iter().map(|c| c.wall_s).sum();
-    eprintln!(
-        "# wall-clock {:.3} s on {} jobs (sum of cell wall-clocks {:.3} s, pool efficiency {:.0}%)",
-        report.wall_s,
-        report.jobs,
-        per_cell_wall,
-        100.0 * per_cell_wall / (report.wall_s * report.jobs as f64)
-    );
-    let json = harness::report_json(&report);
-    if let Some(path) = out {
-        std::fs::write(&path, json.render_pretty()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
-        });
-        eprintln!("# wrote {path}");
-    }
-    if let Some(path) = baseline {
+    let base = baseline.map(|path| {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             eprintln!("cannot read baseline {path}: {e}");
             std::process::exit(2);
         });
-        let base = serde::json::Json::parse(&text).unwrap_or_else(|e| {
+        let doc = serde::json::Json::parse(&text).unwrap_or_else(|e| {
             eprintln!("cannot parse baseline {path}: {e}");
             std::process::exit(2);
         });
-        match harness::diff_baseline(&json, &base, wall_tol) {
-            Ok(summary) => eprintln!("# baseline: {summary}"),
-            Err(drift) => {
-                eprintln!("# BASELINE DRIFT against {path}:\n{drift}");
-                std::process::exit(1);
+        (path, doc)
+    });
+    for run in 1..=repeat {
+        let report = harness::run_matrix_with(&cells, jobs, scale, sched_cache);
+        print!("{}", harness::render_table(&report));
+        let per_cell_wall: f64 = report.cells.iter().map(|c| c.wall_s).sum();
+        eprintln!(
+            "# wall-clock {:.3} s on {} jobs (sum of cell wall-clocks {:.3} s, pool efficiency {:.0}%)",
+            report.wall_s,
+            report.jobs,
+            per_cell_wall,
+            100.0 * per_cell_wall / (report.wall_s * report.jobs as f64)
+        );
+        eprintln!(
+            "# schedule cache (run {run}): hits={} misses={}",
+            report.sched_hits, report.sched_misses
+        );
+        let json = harness::report_json(&report);
+        // Write (overwriting earlier runs) BEFORE the baseline diff: when
+        // the gate exits 1, the CI artifact must hold exactly the run
+        // that drifted, to diagnose or commit as the new baseline.
+        if let Some(path) = &out {
+            std::fs::write(path, json.render_pretty()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("# wrote {path} (run {run})");
+        }
+        if let Some((path, base)) = &base {
+            match harness::diff_baseline(&json, base, wall_tol) {
+                Ok(summary) => eprintln!("# baseline (run {run}): {summary}"),
+                Err(drift) => {
+                    eprintln!("# BASELINE DRIFT (run {run}) against {path}:\n{drift}");
+                    std::process::exit(1);
+                }
             }
         }
     }

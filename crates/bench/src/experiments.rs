@@ -51,7 +51,7 @@ pub fn ge_compiled_time_backend(
             ex0.run(&mut m).expect("init runs");
             m.reset_time();
             let mut ex1 = Executor::new_preserving(&elim_prog, &mut m);
-            ex1.schedule_reuse = true;
+            ex1.sched.reuse = true;
             ex1.run(&mut m).expect("elimination runs");
         }
         Backend::Vm => {
@@ -61,7 +61,7 @@ pub fn ge_compiled_time_backend(
             e0.run(&mut m).expect("init runs");
             m.reset_time();
             let mut e1 = f90d_vm::Engine::new_preserving(Arc::new(elim_bc), &mut m);
-            e1.schedule_reuse = true;
+            e1.sched.reuse = true;
             e1.run(&mut m).expect("elimination runs");
         }
     }
@@ -283,7 +283,7 @@ pub fn ablation_schedule_reuse(n: i64, p: i64) -> (f64, f64) {
         let compiled = compile(&workloads::irregular(n), &opts).unwrap();
         let mut m = Machine::new(spec.clone(), ProcGrid::new(&[p]));
         let mut ex = Executor::new(&compiled.spmd, &mut m);
-        ex.schedule_reuse = reuse;
+        ex.sched.reuse = reuse;
         ex.run(&mut m).unwrap();
         m.elapsed()
     };

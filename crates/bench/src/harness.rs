@@ -11,10 +11,13 @@
 //! [`diff_baseline`] compares a run against a committed `results.json`
 //! bit-exactly on the virtual metrics while only reporting wall clock.
 //!
-//! The one piece of shared hot state is the VM program cache
-//! (`f90d_vm::ProgramCache`, sharded): all workers reuse a single
-//! lowering per (source, options, grid) key, and the per-run hit/miss
-//! deltas are surfaced in the report.
+//! The shared hot state is two process-wide sharded caches: the VM
+//! program cache (`f90d_vm::ProgramCache` — one lowering per (source,
+//! options, grid) key) and the schedule cache
+//! (`f90d_comm::sched_cache` — one inspector build per (kind, grid,
+//! request-pattern) key, across cells *and* across repeated matrix
+//! runs). Per-run hit/miss deltas for both are surfaced in the report;
+//! neither cache changes a cell's virtual metrics.
 
 use std::collections::VecDeque;
 use std::sync::{Mutex, OnceLock};
@@ -119,6 +122,11 @@ pub struct CellResult {
     /// group lowers depends on worker scheduling, so this is
     /// informational; the *totals* are deterministic.
     pub cache_hit: Option<bool>,
+    /// Schedule-cache hits during this cell's run (informational — which
+    /// cell of a pattern group builds depends on worker scheduling).
+    pub sched_hits: u64,
+    /// Schedule-cache misses (inspector builds) during this cell's run.
+    pub sched_misses: u64,
 }
 
 /// One full matrix run.
@@ -134,6 +142,12 @@ pub struct MatrixReport {
     pub cache_hits: u64,
     /// Program-cache misses (lowerings) during this run.
     pub cache_misses: u64,
+    /// Schedule-cache hits during this run (hits + misses is
+    /// deterministic; the split depends on process cache history — a
+    /// second matrix run in the same process is all hits).
+    pub sched_hits: u64,
+    /// Schedule-cache misses (inspector builds) during this run.
+    pub sched_misses: u64,
     /// Per-cell results, in canonical matrix order.
     pub cells: Vec<CellResult>,
 }
@@ -221,12 +235,19 @@ pub fn matrix(scale: Scale) -> Vec<Cell> {
 
 /// Compile and run one cell on its own fresh [`Machine`].
 pub fn run_cell(cell: &Cell) -> CellResult {
-    let opts = CompileOptions::on_grid(&cell.grid).with_backend(cell.backend);
+    run_cell_with(cell, true)
+}
+
+/// [`run_cell`] with the cross-run schedule cache on or off
+/// (`repro --no-sched-cache`). Virtual metrics are identical either way.
+pub fn run_cell_with(cell: &Cell, sched_cache: bool) -> CellResult {
+    let mut opts = CompileOptions::on_grid(&cell.grid).with_backend(cell.backend);
+    opts.sched_cache = sched_cache;
     let compiled =
         compile(&cell.source(), &opts).unwrap_or_else(|e| panic!("{} compiles: {e}", cell.id()));
     let mut m = Machine::new(cell.spec(), ProcGrid::new(&cell.grid));
     let t0 = Instant::now();
-    let (rep, cache_hit) = compiled
+    let (rep, trace) = compiled
         .run_on_traced(&mut m)
         .unwrap_or_else(|e| panic!("{} runs: {e:?}", cell.id()));
     CellResult {
@@ -236,7 +257,9 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         bytes: rep.bytes,
         printed: rep.printed,
         wall_s: t0.elapsed().as_secs_f64(),
-        cache_hit,
+        cache_hit: trace.program_cache_hit,
+        sched_hits: trace.sched_hits,
+        sched_misses: trace.sched_misses,
     }
 }
 
@@ -252,8 +275,20 @@ pub fn run_cell(cell: &Cell) -> CellResult {
 /// steals from the back of the others. No worker ever blocks on another:
 /// the only shared state a cell touches is the sharded program cache.
 pub fn run_matrix_scaled(cells: &[Cell], jobs: usize, scale: Scale) -> MatrixReport {
+    run_matrix_with(cells, jobs, scale, true)
+}
+
+/// [`run_matrix_scaled`] with the cross-run schedule cache on or off.
+pub fn run_matrix_with(
+    cells: &[Cell],
+    jobs: usize,
+    scale: Scale,
+    sched_cache: bool,
+) -> MatrixReport {
     let jobs = jobs.max(1);
     let (hits0, misses0) = (vm_cache().hits(), vm_cache().misses());
+    let sched = f90d_comm::sched_cache::global();
+    let (shits0, smisses0) = (sched.hits(), sched.misses());
     let t0 = Instant::now();
 
     let queues: Vec<Mutex<VecDeque<usize>>> =
@@ -273,7 +308,7 @@ pub fn run_matrix_scaled(cells: &[Cell], jobs: usize, scale: Scale) -> MatrixRep
                 });
                 match job {
                     Some(i) => {
-                        let _ = slots[i].set(run_cell(&cells[i]));
+                        let _ = slots[i].set(run_cell_with(&cells[i], sched_cache));
                     }
                     None => break,
                 }
@@ -287,6 +322,8 @@ pub fn run_matrix_scaled(cells: &[Cell], jobs: usize, scale: Scale) -> MatrixRep
         wall_s: t0.elapsed().as_secs_f64(),
         cache_hits: vm_cache().hits() - hits0,
         cache_misses: vm_cache().misses() - misses0,
+        sched_hits: sched.hits() - shits0,
+        sched_misses: sched.misses() - smisses0,
         cells: slots
             .into_iter()
             .map(|s| s.into_inner().expect("every cell ran"))
@@ -358,6 +395,8 @@ pub fn report_json(rep: &MatrixReport) -> Json {
                         None => Json::Null,
                     },
                 ),
+                ("sched_hits".into(), Json::Num(c.sched_hits as f64)),
+                ("sched_misses".into(), Json::Num(c.sched_misses as f64)),
             ])
         })
         .collect();
@@ -371,6 +410,16 @@ pub fn report_json(rep: &MatrixReport) -> Json {
             Json::Obj(vec![
                 ("hits".into(), Json::Num(rep.cache_hits as f64)),
                 ("misses".into(), Json::Num(rep.cache_misses as f64)),
+            ]),
+        ),
+        (
+            // Cross-run schedule-cache outcomes. Informational, never
+            // gated by `diff_baseline` (older baselines lack the block;
+            // the split depends on process cache history).
+            "schedule_cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(rep.sched_hits as f64)),
+                ("misses".into(), Json::Num(rep.sched_misses as f64)),
             ]),
         ),
         ("cells".into(), Json::Arr(cells)),

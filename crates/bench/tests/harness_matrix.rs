@@ -55,9 +55,33 @@ fn jobs8_matches_jobs1_bit_exactly() {
             .count() as u64
     );
 
-    // And the serialized documents agree on the gated metrics.
+    // Same for the schedule cache: the serial run built every distinct
+    // (kind, grid, pattern) key, so the parallel rerun is all hits —
+    // cross-run inspector reuse, on both backends.
+    assert_eq!(parallel.sched_misses, 0, "second run must rebuild nothing");
+    assert!(parallel.sched_hits > 0, "tiny matrix has irregular cells");
+    assert_eq!(
+        serial.sched_hits + serial.sched_misses,
+        parallel.sched_hits,
+        "same lookups per matrix run, split shifted to all-hit"
+    );
+
+    // And the serialized documents agree on the gated metrics, while the
+    // schedule_cache stats block is carried along (never gated: the two
+    // runs' splits differ).
     let a = harness::report_json(&serial);
     let b = harness::report_json(&parallel);
+    for (doc, rep) in [(&a, &serial), (&b, &parallel)] {
+        let block = doc.get("schedule_cache").expect("schedule_cache block");
+        assert_eq!(
+            block.get("hits").and_then(Json::as_u64),
+            Some(rep.sched_hits)
+        );
+        assert_eq!(
+            block.get("misses").and_then(Json::as_u64),
+            Some(rep.sched_misses)
+        );
+    }
     harness::diff_baseline(&b, &a, None).expect("jobs=8 run must match jobs=1 baseline");
 }
 
@@ -147,6 +171,53 @@ fn gate_passes_clean_and_catches_each_drift_kind() {
     let Json::Obj(top) = &mut other else { panic!() };
     top.iter_mut().find(|(k, _)| k == "suite").unwrap().1 = Json::Str("full".into());
     assert!(harness::diff_baseline(&other, &base, None).is_err());
+}
+
+/// The `schedule_cache` stats block (and the per-cell sched counters)
+/// are observability, not metrics: present, absent, or wildly different,
+/// they must never gate a baseline diff — pre-cache baselines (like the
+/// committed `BENCH_baseline.json` of PR 2) stay comparable, and the
+/// split naturally shifts between runs as the process cache warms.
+#[test]
+fn schedule_cache_stats_never_gate() {
+    let base = synthetic(); // has no schedule_cache block at all
+    let add_stats = |doc: &mut Json, hits: f64, misses: f64| {
+        let Json::Obj(top) = doc else { panic!() };
+        top.push((
+            "schedule_cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(hits)),
+                ("misses".into(), Json::Num(misses)),
+            ]),
+        ));
+    };
+
+    // Stats present in current, absent from baseline.
+    let mut cur = synthetic();
+    add_stats(&mut cur, 48.0, 0.0);
+    harness::diff_baseline(&cur, &base, None).expect("new stats vs old baseline");
+    // …and the reverse: an old run diffed against a stats-bearing baseline.
+    harness::diff_baseline(&base, &cur, None).expect("old run vs new baseline");
+
+    // Present on both sides with different values: still not gated.
+    let mut warm = synthetic();
+    add_stats(&mut warm, 48.0, 0.0);
+    let mut cold = synthetic();
+    add_stats(&mut cold, 0.0, 48.0);
+    harness::diff_baseline(&warm, &cold, None).expect("warm vs cold split");
+
+    // Per-cell sched counters are equally non-gating.
+    let mut cells = synthetic();
+    let Json::Obj(top) = &mut cells else { panic!() };
+    let Json::Arr(arr) = &mut top.iter_mut().find(|(k, _)| k == "cells").unwrap().1 else {
+        panic!()
+    };
+    let Json::Obj(cell) = &mut arr[0] else {
+        panic!()
+    };
+    cell.push(("sched_hits".into(), Json::Num(7.0)));
+    cell.push(("sched_misses".into(), Json::Num(3.0)));
+    harness::diff_baseline(&cells, &base, None).expect("per-cell sched stats ignored");
 }
 
 #[test]

@@ -28,7 +28,7 @@ use crate::helpers::PairMoves;
 
 /// Which inspector built the schedule (affects modelled preprocessing
 /// cost, not executor semantics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleKind {
     /// `schedule1`: local-only preprocessing (invertible subscript).
     LocalOnly,
@@ -36,6 +36,18 @@ pub enum ScheduleKind {
     FanInRequests,
     /// `schedule3`: senders announce counts to receivers.
     SenderDriven,
+}
+
+impl ScheduleKind {
+    /// The stats name the builder records (`schedule1`/`schedule2`/
+    /// `schedule3`).
+    pub fn stat_name(self) -> &'static str {
+        match self {
+            ScheduleKind::LocalOnly => "schedule1",
+            ScheduleKind::FanInRequests => "schedule2",
+            ScheduleKind::SenderDriven => "schedule3",
+        }
+    }
 }
 
 /// An executable communication schedule: vectorized element moves plus
@@ -101,7 +113,7 @@ fn hash_moves(moves: &PairMoves) -> u64 {
 /// One element request: rank `requester` wants the element at flat offset
 /// `src_off` on rank `owner` placed at flat offset `dst_off` in its
 /// destination array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ElementReq {
     /// Rank that will receive the element.
     pub requester: i64,
@@ -113,7 +125,12 @@ pub struct ElementReq {
     pub dst_off: usize,
 }
 
-fn build(kind: ScheduleKind, reqs: &[ElementReq]) -> Schedule {
+/// Build the executable schedule from a request list — the pure
+/// data-structure half of an inspector, with no machine-time charges.
+/// [`crate::sched_cache`] calls this on a miss and skips it on a hit;
+/// the cost-model half ([`inspect`]) is charged on every run either way,
+/// which is what keeps cached and uncached runs virtual-time identical.
+pub fn build_schedule(kind: ScheduleKind, reqs: &[ElementReq]) -> Schedule {
     let mut moves: PairMoves = BTreeMap::new();
     for r in reqs {
         moves
@@ -123,6 +140,18 @@ fn build(kind: ScheduleKind, reqs: &[ElementReq]) -> Schedule {
     }
     let sig = hash_moves(&moves);
     Schedule { kind, moves, sig }
+}
+
+/// The modelled cost of running `kind`'s inspector over `reqs`: records
+/// the builder stat and charges the preprocessing loop (and, for
+/// `schedule2`/`schedule3`, the real fan-in/count messages) to the
+/// machine. Split from [`build_schedule`] so the schedule cache can
+/// charge a run that skips the rebuild.
+pub fn inspect(m: &mut Machine, kind: ScheduleKind, reqs: &[ElementReq]) {
+    m.stats.record(kind.stat_name());
+    // schedule1/schedule2 preprocess on the requesters (read side);
+    // schedule3 preprocesses on the producers.
+    charge_inspector(m, kind, reqs, kind != ScheduleKind::SenderDriven);
 }
 
 /// Inspector cost model shared by the builders: each request element
@@ -182,25 +211,22 @@ fn charge_inspector(m: &mut Machine, kind: ScheduleKind, reqs: &[ElementReq], re
 /// `schedule1` (paper §5.3.2 example 1): invertible subscript — both
 /// sides preprocess locally, no inspector communication.
 pub fn schedule1(m: &mut Machine, reqs: &[ElementReq]) -> Schedule {
-    m.stats.record("schedule1");
-    charge_inspector(m, ScheduleKind::LocalOnly, reqs, true);
-    build(ScheduleKind::LocalOnly, reqs)
+    inspect(m, ScheduleKind::LocalOnly, reqs);
+    build_schedule(ScheduleKind::LocalOnly, reqs)
 }
 
 /// `schedule2` (paper §5.3.2 example 2): gather — receivers fan their
 /// request lists in to the owners.
 pub fn schedule2(m: &mut Machine, reqs: &[ElementReq]) -> Schedule {
-    m.stats.record("schedule2");
-    charge_inspector(m, ScheduleKind::FanInRequests, reqs, true);
-    build(ScheduleKind::FanInRequests, reqs)
+    inspect(m, ScheduleKind::FanInRequests, reqs);
+    build_schedule(ScheduleKind::FanInRequests, reqs)
 }
 
 /// `schedule3` (paper §5.3.2 example 3): scatter — senders know targets;
 /// only counts are exchanged.
 pub fn schedule3(m: &mut Machine, reqs: &[ElementReq]) -> Schedule {
-    m.stats.record("schedule3");
-    charge_inspector(m, ScheduleKind::SenderDriven, reqs, false);
-    build(ScheduleKind::SenderDriven, reqs)
+    inspect(m, ScheduleKind::SenderDriven, reqs);
+    build_schedule(ScheduleKind::SenderDriven, reqs)
 }
 
 /// Executor for read-side schedules: `precomp_read` when the schedule

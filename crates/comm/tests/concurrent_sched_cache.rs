@@ -1,0 +1,223 @@
+//! Concurrency and keying contract of the sharded [`SchedCache`]
+//! (mirror of `crates/vm/tests/concurrent_cache.rs` for the program
+//! cache): racing workers never build the same key twice, never deadlock
+//! across keys, the hit/miss counters stay exact under contention, a
+//! panicking build poisons only its own slot — and, the regression the
+//! full-pattern keys exist for, two distinct patterns engineered to
+//! share a shard/bucket hash still get distinct schedules.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use f90d_comm::sched_cache::{pattern_hash, SchedCache, SchedKey};
+use f90d_comm::schedule::{build_schedule, ElementReq, Schedule, ScheduleKind};
+
+fn req(requester: i64, owner: i64, src_off: usize, dst_off: usize) -> ElementReq {
+    ElementReq {
+        requester,
+        owner,
+        src_off,
+        dst_off,
+    }
+}
+
+/// A key whose request list is a small deterministic function of `tag`,
+/// so every distinct tag is a distinct pattern.
+fn key(tag: usize) -> SchedKey {
+    SchedKey {
+        kind: ScheduleKind::FanInRequests,
+        grid: vec![4],
+        reqs: (0..4)
+            .map(|k| {
+                req(
+                    (k % 4) as i64,
+                    ((k + 1) % 4) as i64,
+                    tag + k as usize,
+                    k as usize,
+                )
+            })
+            .collect(),
+    }
+}
+
+fn build(k: &SchedKey) -> Schedule {
+    build_schedule(k.kind, &k.reqs)
+}
+
+#[test]
+fn same_key_races_build_exactly_once() {
+    const THREADS: usize = 16;
+    let cache = SchedCache::new();
+    let builds = AtomicUsize::new(0);
+    let barrier = Barrier::new(THREADS);
+    let k = key(7);
+    let schedules: Vec<Arc<Schedule>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (cache, builds, barrier, k) = (&cache, &builds, &barrier, &k);
+                s.spawn(move || {
+                    barrier.wait(); // all threads hit the cold key together
+                    let (sched, _) = cache.get_or_build(k, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        build(k)
+                    });
+                    sched
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(builds.load(Ordering::SeqCst), 1, "duplicate build");
+    for s in &schedules[1..] {
+        assert!(Arc::ptr_eq(&schedules[0], s), "distinct schedules returned");
+    }
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.hits(), THREADS as u64 - 1);
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn distinct_keys_build_independently() {
+    const THREADS: usize = 12;
+    const ROUNDS: usize = 4;
+    let cache = SchedCache::new();
+    let builds = AtomicUsize::new(0);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (cache, builds, barrier) = (&cache, &builds, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                // Every thread touches every key, several times, in a
+                // thread-dependent order (covers same-shard neighbours).
+                for r in 0..ROUNDS {
+                    for off in 0..THREADS {
+                        let tag = (t + off + r) % THREADS;
+                        let k = key(tag);
+                        let (sched, _) = cache.get_or_build(&k, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            build(&k)
+                        });
+                        // The schedule really is this pattern's build.
+                        assert_eq!(
+                            sched.signature(),
+                            build(&k).signature(),
+                            "wrong schedule for tag {tag}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(builds.load(Ordering::SeqCst), THREADS, "one build per key");
+    assert_eq!(cache.misses(), THREADS as u64);
+    assert_eq!(
+        cache.hits(),
+        (THREADS * THREADS * ROUNDS - THREADS) as u64,
+        "every non-first lookup is a hit"
+    );
+    assert_eq!(cache.len(), THREADS);
+}
+
+#[test]
+fn panicking_build_poisons_only_its_slot() {
+    const THREADS: usize = 8;
+    let cache = SchedCache::new();
+    let barrier = Barrier::new(THREADS + 1);
+    std::thread::scope(|s| {
+        // One builder panics on the hot key…
+        let (c, b) = (&cache, &barrier);
+        s.spawn(move || {
+            b.wait();
+            let k = key(0);
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c.get_or_build(&k, || panic!("inspector bug"));
+            }));
+            assert!(panicked.is_err());
+        });
+        // …while other keys keep building and hitting undisturbed.
+        for t in 1..=THREADS {
+            let (c, b) = (&cache, &barrier);
+            s.spawn(move || {
+                b.wait();
+                let k = key(t);
+                let (first, hit_first) = c.get_or_build(&k, || build(&k));
+                let (again, hit_again) = c.get_or_build(&k, || build(&k));
+                assert!(!hit_first);
+                assert!(hit_again);
+                assert!(Arc::ptr_eq(&first, &again));
+            });
+        }
+    });
+    // The panicked key's slot is recoverable, not poisoned: the next
+    // caller retries the build instead of cascading a PoisonError panic.
+    let k = key(0);
+    let (sched, hit) = cache.get_or_build(&k, || build(&k));
+    assert!(!hit, "failed build must not be cached");
+    assert_eq!(sched.kind(), ScheduleKind::FanInRequests);
+    assert_eq!(cache.len(), THREADS + 1);
+}
+
+/// Regression for the latent signature-collision hazard: the executors
+/// used to key schedule reuse by a bare 64-bit FNV signature, so two
+/// different request patterns hashing alike would silently share one
+/// schedule. Here two distinct single-request patterns are *engineered*
+/// (by inverting the FNV-1a final step — the multiplier is odd, hence
+/// invertible mod 2^64) to collide in [`pattern_hash`], which also puts
+/// them in the same shard; the cache must still build both.
+#[test]
+#[cfg(target_pointer_width = "64")]
+fn colliding_pattern_hashes_get_distinct_schedules() {
+    // 2-adic Newton iteration for the inverse of the FNV prime.
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut p_inv: u64 = 1;
+    for _ in 0..6 {
+        p_inv = p_inv.wrapping_mul(2u64.wrapping_sub(FNV_PRIME.wrapping_mul(p_inv)));
+    }
+    assert_eq!(FNV_PRIME.wrapping_mul(p_inv), 1);
+
+    let mk = |src_off: usize, dst_off: usize| SchedKey {
+        kind: ScheduleKind::LocalOnly,
+        grid: vec![2],
+        reqs: vec![req(0, 1, src_off, dst_off)],
+    };
+    // pattern_hash ends with h = (X ^ dst_off) * p, where X is the state
+    // after mixing src_off. Solve B's dst_off so its final state matches
+    // A's: d = (hash(B with d=0) * p_inv) ^ (hash(A) * p_inv).
+    let a = mk(0, 0);
+    let b0 = mk(1, 0);
+    let d = pattern_hash(&b0).wrapping_mul(p_inv) ^ pattern_hash(&a).wrapping_mul(p_inv);
+    let b = mk(1, d as usize);
+
+    assert_ne!(a, b, "patterns must differ");
+    assert_eq!(
+        pattern_hash(&a),
+        pattern_hash(&b),
+        "engineered hash collision"
+    );
+
+    let cache = SchedCache::new();
+    let builds = AtomicUsize::new(0);
+    let (sa, _) = cache.get_or_build(&a, || {
+        builds.fetch_add(1, Ordering::SeqCst);
+        build(&a)
+    });
+    let (sb, hit_b) = cache.get_or_build(&b, || {
+        builds.fetch_add(1, Ordering::SeqCst);
+        build(&b)
+    });
+    assert!(!hit_b, "a colliding hash must not read as a cache hit");
+    assert_eq!(builds.load(Ordering::SeqCst), 2, "both patterns built");
+    assert!(!Arc::ptr_eq(&sa, &sb));
+    assert_ne!(
+        sa.signature(),
+        sb.signature(),
+        "each key owns its own schedule"
+    );
+    assert_eq!((cache.len(), cache.misses(), cache.hits()), (2, 2, 0));
+    // Re-lookups keep resolving to the right entry.
+    let (sa2, hit) = cache.get_or_build(&a, || unreachable!("cached"));
+    assert!(hit);
+    assert!(Arc::ptr_eq(&sa, &sa2));
+    assert_eq!(cache.hits(), 1);
+}

@@ -4,7 +4,8 @@
 
 use std::collections::HashMap;
 
-use f90d_comm::schedule::{self, ElementReq, Schedule};
+use f90d_comm::sched_cache::RunSchedules;
+use f90d_comm::schedule::{self, ElementReq, ScheduleKind};
 use f90d_comm::structured;
 use f90d_distrib::{set_bound, Dad, DistKind};
 use f90d_frontend::ast::{BinOp, UnOp};
@@ -52,9 +53,9 @@ pub struct Executor<'p> {
     dads: Vec<Dad>,
     scalars: HashMap<String, Value>,
     printed: Vec<String>,
-    sched_cache: HashMap<u64, Schedule>,
-    /// §7(3) flag: reuse schedules across executions of the same pattern.
-    pub schedule_reuse: bool,
+    /// Schedule reuse (§7(3), per-run) and the cross-run schedule cache:
+    /// toggle `sched.reuse` / `sched.use_global` before running.
+    pub sched: RunSchedules,
 }
 
 /// Loop-variable bindings (global Fortran-value semantics).
@@ -112,8 +113,7 @@ impl<'p> Executor<'p> {
             dads: prog.arrays.iter().map(|a| a.dad.clone()).collect(),
             scalars,
             printed: Vec::new(),
-            sched_cache: HashMap::new(),
-            schedule_reuse: true,
+            sched: RunSchedules::new(),
         }
     }
 
@@ -149,8 +149,7 @@ impl<'p> Executor<'p> {
             dads: prog.arrays.iter().map(|a| a.dad.clone()).collect(),
             scalars,
             printed: Vec::new(),
-            sched_cache: HashMap::new(),
-            schedule_reuse: true,
+            sched: RunSchedules::new(),
         }
     }
 
@@ -809,25 +808,13 @@ impl<'p> Executor<'p> {
             let n = counts[rank as usize].max(1) as i64;
             m.mems[rank as usize].insert_array(tmp_name.clone(), LocalArray::zeros(ty, &[n]));
         }
-        // Schedule (with §7(3) reuse).
-        let sig = req_signature(&reqs);
-        let sched = if self.schedule_reuse {
-            if let Some(s) = self.sched_cache.get(&sig) {
-                s.clone()
-            } else {
-                let s = if g.local_only {
-                    schedule::schedule1(m, &reqs)
-                } else {
-                    schedule::schedule2(m, &reqs)
-                };
-                self.sched_cache.insert(sig, s.clone());
-                s
-            }
-        } else if g.local_only {
-            schedule::schedule1(m, &reqs)
+        // Schedule (per-run §7(3) reuse + cross-run cache).
+        let kind = if g.local_only {
+            ScheduleKind::LocalOnly
         } else {
-            schedule::schedule2(m, &reqs)
+            ScheduleKind::FanInRequests
         };
+        let sched = self.sched.schedule(m, kind, &reqs, false);
         schedule::execute_read(m, &sched, &src_name, &tmp_name);
         Ok(())
     }
@@ -872,24 +859,12 @@ impl<'p> Executor<'p> {
                 }
             }
         }
-        let sig = req_signature(&reqs).wrapping_add(1);
-        let sched = if self.schedule_reuse {
-            if let Some(s) = self.sched_cache.get(&sig) {
-                s.clone()
-            } else {
-                let s = if invertible {
-                    schedule::schedule1(m, &reqs)
-                } else {
-                    schedule::schedule3(m, &reqs)
-                };
-                self.sched_cache.insert(sig, s.clone());
-                s
-            }
-        } else if invertible {
-            schedule::schedule1(m, &reqs)
+        let kind = if invertible {
+            ScheduleKind::LocalOnly
         } else {
-            schedule::schedule3(m, &reqs)
+            ScheduleKind::SenderDriven
         };
+        let sched = self.sched.schedule(m, kind, &reqs, true);
         schedule::execute_write(m, &sched, &buf_name, &dst_name);
         Ok(())
     }
@@ -1079,21 +1054,6 @@ impl<'p> Executor<'p> {
             },
         }
     }
-}
-
-fn req_signature(reqs: &[ElementReq]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut mix = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x100000001b3);
-    };
-    for r in reqs {
-        mix(r.requester as u64);
-        mix(r.owner as u64);
-        mix(r.src_off as u64);
-        mix(r.dst_off as u64 ^ 0x9e37);
-    }
-    h
 }
 
 // ---- value operators ---------------------------------------------------

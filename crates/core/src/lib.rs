@@ -83,6 +83,20 @@ pub struct Compiled {
     pub source_hash: u64,
 }
 
+/// Per-run cache outcomes of one [`Compiled::run_on_traced`] call. The
+/// parallel repro harness records this per matrix cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTrace {
+    /// Bytecode program-cache outcome: `Some(true)` hit, `Some(false)`
+    /// this run performed the lowering, `None` not consulted (tree walk).
+    pub program_cache_hit: Option<bool>,
+    /// Cross-run schedule-cache hits (first-per-run patterns found
+    /// already built by an earlier run).
+    pub sched_hits: u64,
+    /// Cross-run schedule-cache misses (inspector builds performed).
+    pub sched_misses: u64,
+}
+
 impl Compiled {
     /// Execute on a machine (which must have the compiled grid shape)
     /// with the backend selected in [`CompileOptions::backend`]. Arrays
@@ -93,24 +107,33 @@ impl Compiled {
         self.run_on_traced(m).map(|(rep, _)| rep)
     }
 
-    /// [`Compiled::run_on`] that also reports whether the bytecode
-    /// program-cache lookup was a hit (`Some(true)`), a miss that lowered
-    /// (`Some(false)`), or not consulted at all (`None`, tree walk). The
-    /// parallel repro harness records this per matrix cell.
+    /// [`Compiled::run_on`] that also reports the run's cache outcomes:
+    /// the bytecode program-cache lookup (VM backend only) and the
+    /// cross-run schedule-cache hit/miss counts (both backends).
     pub fn run_on_traced(
         &self,
         m: &mut Machine,
-    ) -> Result<(ExecReport, Option<bool>), exec::ExecError> {
+    ) -> Result<(ExecReport, RunTrace), exec::ExecError> {
         match self.options.backend {
             Backend::TreeWalk => {
                 let mut ex = Executor::new(&self.spmd, m);
-                ex.schedule_reuse = self.options.opt.schedule_reuse;
-                ex.run(m).map(|rep| (rep, None))
+                ex.sched.reuse = self.options.opt.schedule_reuse;
+                ex.sched.use_global = self.options.sched_cache;
+                let rep = ex.run(m)?;
+                Ok((
+                    rep,
+                    RunTrace {
+                        program_cache_hit: None,
+                        sched_hits: ex.sched.hits(),
+                        sched_misses: ex.sched.misses(),
+                    },
+                ))
             }
             Backend::Vm => {
                 let (prog, hit) = self.vm_program_traced().map_err(exec::ExecError)?;
                 let mut eng = f90d_vm::Engine::new(prog, m);
-                eng.schedule_reuse = self.options.opt.schedule_reuse;
+                eng.sched.reuse = self.options.opt.schedule_reuse;
+                eng.sched.use_global = self.options.sched_cache;
                 let rep = eng.run(m).map_err(|e| exec::ExecError(e.0))?;
                 Ok((
                     ExecReport {
@@ -119,7 +142,11 @@ impl Compiled {
                         bytes: rep.bytes,
                         printed: rep.printed,
                     },
-                    Some(hit),
+                    RunTrace {
+                        program_cache_hit: Some(hit),
+                        sched_hits: eng.sched.hits(),
+                        sched_misses: eng.sched.misses(),
+                    },
                 ))
             }
         }

@@ -58,7 +58,7 @@ pub enum Backend {
 }
 
 /// Options for one compilation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CompileOptions {
     /// Override the `PROCESSORS` grid shape (the benchmarks sweep P
     /// without editing source).
@@ -67,6 +67,24 @@ pub struct CompileOptions {
     pub opt: OptFlags,
     /// Execution backend.
     pub backend: Backend,
+    /// Consult the process-wide cross-run schedule cache
+    /// (`f90d_comm::sched_cache`) when executing. Off is the `repro
+    /// --no-sched-cache` escape hatch: every run rebuilds its schedules.
+    /// Virtual metrics are identical either way — only host wall clock
+    /// changes — and [`OptFlags::schedule_reuse`] (the per-run §7(3)
+    /// optimization, which *does* shape virtual time) stays independent.
+    pub sched_cache: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            grid_shape: None,
+            opt: OptFlags::default(),
+            backend: Backend::default(),
+            sched_cache: true,
+        }
+    }
 }
 
 impl CompileOptions {
@@ -74,8 +92,7 @@ impl CompileOptions {
     pub fn on_grid(shape: &[i64]) -> Self {
         CompileOptions {
             grid_shape: Some(shape.to_vec()),
-            opt: OptFlags::default(),
-            backend: Backend::default(),
+            ..CompileOptions::default()
         }
     }
 

@@ -97,8 +97,12 @@ fn concurrent_compiled_runs_share_one_lowering() {
     for (&n, conc) in sizes.iter().zip(&concurrent) {
         let compiled = compile(&jacobi(n), &opts).unwrap();
         let mut m = Machine::new(MachineSpec::ncube2(), ProcGrid::new(&[2, 2]));
-        let (rep, hit) = compiled.run_on_traced(&mut m).unwrap();
-        assert_eq!(hit, Some(true), "serial rerun must hit the cache");
+        let (rep, trace) = compiled.run_on_traced(&mut m).unwrap();
+        assert_eq!(
+            trace.program_cache_hit,
+            Some(true),
+            "serial rerun must hit the cache"
+        );
         assert_eq!(rep.elapsed.to_bits(), conc.0.to_bits(), "n={n}");
         assert_eq!((rep.messages, rep.bytes), (conc.1, conc.2), "n={n}");
     }

@@ -25,7 +25,7 @@ fn differential(
     let reference = run_reference(&compiled.analyzed, inits).expect("reference run");
     let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(grid));
     let mut ex = Executor::new(&compiled.spmd, &mut m);
-    ex.schedule_reuse = o.opt.schedule_reuse;
+    ex.sched.reuse = o.opt.schedule_reuse;
     for (name, data) in inits {
         assert!(ex.seed_array(&mut m, name, data), "unknown array {name}");
     }

@@ -77,6 +77,14 @@ impl MailboxTransport {
     }
 
     /// Charge `n` modelled element operations to node `rank`.
+    ///
+    /// Cost-model contract (relied on by `f90d_comm::sched_cache`): the
+    /// virtual clocks, message and byte counters advance **only** through
+    /// these explicit charge/send calls — never as a side effect of host
+    /// work. That is what lets a cache skip rebuilding a data structure
+    /// (host wall clock) while re-charging its modelled cost, keeping
+    /// virtual metrics bit-identical across cold, warm and disabled
+    /// caches.
     pub fn charge_elem_ops(&mut self, rank: i64, n: i64) {
         self.clocks[rank as usize] += self.spec.compute_time(n);
     }

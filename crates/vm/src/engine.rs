@@ -13,10 +13,10 @@
 //! element read of a compiled FORALL body targets the executing rank's
 //! own memory.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use f90d_comm::schedule::{self, ElementReq, Schedule};
+use f90d_comm::sched_cache::RunSchedules;
+use f90d_comm::schedule::{self, ElementReq, Schedule, ScheduleKind};
 use f90d_comm::structured;
 use f90d_distrib::{set_bound, ArrayDimMap, Dad, DistKind};
 use f90d_machine::{ArrayData, LocalArray, Machine, NodeMemory, Value};
@@ -153,9 +153,9 @@ pub struct Engine {
     scalars: Vec<Value>,
     vars: Vec<i64>,
     printed: Vec<String>,
-    sched_cache: HashMap<u64, Schedule>,
-    /// §7(3) flag: reuse schedules across executions of the same pattern.
-    pub schedule_reuse: bool,
+    /// Schedule reuse (§7(3), per-run) and the cross-run schedule cache:
+    /// toggle `sched.reuse` / `sched.use_global` before running.
+    pub sched: RunSchedules,
 }
 
 impl Engine {
@@ -204,8 +204,7 @@ impl Engine {
             scalars,
             vars: vec![0; nvars],
             printed: Vec::new(),
-            sched_cache: HashMap::new(),
-            schedule_reuse: true,
+            sched: RunSchedules::new(),
         }
     }
 
@@ -965,9 +964,8 @@ impl Engine {
         for (rank, &n) in counts.iter().enumerate() {
             m.mems[rank].insert_array(tmp_name.clone(), LocalArray::zeros(ty, &[n.max(1) as i64]));
         }
-        // Schedule (with §7(3) reuse).
-        let sig = req_signature(&reqs);
-        let sched = self.schedule_for(m, sig, &reqs, g.local_only, false);
+        // Schedule (per-run §7(3) reuse + cross-run cache).
+        let sched = self.schedule_for(m, &reqs, g.local_only, false);
         schedule::execute_read(m, &sched, &src_name, &tmp_name);
         Ok(())
     }
@@ -1011,8 +1009,7 @@ impl Engine {
                 }
             }
         }
-        let sig = req_signature(&reqs).wrapping_add(1);
-        let sched = self.schedule_for(m, sig, &reqs, invertible, true);
+        let sched = self.schedule_for(m, &reqs, invertible, true);
         schedule::execute_write(m, &sched, &buf_name, &dst_name);
         Ok(())
     }
@@ -1024,30 +1021,18 @@ impl Engine {
     fn schedule_for(
         &mut self,
         m: &mut Machine,
-        sig: u64,
         reqs: &[ElementReq],
         fast_path: bool,
         is_write: bool,
-    ) -> Schedule {
-        let build = |m: &mut Machine| {
-            if fast_path {
-                schedule::schedule1(m, reqs)
-            } else if is_write {
-                schedule::schedule3(m, reqs)
-            } else {
-                schedule::schedule2(m, reqs)
-            }
-        };
-        if self.schedule_reuse {
-            if let Some(s) = self.sched_cache.get(&sig) {
-                return s.clone();
-            }
-            let s = build(m);
-            self.sched_cache.insert(sig, s.clone());
-            s
+    ) -> Arc<Schedule> {
+        let kind = if fast_path {
+            ScheduleKind::LocalOnly
+        } else if is_write {
+            ScheduleKind::SenderDriven
         } else {
-            build(m)
-        }
+            ScheduleKind::FanInRequests
+        };
+        self.sched.schedule(m, kind, reqs, is_write)
     }
 }
 
@@ -1278,19 +1263,4 @@ fn eval_elem(
         }
     }
     Ok(regs[code.out as usize])
-}
-
-fn req_signature(reqs: &[ElementReq]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut mix = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x100000001b3);
-    };
-    for r in reqs {
-        mix(r.requester as u64);
-        mix(r.owner as u64);
-        mix(r.src_off as u64);
-        mix(r.dst_off as u64 ^ 0x9e37);
-    }
-    h
 }

@@ -21,7 +21,7 @@ fn main() {
         let compiled = compile(&src, &opts).expect("compiles");
         let mut machine = Machine::new(MachineSpec::ipsc860(), ProcGrid::new(&[8]));
         let mut ex = Executor::new(&compiled.spmd, &mut machine);
-        ex.schedule_reuse = reuse;
+        ex.sched.reuse = reuse;
         let report = ex.run(&mut machine).expect("runs");
         println!(
             "schedule reuse {}: {:.3} ms modelled, {} messages, gathers recorded: {}",
