@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|abl-shift|abl-sched|abl-fuse|abl-overlap|matrix]
+//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|overlap|abl-shift|abl-sched|abl-fuse|abl-overlap|matrix]
 //!       [--n <matrix size>] [--quick] [--backend treewalk|vm]
 //!       [--jobs N] [--out results.json] [--baseline results.json] [--wall-tol F]
 //!       [--repeat N] [--no-sched-cache]
@@ -26,6 +26,15 @@
 //! `results.json`; `--baseline` diffs against a previous one and exits
 //! nonzero on any virtual-metric drift (wall clock is reported, and only
 //! gated when `--wall-tol <factor>` is given).
+//!
+//! `--exp overlap` reproduces the §5.1/§7 communication–computation
+//! overlap claim on Jacobi: for both machine models and both backends it
+//! compares temporary-shift, blocking ghost-exchange, and split-phase
+//! (`comm_compute_overlap`) execution, verifies array results and PRINT
+//! are bit-identical across all three, and **exits 1** if overlap does
+//! not strictly lower the modelled time — CI runs it as a smoke gate.
+//! `--out overlap.json` writes the rows as an `f90d-overlap/v1` document
+//! (schema in the README).
 //!
 //! `--repeat N` runs the matrix N times back to back in one process:
 //! every run is gated against `--baseline` (proving the warm schedule
@@ -76,11 +85,16 @@ fn main() {
     let mut wall_tol: Option<f64> = None;
     let mut repeat: usize = 1;
     let mut sched_cache = true;
+    let mut n_arg = false;
+    let mut backend_arg = false;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--exp" => which = it.next().cloned().unwrap_or_else(|| "all".into()),
-            "--n" => n = it.next().and_then(|v| v.parse().ok()).unwrap_or(1023),
+            "--n" => {
+                n_arg = true;
+                n = it.next().and_then(|v| v.parse().ok()).unwrap_or(1023)
+            }
             "--quick" => quick = true,
             "--repeat" => {
                 repeat = it
@@ -108,6 +122,7 @@ fn main() {
                 }))
             }
             "--backend" => {
+                backend_arg = true;
                 backend = match it.next().map(String::as_str) {
                     Some("treewalk") => Backend::TreeWalk,
                     Some("vm") => Backend::Vm,
@@ -147,6 +162,24 @@ fn main() {
         );
         return;
     }
+    if which == "overlap" {
+        // The experiment fixes its own cell (both backends, Jacobi sizes
+        // per --quick); reject ignored flags instead of silently running
+        // something other than what was asked for.
+        if jobs.is_some()
+            || baseline.is_some()
+            || wall_tol.is_some()
+            || repeat > 1
+            || !sched_cache
+            || n_arg
+            || backend_arg
+        {
+            eprintln!("--exp overlap accepts only --quick and --out (it always runs both backends at its own sizes)");
+            std::process::exit(2);
+        }
+        exp_overlap(quick, out);
+        return;
+    }
     if matrix_flags {
         eprintln!("--jobs/--out/--baseline/--wall-tol/--repeat/--no-sched-cache require the matrix experiment (--exp matrix), not --exp {which}");
         std::process::exit(2);
@@ -177,6 +210,9 @@ fn main() {
     }
     if all || which == "vmcmp" {
         exp_vmcmp();
+    }
+    if all {
+        exp_overlap(quick, None);
     }
     if all || which == "abl-shift" {
         exp_abl_shift();
@@ -313,6 +349,115 @@ fn exp_vmcmp() {
             "virtual time equal",
         ],
         &rows,
+    );
+}
+
+/// The §5.1/§7 communication–computation overlap experiment: Jacobi
+/// under temporary-shift, blocking ghost-exchange and split-phase
+/// execution, per machine model and backend. Exits 1 when the overlap
+/// claim does not hold (modelled time must strictly drop with results
+/// bit-identical).
+fn exp_overlap(quick: bool, out: Option<String>) {
+    let (n, iters, p) = if quick { (48, 4, 2) } else { (128, 8, 4) };
+    let rows = exp::overlap_experiment(n, iters, p);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.machine.to_string(),
+                backend_name(r.backend).to_string(),
+                format!("{:.6}", r.t_temporary),
+                format!("{:.6}", r.t_blocking),
+                format!("{:.6}", r.t_overlap),
+                format!("{:.2}x", r.t_temporary / r.t_overlap),
+                format!("{:.2}x", r.t_blocking / r.t_overlap),
+                if r.arrays_identical && r.print_identical {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]
+        })
+        .collect();
+    exp::print_table(
+        &format!(
+            "Overlap (§5.1/§7) — Jacobi {n}x{n}, {iters} sweeps, {p}x{p} grid: modelled seconds per shift strategy"
+        ),
+        &[
+            "machine",
+            "backend",
+            "temporary",
+            "blocking",
+            "overlap",
+            "vs temp",
+            "vs block",
+            "bit-identical",
+        ],
+        &table,
+    );
+    if let Some(path) = &out {
+        let doc = serde::json::Json::Obj(vec![
+            (
+                "schema".into(),
+                serde::json::Json::Str("f90d-overlap/v1".into()),
+            ),
+            ("n".into(), serde::json::Json::Num(n as f64)),
+            ("iters".into(), serde::json::Json::Num(iters as f64)),
+            (
+                "grid".into(),
+                serde::json::Json::Arr(vec![
+                    serde::json::Json::Num(p as f64),
+                    serde::json::Json::Num(p as f64),
+                ]),
+            ),
+            (
+                "rows".into(),
+                serde::json::Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            serde::json::Json::Obj(vec![
+                                ("machine".into(), serde::json::Json::Str(r.machine.into())),
+                                (
+                                    "backend".into(),
+                                    serde::json::Json::Str(backend_name(r.backend).into()),
+                                ),
+                                (
+                                    "t_temporary_s".into(),
+                                    serde::json::Json::Num(r.t_temporary),
+                                ),
+                                ("t_blocking_s".into(), serde::json::Json::Num(r.t_blocking)),
+                                ("t_overlap_s".into(), serde::json::Json::Num(r.t_overlap)),
+                                (
+                                    "arrays_identical".into(),
+                                    serde::json::Json::Bool(r.arrays_identical),
+                                ),
+                                (
+                                    "print_identical".into(),
+                                    serde::json::Json::Bool(r.print_identical),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("# wrote {path}");
+    }
+    let failed: Vec<String> = rows
+        .iter()
+        .filter(|r| !r.holds())
+        .map(|r| format!("{}/{}", r.machine, backend_name(r.backend)))
+        .collect();
+    if !failed.is_empty() {
+        eprintln!("# OVERLAP CLAIM VIOLATED on: {failed:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "  overlap < temporary and overlap < blocking on every machine x backend, results bit-identical: yes"
     );
 }
 

@@ -61,7 +61,8 @@ pub fn ge_handwritten(m: &mut Machine, n: i64) -> f64 {
                 ArrayData::Real(v) => v.clone(),
                 _ => unreachable!(),
             };
-        });
+        })
+        .expect("collective is internally matched");
         // Local update of owned columns j > k.
         for rank in 0..p {
             let coord = rank; // 1-D grid

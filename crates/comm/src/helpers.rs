@@ -1,15 +1,25 @@
 //! Shared machinery: owned-local enumeration, slab packing, the generic
-//! vectorized pairwise exchange engine, and binomial trees.
+//! split-phase vectorized pairwise exchange engine, and binomial trees.
 //!
 //! Every primitive vectorizes its messages — all elements travelling
 //! between one (source, destination) pair are packed into a single message
 //! (paper §7, optimization 1). Packing and unpacking charge the machine's
 //! per-byte copy cost; the wire charges α + β·bytes through the transport.
+//!
+//! The workhorse is [`ExchangeOp`], a genuine split-phase [`CommOp`]:
+//! `post` packs and posts every send (senders pay copy + α) and posts the
+//! matching receives; `finish` completes the receives (receiver clocks
+//! advance to the arrival times) and unpacks. The blocking [`exchange`]
+//! wrapper is post-then-finish with nothing in between — bit-identical
+//! virtual time to the pre-redesign blocking loop.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use f90d_distrib::Dad;
-use f90d_machine::{ArrayData, Machine, Transport, Value};
+use f90d_machine::{ArrayData, Machine, RecvHandle, Transport, Value};
+
+use crate::op::{CommError, CommOp, CommResult};
 
 /// Local indices (template-local numbering) of the elements of array
 /// dimension `d` owned by grid coordinate `coord`, in increasing global
@@ -67,87 +77,171 @@ pub fn cartesian(lists: &[Vec<i64>], mut f: impl FnMut(&[i64])) {
 /// destination node.
 pub type PairMoves = BTreeMap<(i64, i64), Vec<(usize, usize)>>;
 
-/// Execute a set of vectorized pairwise element moves: for every
-/// `(from, to)` pair, pack the listed source elements into one message,
-/// send, and unpack into the listed destination offsets. `from == to`
-/// pairs are local copies charged at memcpy rate.
+/// A split-phase vectorized pairwise exchange: for every `(from, to)`
+/// pair of `moves`, pack the listed source elements of array `src` into
+/// one message and unpack into the listed offsets of array `dst` on the
+/// destination node. `from == to` pairs are local copies charged at
+/// memcpy rate (performed at post time — ghost copies from a node's own
+/// block never wait on the wire).
 ///
-/// `src` and `dst` may name the same array only if no (from,to) pair has
+/// `src` and `dst` may name the same array only if no (from, to) pair has
 /// overlapping src/dst offsets on one node; redistribution avoids this by
 /// staging through a fresh array.
-pub fn exchange(m: &mut Machine, src: &str, dst: &str, moves: &PairMoves) {
-    let tag = m.fresh_tag();
-    let copy_rate = m.spec().time_copy_byte;
-    // Sends (and local copies) in deterministic pair order.
-    for (&(from, to), elems) in moves.iter() {
-        if elems.is_empty() {
-            continue;
+#[derive(Debug)]
+pub struct ExchangeOp<'a> {
+    src: String,
+    dst: String,
+    moves: Cow<'a, PairMoves>,
+    /// Posted receives, in deterministic pair order.
+    pending: Vec<((i64, i64), RecvHandle)>,
+    posted: bool,
+}
+
+impl<'a> ExchangeOp<'a> {
+    /// Plan an exchange over an owned move table (split-phase callers
+    /// that outlive the planning scope).
+    pub fn new(src: impl Into<String>, dst: impl Into<String>, moves: PairMoves) -> Self {
+        Self::with_moves(src, dst, Cow::Owned(moves))
+    }
+
+    /// Plan an exchange over a borrowed move table (blocking wrappers and
+    /// schedule executors — no clone on the hot path).
+    pub fn borrowed(src: impl Into<String>, dst: impl Into<String>, moves: &'a PairMoves) -> Self {
+        Self::with_moves(src, dst, Cow::Borrowed(moves))
+    }
+
+    fn with_moves(
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        moves: Cow<'a, PairMoves>,
+    ) -> Self {
+        ExchangeOp {
+            src: src.into(),
+            dst: dst.into(),
+            moves,
+            pending: Vec::new(),
+            posted: false,
         }
-        if from == to {
-            let mem = &mut m.mems[from as usize];
-            if src == dst {
-                let vals: Vec<Value> = {
-                    let a = mem.array(src);
-                    elems.iter().map(|&(s, _)| a.get_flat(s)).collect()
-                };
-                let a = mem.array_mut(dst);
-                for (&(_, d), v) in elems.iter().zip(vals) {
-                    a.set_flat(d, v);
-                }
-            } else {
-                let (s_arr, d_arr) = mem.two_arrays_mut(src, dst);
-                for &(so, do_) in elems {
-                    d_arr.set_flat(do_, s_arr.get_flat(so));
-                }
+    }
+
+    /// Total number of elements moved between distinct nodes.
+    pub fn remote_elements(&self) -> usize {
+        self.moves
+            .iter()
+            .filter(|((f, t), _)| f != t)
+            .map(|(_, v)| v.len())
+            .sum()
+    }
+}
+
+impl CommOp for ExchangeOp<'_> {
+    type Output = ();
+
+    /// Perform the local copies, then pack and post one send per remote
+    /// (from, to) pair and post the matching receive. Senders pay the
+    /// packing copy cost and the startup α; receivers pay nothing yet.
+    fn post(&mut self, m: &mut Machine) -> CommResult<()> {
+        if self.posted {
+            return Err(CommError("exchange posted twice".into()));
+        }
+        self.posted = true;
+        let tag = m.fresh_tag();
+        let copy_rate = m.spec().time_copy_byte;
+        // Sends (and local copies) in deterministic pair order.
+        for (&(from, to), elems) in self.moves.iter() {
+            if elems.is_empty() {
+                continue;
             }
-            let bytes = elems.len() as i64 * m.mems[from as usize].array(dst).elem_type().bytes();
+            if from == to {
+                let mem = &mut m.mems[from as usize];
+                if self.src == self.dst {
+                    let vals: Vec<Value> = {
+                        let a = mem.array(&self.src);
+                        elems.iter().map(|&(s, _)| a.get_flat(s)).collect()
+                    };
+                    let a = mem.array_mut(&self.dst);
+                    for (&(_, d), v) in elems.iter().zip(vals) {
+                        a.set_flat(d, v);
+                    }
+                } else {
+                    let (s_arr, d_arr) = mem.two_arrays_mut(&self.src, &self.dst);
+                    for &(so, do_) in elems {
+                        d_arr.set_flat(do_, s_arr.get_flat(so));
+                    }
+                }
+                let bytes =
+                    elems.len() as i64 * m.mems[from as usize].array(&self.dst).elem_type().bytes();
+                m.transport.charge_compute(from, copy_rate * bytes as f64);
+                continue;
+            }
+            // Pack.
+            let payload = {
+                let a = m.mems[from as usize].array(&self.src);
+                let mut data = ArrayData::zeros(a.elem_type(), elems.len());
+                for (k, &(so, _)) in elems.iter().enumerate() {
+                    data.set(k, a.get_flat(so));
+                }
+                data
+            };
+            let bytes = payload.len() as i64 * payload.elem_type().bytes();
             m.transport.charge_compute(from, copy_rate * bytes as f64);
-            continue;
+            m.transport.post_send(from, to, tag, payload);
+            let h = m.transport.post_recv(to, from, tag);
+            self.pending.push(((from, to), h));
         }
-        // Pack.
-        let payload = {
-            let a = m.mems[from as usize].array(src);
-            let mut data = ArrayData::zeros(a.elem_type(), elems.len());
-            for (k, &(so, _)) in elems.iter().enumerate() {
-                data.set(k, a.get_flat(so));
+        Ok(())
+    }
+
+    /// Complete every posted receive in pair order, charge the unpack
+    /// copy, and deposit the elements.
+    fn finish(self, m: &mut Machine) -> CommResult<()> {
+        if !self.posted {
+            return Err(CommError("exchange finished before post".into()));
+        }
+        let copy_rate = m.spec().time_copy_byte;
+        for (pair, h) in self.pending {
+            let payload = m.transport.complete(h)?;
+            let (_, to) = pair;
+            let bytes = payload.len() as i64 * payload.elem_type().bytes();
+            m.transport.charge_compute(to, copy_rate * bytes as f64);
+            let elems = &self.moves[&pair];
+            let a = m.mems[to as usize].array_mut(&self.dst);
+            for (k, &(_, do_)) in elems.iter().enumerate() {
+                a.set_flat(do_, payload.get(k));
             }
-            data
-        };
-        let bytes = payload.len() as i64 * payload.elem_type().bytes();
-        m.transport.charge_compute(from, copy_rate * bytes as f64);
-        m.transport.send(from, to, tag, payload);
-    }
-    // Receives.
-    for (&(from, to), elems) in moves.iter() {
-        if elems.is_empty() || from == to {
-            continue;
         }
-        let payload = m.transport.recv(to, from, tag);
-        let bytes = payload.len() as i64 * payload.elem_type().bytes();
-        m.transport.charge_compute(to, copy_rate * bytes as f64);
-        let a = m.mems[to as usize].array_mut(dst);
-        for (k, &(_, do_)) in elems.iter().enumerate() {
-            a.set_flat(do_, payload.get(k));
-        }
+        Ok(())
     }
+}
+
+/// Blocking wrapper: post-then-finish with no compute in between —
+/// virtual metrics bit-identical to the pre-redesign blocking exchange.
+pub fn exchange(m: &mut Machine, src: &str, dst: &str, moves: &PairMoves) -> CommResult<()> {
+    let mut op = ExchangeOp::borrowed(src, dst, moves);
+    op.post(m)?;
+    op.finish(m)
 }
 
 /// Binomial-tree broadcast of a payload from `members[root_pos]` to every
 /// member, `O(log F)` message stages. `store` is invoked on every member
 /// (including the root) to deposit the payload into that node's memory.
+///
+/// Stages depend on each other, so the tree completes within this call
+/// (zero-width overlap window); each edge is still a posted
+/// send/receive/complete triple so completion faults surface as errors.
 pub fn tree_broadcast(
     m: &mut Machine,
     members: &[i64],
     root_pos: usize,
     payload: ArrayData,
     mut store: impl FnMut(&mut Machine, i64, &ArrayData),
-) {
+) -> CommResult<()> {
     let f = members.len();
     assert!(root_pos < f);
     let tag = m.fresh_tag();
     store(m, members[root_pos], &payload);
     if f <= 1 {
-        return;
+        return Ok(());
     }
     let copy_rate = m.spec().time_copy_byte;
     let bytes = payload.len() as i64 * payload.elem_type().bytes();
@@ -159,14 +253,16 @@ pub fn tree_broadcast(
             if t < f {
                 let (from, to) = (rel(s), rel(t));
                 m.transport.charge_compute(from, copy_rate * bytes as f64);
-                m.transport.send(from, to, tag, payload.clone());
-                let got = m.transport.recv(to, from, tag);
+                m.transport.post_send(from, to, tag, payload.clone());
+                let h = m.transport.post_recv(to, from, tag);
+                let got = m.transport.complete(h)?;
                 m.transport.charge_compute(to, copy_rate * bytes as f64);
                 store(m, to, &got);
             }
         }
         step *= 2;
     }
+    Ok(())
 }
 
 /// Binomial-tree combine toward `members[0]`: `fold(acc, contribution)`
@@ -177,7 +273,7 @@ pub fn tree_reduce(
     members: &[i64],
     mut contributions: Vec<ArrayData>,
     fold: impl Fn(&mut ArrayData, &ArrayData),
-) -> ArrayData {
+) -> CommResult<ArrayData> {
     let f = members.len();
     assert_eq!(contributions.len(), f);
     assert!(f > 0);
@@ -193,8 +289,9 @@ pub fn tree_reduce(
             let payload = contributions[s + step].clone();
             let bytes = payload.len() as i64 * payload.elem_type().bytes();
             m.transport.charge_compute(from, copy_rate * bytes as f64);
-            m.transport.send(from, to, tag, payload);
-            let got = m.transport.recv(to, from, tag);
+            m.transport.post_send(from, to, tag, payload);
+            let h = m.transport.post_recv(to, from, tag);
+            let got = m.transport.complete(h)?;
             // Charge the combine itself as element ops.
             m.transport.charge_elem_ops(to, got.len() as i64);
             let mut acc = std::mem::replace(&mut contributions[s], ArrayData::Int(vec![]));
@@ -204,7 +301,7 @@ pub fn tree_reduce(
         }
         step *= 2;
     }
-    contributions.swap_remove(0)
+    Ok(contributions.swap_remove(0))
 }
 
 /// The grid fiber (member ranks) along `axis` through the node at
@@ -268,7 +365,7 @@ mod tests {
         m.mems[0].array_mut("S").set(&[1], Value::Real(42.0));
         let mut moves = PairMoves::new();
         moves.insert((0, 1), vec![(1, 2)]);
-        exchange(&mut m, "S", "D", &moves);
+        exchange(&mut m, "S", "D", &moves).unwrap();
         assert_eq!(m.mems[1].array("D").get(&[2]), Value::Real(42.0));
         assert_eq!(m.transport.messages, 1);
     }
@@ -280,9 +377,80 @@ mod tests {
         m.mems[0].array_mut("A").set(&[0], Value::Int(9));
         let mut moves = PairMoves::new();
         moves.insert((0, 0), vec![(0, 2)]);
-        exchange(&mut m, "A", "A", &moves);
+        exchange(&mut m, "A", "A", &moves).unwrap();
         assert_eq!(m.mems[0].array("A").get(&[2]), Value::Int(9));
         assert_eq!(m.transport.messages, 0);
+    }
+
+    #[test]
+    fn split_phase_exchange_overlaps_compute() {
+        // Same exchange, two drivers: blocking post+finish vs compute
+        // charged between post and finish. The data motion is identical;
+        // the overlapped receiver finishes earlier or equal.
+        let spec = MachineSpec::ipsc860();
+        let build = |m: &mut Machine| {
+            for mem in &mut m.mems {
+                mem.insert_array("S", LocalArray::zeros(ElemType::Real, &[1024]));
+                mem.insert_array("D", LocalArray::zeros(ElemType::Real, &[1024]));
+            }
+            let mut moves = PairMoves::new();
+            moves.insert((0, 1), (0..1024).map(|k| (k, k)).collect());
+            moves
+        };
+        // Blocking: exchange then compute.
+        let mut mb = Machine::new(spec.clone(), ProcGrid::new(&[2]));
+        let moves = build(&mut mb);
+        exchange(&mut mb, "S", "D", &moves).unwrap();
+        mb.transport.charge_elem_ops(1, 4096);
+        // Overlapped: post, compute, finish.
+        let mut mo = Machine::new(spec, ProcGrid::new(&[2]));
+        let moves = build(&mut mo);
+        let mut op = ExchangeOp::new("S", "D", moves);
+        op.post(&mut mo).unwrap();
+        mo.transport.charge_elem_ops(1, 4096);
+        op.finish(&mut mo).unwrap();
+        assert!(
+            mo.transport.clock(1) < mb.transport.clock(1),
+            "overlap must hide wire time"
+        );
+        assert_eq!(mo.transport.messages, mb.transport.messages);
+        assert_eq!(mo.transport.bytes, mb.transport.bytes);
+        // Sender clocks are identical — it only ever pays copy + alpha.
+        assert_eq!(
+            mo.transport.clock(0).to_bits(),
+            mb.transport.clock(0).to_bits()
+        );
+    }
+
+    #[test]
+    fn exchange_post_twice_and_unposted_finish_error() {
+        let mut m = mk_machine(2);
+        for mem in &mut m.mems {
+            mem.insert_array("S", LocalArray::zeros(ElemType::Real, &[1]));
+        }
+        let mut op = ExchangeOp::new("S", "S", PairMoves::new());
+        assert!(op.post(&mut m).is_ok());
+        assert!(op.post(&mut m).is_err());
+        let op2 = ExchangeOp::new("S", "S", PairMoves::new());
+        assert!(op2.finish(&mut m).is_err());
+    }
+
+    #[test]
+    fn exchange_reset_between_post_and_finish_is_an_error() {
+        // MailboxTransport::reset invalidates outstanding handles; the
+        // dangling exchange surfaces it as a structured CommError.
+        let mut m = mk_machine(2);
+        for mem in &mut m.mems {
+            mem.insert_array("S", LocalArray::zeros(ElemType::Real, &[4]));
+            mem.insert_array("D", LocalArray::zeros(ElemType::Real, &[4]));
+        }
+        let mut moves = PairMoves::new();
+        moves.insert((0, 1), vec![(0, 0)]);
+        let mut op = ExchangeOp::new("S", "D", moves);
+        op.post(&mut m).unwrap();
+        m.reset_time();
+        let err = op.finish(&mut m).unwrap_err();
+        assert!(err.0.contains("reset"), "{err}");
     }
 
     #[test]
@@ -298,7 +466,8 @@ mod tests {
             tree_broadcast(&mut m, &members, 0, payload, |m, r, data| {
                 let v = data.get(0);
                 m.mems[r as usize].array_mut("X").set(&[0], v);
-            });
+            })
+            .unwrap();
             for r in 0..p {
                 assert_eq!(m.mems[r as usize].array("X").get(&[0]), Value::Real(7.0));
             }
@@ -317,7 +486,8 @@ mod tests {
         tree_broadcast(&mut m, &[0, 1, 2, 3], 2, payload, |m, r, d| {
             let v = d.get(0);
             m.mems[r as usize].array_mut("X").set(&[0], v);
-        });
+        })
+        .unwrap();
         for r in 0..4 {
             assert_eq!(m.mems[r as usize].array("X").get(&[0]), Value::Int(5));
         }
@@ -330,7 +500,7 @@ mod tests {
         let mut m = Machine::new(MachineSpec::ipsc860(), ProcGrid::new(&[16]));
         let payload = ArrayData::zeros(ElemType::Real, 1);
         let members: Vec<i64> = (0..16).collect();
-        tree_broadcast(&mut m, &members, 0, payload, |_, _, _| {});
+        tree_broadcast(&mut m, &members, 0, payload, |_, _, _| {}).unwrap();
         let alpha = m.spec().alpha;
         // 4 stages of (alpha + small) each; definitely below 6 alphas and
         // above 3.
@@ -353,7 +523,8 @@ mod tests {
             let total = tree_reduce(&mut m, &members, contributions, |acc, x| {
                 let s = acc.get(0).as_real() + x.get(0).as_real();
                 acc.set(0, Value::Real(s));
-            });
+            })
+            .unwrap();
             let expect = (0..p).sum::<usize>() as f64;
             assert_eq!(total.get(0).as_real(), expect, "P={p}");
         }

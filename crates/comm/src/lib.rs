@@ -8,6 +8,13 @@
 //! layering: to move to another transport (their Express → PVM example),
 //! only this crate's substrate changes.
 //!
+//! Every collective is (or wraps) a split-phase [`CommOp`] — `post()`
+//! launches the communication, `finish()` completes it — so callers can
+//! charge local computation between the two and genuinely hide wire time
+//! (see [`op`]). The one-shot functions below are post-then-finish
+//! wrappers with the pre-redesign blocking virtual-time behaviour, and
+//! completion faults surface as [`CommError`]s rather than panics.
+//!
 //! **Structured** primitives (paper §5.1) exploit the logical-grid
 //! relationship between sender and receiver, so they need no preprocessing:
 //!
@@ -47,12 +54,15 @@
 #![warn(missing_docs)]
 
 pub mod helpers;
+pub mod op;
+pub mod overlap;
 pub mod redist;
 pub mod reduce;
 pub mod sched_cache;
 pub mod schedule;
 pub mod structured;
 
+pub use op::{CommError, CommOp, CommResult};
 pub use reduce::ReduceOp;
 pub use sched_cache::{RunSchedules, SchedCache, SchedKey};
 pub use schedule::{Schedule, ScheduleKind};

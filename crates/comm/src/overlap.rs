@@ -1,0 +1,208 @@
+//! Iteration-space geometry for split-phase stencil execution
+//! (`comm_compute_overlap`): one shared implementation of the ghost
+//! margins, the interior/boundary split, and the dimension-compatibility
+//! test, so the tree-walking executor and the bytecode engine cannot
+//! drift apart on which tuples count as "interior" — the backends'
+//! bit-parity guarantee depends on them agreeing exactly.
+//!
+//! Terminology: a FORALL over per-variable iteration lists executes the
+//! cartesian product of those lists. With ghost margins `(lo, hi)`
+//! accumulated from the `overlap_shift` prelude, a tuple is **interior**
+//! when every margined variable `v` satisfies
+//! `first + lo <= v <= last - hi` (firsts/lasts of that rank's list) —
+//! every shifted read of such a tuple stays inside the rank's
+//! contiguous BLOCK-owned range, so it can run *before* the ghost
+//! exchange completes. The **boundary** is the complement, expressed as
+//! disjoint sub-products ([`Margins::boundary_slabs`]) so executors
+//! visit only shell tuples instead of filtering the full product.
+
+use f90d_distrib::{ArrayDimMap, DistKind};
+
+/// `true` when a loop variable partitioned by `loop_dm` (the LHS
+/// dimension map) can carry the ghost margin of a shift on `shift_dm`:
+/// both BLOCK with stride-1 alignment on the same grid axis and with
+/// identical distribution and alignment, so "iteration value inside the
+/// owned interior" implies "every shifted read stays owned".
+pub fn dims_overlap_compatible(loop_dm: &ArrayDimMap, shift_dm: &ArrayDimMap) -> bool {
+    shift_dm.dist.kind == DistKind::Block
+        && shift_dm.align.stride == 1
+        && shift_dm.grid_axis.is_some()
+        && loop_dm.grid_axis == shift_dm.grid_axis
+        && loop_dm.dist == shift_dm.dist
+        && loop_dm.align == shift_dm.align
+}
+
+/// Ghost margins per FORALL loop variable, accumulated from the
+/// `overlap_shift` prelude: `(lo, hi)` = widest negative / positive
+/// shift constants read through that variable's dimension.
+#[derive(Debug, Clone)]
+pub struct Margins {
+    per_var: Vec<(i64, i64)>,
+}
+
+impl Margins {
+    /// No margins on any of `nvars` variables.
+    pub fn new(nvars: usize) -> Self {
+        Margins {
+            per_var: vec![(0, 0); nvars],
+        }
+    }
+
+    /// Record a shift by `c` read through variable `var`.
+    pub fn add(&mut self, var: usize, c: i64) {
+        let e = &mut self.per_var[var];
+        if c > 0 {
+            e.1 = e.1.max(c);
+        } else {
+            e.0 = e.0.max(-c);
+        }
+    }
+
+    fn range_of(&self, var: usize, list: &[i64]) -> Option<(i64, i64)> {
+        let (lo, hi) = self.per_var[var];
+        if lo == 0 && hi == 0 {
+            return None;
+        }
+        list.first()
+            .zip(list.last())
+            .map(|(&a, &b)| (a + lo, b - hi))
+    }
+
+    /// The interior sub-product of one rank's iteration lists: margined
+    /// variables restricted to their interior range. Running the plain
+    /// cartesian product of the result executes exactly the interior
+    /// tuples.
+    pub fn interior_lists(&self, lists: &[Vec<i64>]) -> Vec<Vec<i64>> {
+        lists
+            .iter()
+            .enumerate()
+            .map(|(k, list)| match self.range_of(k, list) {
+                None => list.clone(),
+                Some((lo, hi)) => list
+                    .iter()
+                    .copied()
+                    .filter(|v| (lo..=hi).contains(v))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The boundary of one rank's iteration lists as disjoint
+    /// sub-products: for the `j`-th margined variable, the slab of
+    /// tuples where variables before it are interior, it is outside its
+    /// range, and later variables are unrestricted. The slabs partition
+    /// `product(lists) - product(interior_lists(lists))`, so executors
+    /// visit only shell tuples — no membership filtering, and a cost
+    /// that scales with the shell, not the interior.
+    pub fn boundary_slabs(&self, lists: &[Vec<i64>]) -> Vec<Vec<Vec<i64>>> {
+        let mut slabs = Vec::new();
+        for j in 0..lists.len() {
+            let Some((lo, hi)) = self.range_of(j, &lists[j]) else {
+                continue;
+            };
+            let outside: Vec<i64> = lists[j]
+                .iter()
+                .copied()
+                .filter(|v| !(lo..=hi).contains(v))
+                .collect();
+            if outside.is_empty() {
+                continue;
+            }
+            let slab: Vec<Vec<i64>> = lists
+                .iter()
+                .enumerate()
+                .map(|(k, list)| {
+                    if k == j {
+                        outside.clone()
+                    } else if k < j {
+                        match self.range_of(k, list) {
+                            None => list.clone(),
+                            Some((lo, hi)) => list
+                                .iter()
+                                .copied()
+                                .filter(|v| (lo..=hi).contains(v))
+                                .collect(),
+                        }
+                    } else {
+                        list.clone()
+                    }
+                })
+                .collect();
+            if slab.iter().any(|l| l.is_empty()) {
+                continue;
+            }
+            slabs.push(slab);
+        }
+        slabs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn product(lists: &[Vec<i64>]) -> BTreeSet<Vec<i64>> {
+        let mut out = BTreeSet::new();
+        crate::helpers::cartesian(lists, |idx| {
+            out.insert(idx.to_vec());
+        });
+        out
+    }
+
+    #[test]
+    fn interior_and_slabs_partition_the_product() {
+        let mut m = Margins::new(3);
+        m.add(0, 1);
+        m.add(0, -1);
+        m.add(2, 2);
+        let lists = vec![
+            (1..=6).collect::<Vec<i64>>(),
+            vec![10, 11],
+            (0..=5).collect::<Vec<i64>>(),
+        ];
+        let full = product(&lists);
+        let interior = product(&m.interior_lists(&lists));
+        let mut covered = interior.clone();
+        for slab in m.boundary_slabs(&lists) {
+            for t in product(&slab) {
+                assert!(covered.insert(t.clone()), "tuple {t:?} visited twice");
+            }
+        }
+        assert_eq!(covered, full, "interior + slabs must cover the product");
+        // Every interior tuple really is margin-safe.
+        for t in &interior {
+            assert!((2..=5).contains(&t[0]) && (0..=3).contains(&t[2]));
+        }
+    }
+
+    #[test]
+    fn no_margins_means_everything_interior() {
+        let m = Margins::new(2);
+        let lists = vec![vec![1, 2, 3], vec![4, 5]];
+        assert_eq!(m.interior_lists(&lists), lists);
+        assert!(m.boundary_slabs(&lists).is_empty());
+    }
+
+    #[test]
+    fn margins_swallowing_the_whole_list_make_everything_boundary() {
+        let mut m = Margins::new(1);
+        m.add(0, 3);
+        m.add(0, -3);
+        let lists = vec![vec![5, 6, 7]]; // interior range (8..=4) is empty
+        assert!(m.interior_lists(&lists)[0].is_empty());
+        let slabs = m.boundary_slabs(&lists);
+        assert_eq!(slabs.len(), 1);
+        assert_eq!(slabs[0][0], vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn empty_rank_lists_produce_nothing() {
+        let mut m = Margins::new(2);
+        m.add(1, 1);
+        let lists = vec![vec![], vec![3, 4]];
+        assert!(m.interior_lists(&lists)[0].is_empty());
+        // The slab on var 1 contains the empty var-0 list and is dropped.
+        assert!(m.boundary_slabs(&lists).is_empty());
+    }
+}

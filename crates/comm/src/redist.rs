@@ -16,6 +16,7 @@ use f90d_distrib::Dad;
 use f90d_machine::{LocalArray, Machine};
 
 use crate::helpers::{exchange, PairMoves};
+use crate::op::CommResult;
 
 /// Redistribute array data from layout `src_dad` (stored in array
 /// `src`) to layout `dst_dad` (stored in array `dst`, which must already
@@ -23,7 +24,13 @@ use crate::helpers::{exchange, PairMoves};
 ///
 /// `src` and `dst` must be different array names — redistribution stages
 /// through the destination allocation, never in place.
-pub fn redistribute(m: &mut Machine, src: &str, src_dad: &Dad, dst: &str, dst_dad: &Dad) {
+pub fn redistribute(
+    m: &mut Machine,
+    src: &str,
+    src_dad: &Dad,
+    dst: &str,
+    dst_dad: &Dad,
+) -> CommResult<()> {
     m.stats.record("redistribute");
     assert_eq!(
         src_dad.shape, dst_dad.shape,
@@ -51,7 +58,7 @@ pub fn redistribute(m: &mut Machine, src: &str, src_dad: &Dad, dst: &str, dst_da
             }
         }
     }
-    exchange(m, src, dst, &moves);
+    exchange(m, src, dst, &moves)
 }
 
 /// Allocate `name` on every node with `dad.local_shape()` (no ghosts) and
@@ -114,9 +121,9 @@ mod tests {
         alloc_for(&mut m, "B", &cyclic, ElemType::Real);
         alloc_for(&mut m, "C", &block, ElemType::Real);
         fill(&mut m, "A", &block);
-        redistribute(&mut m, "A", &block, "B", &cyclic);
+        redistribute(&mut m, "A", &block, "B", &cyclic).unwrap();
         verify(&m, "B", &cyclic);
-        redistribute(&mut m, "B", &cyclic, "C", &block);
+        redistribute(&mut m, "B", &cyclic, "C", &block).unwrap();
         verify(&m, "C", &block);
     }
 
@@ -141,7 +148,7 @@ mod tests {
         alloc_for(&mut m, "A", &a, ElemType::Real);
         alloc_for(&mut m, "B", &b, ElemType::Real);
         fill(&mut m, "A", &a);
-        redistribute(&mut m, "A", &a, "B", &b);
+        redistribute(&mut m, "A", &a, "B", &b).unwrap();
         verify(&m, "B", &b);
     }
 
@@ -162,7 +169,7 @@ mod tests {
         alloc_for(&mut m, "A", &block, ElemType::Real);
         alloc_for(&mut m, "R", &repl, ElemType::Real);
         fill(&mut m, "A", &block);
-        redistribute(&mut m, "A", &block, "R", &repl);
+        redistribute(&mut m, "A", &block, "R", &repl).unwrap();
         // every node holds the whole array
         verify(&m, "R", &repl);
         for rank in 0..3 {
@@ -192,7 +199,7 @@ mod tests {
         alloc_for(&mut m, "A", &block, ElemType::Real);
         alloc_for(&mut m, "B", &cyclic, ElemType::Real);
         fill(&mut m, "A", &block);
-        redistribute(&mut m, "A", &block, "B", &cyclic);
+        redistribute(&mut m, "A", &block, "B", &cyclic).unwrap();
         // At most P*(P-1) = 12 messages regardless of 64 elements.
         assert!(
             m.transport.messages <= 12,

@@ -12,6 +12,7 @@
 use f90d_machine::{ArrayData, Machine, Value};
 
 use crate::helpers::{tree_broadcast, tree_reduce};
+use crate::op::CommResult;
 
 /// Reduction operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,7 +116,7 @@ pub fn allreduce_group(
     members: &[i64],
     op: ReduceOp,
     contributions: Vec<Vec<f64>>,
-) -> Vec<Vec<f64>> {
+) -> CommResult<Vec<Vec<f64>>> {
     m.stats.record("reduce");
     assert_eq!(members.len(), contributions.len());
     let payloads: Vec<ArrayData> = contributions.iter().map(|c| to_payload(c)).collect();
@@ -124,22 +125,26 @@ pub fn allreduce_group(
         let b = from_payload(x);
         op.fold(&mut a, &b);
         *acc = to_payload(&a);
-    });
+    })?;
     let result = from_payload(&combined);
     // Broadcast the combined vector back down the tree.
     let mut slots: Vec<Option<Vec<f64>>> = vec![None; members.len()];
     tree_broadcast(m, members, 0, to_payload(&result), |_, rank, data| {
         let pos = members.iter().position(|&r| r == rank).unwrap();
         slots[pos] = Some(from_payload(data));
-    });
-    slots
+    })?;
+    Ok(slots
         .into_iter()
         .map(|s| s.expect("broadcast reached every member"))
-        .collect()
+        .collect())
 }
 
 /// Allreduce over **all** nodes of the machine.
-pub fn allreduce(m: &mut Machine, op: ReduceOp, contributions: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+pub fn allreduce(
+    m: &mut Machine,
+    op: ReduceOp,
+    contributions: Vec<Vec<f64>>,
+) -> CommResult<Vec<Vec<f64>>> {
     let members: Vec<i64> = (0..m.nranks()).collect();
     allreduce_group(m, &members, op, contributions)
 }
@@ -152,7 +157,7 @@ pub fn allreduce_along_axis(
     axis: usize,
     op: ReduceOp,
     contributions: Vec<Vec<f64>>,
-) -> Vec<Vec<f64>> {
+) -> CommResult<Vec<Vec<f64>>> {
     assert_eq!(contributions.len(), m.nranks() as usize);
     let mut results: Vec<Option<Vec<f64>>> = vec![None; contributions.len()];
     // Enumerate fibers by their axis-0 representative.
@@ -170,30 +175,34 @@ pub fn allreduce_along_axis(
             .iter()
             .map(|&r| contributions[r as usize].clone())
             .collect();
-        let res = allreduce_group(m, &members, op, contribs);
+        let res = allreduce_group(m, &members, op, contribs)?;
         for (&r, v) in members.iter().zip(res) {
             results[r as usize] = Some(v);
         }
     }
-    results.into_iter().map(|o| o.unwrap()).collect()
+    Ok(results.into_iter().map(|o| o.unwrap()).collect())
 }
 
 /// Convenience: allreduce a single scalar per node.
-pub fn allreduce_scalar(m: &mut Machine, op: ReduceOp, per_rank: Vec<f64>) -> f64 {
+pub fn allreduce_scalar(m: &mut Machine, op: ReduceOp, per_rank: Vec<f64>) -> CommResult<f64> {
     let contribs = per_rank.into_iter().map(|v| vec![v]).collect();
-    allreduce(m, op, contribs)[0][0]
+    Ok(allreduce(m, op, contribs)?[0][0])
 }
 
 /// Convenience: MAXLOC/MINLOC allreduce of one (value, global index) pair
 /// per node; returns the winning `(value, index)` (replicated logically).
-pub fn allreduce_loc(m: &mut Machine, op: ReduceOp, per_rank: Vec<(f64, i64)>) -> (f64, i64) {
+pub fn allreduce_loc(
+    m: &mut Machine,
+    op: ReduceOp,
+    per_rank: Vec<(f64, i64)>,
+) -> CommResult<(f64, i64)> {
     assert!(op.is_loc());
     let contribs = per_rank
         .into_iter()
         .map(|(v, i)| vec![v, i as f64])
         .collect();
-    let out = allreduce(m, op, contribs);
-    (out[0][0], out[0][1] as i64)
+    let out = allreduce(m, op, contribs)?;
+    Ok((out[0][0], out[0][1] as i64))
 }
 
 /// Convert a [`Value`] to its reduction encoding.
@@ -223,17 +232,17 @@ mod tests {
     #[test]
     fn scalar_sum_all_ops() {
         let mut m = machine(5);
-        let s = allreduce_scalar(&mut m, ReduceOp::Sum, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = allreduce_scalar(&mut m, ReduceOp::Sum, vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert_eq!(s, 15.0);
-        let p = allreduce_scalar(&mut m, ReduceOp::Prod, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let p = allreduce_scalar(&mut m, ReduceOp::Prod, vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert_eq!(p, 120.0);
-        let mx = allreduce_scalar(&mut m, ReduceOp::Max, vec![1.0, 9.0, 3.0, -4.0, 5.0]);
+        let mx = allreduce_scalar(&mut m, ReduceOp::Max, vec![1.0, 9.0, 3.0, -4.0, 5.0]).unwrap();
         assert_eq!(mx, 9.0);
-        let mn = allreduce_scalar(&mut m, ReduceOp::Min, vec![1.0, 9.0, 3.0, -4.0, 5.0]);
+        let mn = allreduce_scalar(&mut m, ReduceOp::Min, vec![1.0, 9.0, 3.0, -4.0, 5.0]).unwrap();
         assert_eq!(mn, -4.0);
-        let and = allreduce_scalar(&mut m, ReduceOp::And, vec![1.0, 1.0, 0.0, 1.0, 1.0]);
+        let and = allreduce_scalar(&mut m, ReduceOp::And, vec![1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
         assert_eq!(and, 0.0);
-        let or = allreduce_scalar(&mut m, ReduceOp::Or, vec![0.0, 0.0, 1.0, 0.0, 0.0]);
+        let or = allreduce_scalar(&mut m, ReduceOp::Or, vec![0.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
         assert_eq!(or, 1.0);
     }
 
@@ -244,7 +253,8 @@ mod tests {
             &mut m,
             ReduceOp::Sum,
             vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]],
-        );
+        )
+        .unwrap();
         for r in 0..3 {
             assert_eq!(out[r], vec![6.0, 60.0]);
         }
@@ -257,14 +267,16 @@ mod tests {
             &mut m,
             ReduceOp::MaxLoc,
             vec![(3.0, 0), (9.0, 5), (9.0, 2), (1.0, 7)],
-        );
+        )
+        .unwrap();
         assert_eq!(v, 9.0);
         assert_eq!(i, 2);
         let (v, i) = allreduce_loc(
             &mut m,
             ReduceOp::MinLoc,
             vec![(3.0, 0), (-9.0, 5), (9.0, 2), (-9.0, 7)],
-        );
+        )
+        .unwrap();
         assert_eq!(v, -9.0);
         assert_eq!(i, 5);
     }
@@ -277,7 +289,8 @@ mod tests {
             &mut m,
             ReduceOp::MaxLoc,
             vec![(f64::NEG_INFINITY, -1), (4.0, 1), (f64::NEG_INFINITY, -1)],
-        );
+        )
+        .unwrap();
         assert_eq!(v, 4.0);
         assert_eq!(i, 1);
     }
@@ -292,7 +305,8 @@ mod tests {
             1,
             ReduceOp::Sum,
             vec![vec![1.0], vec![2.0], vec![10.0], vec![20.0]],
-        );
+        )
+        .unwrap();
         assert_eq!(out[0], vec![3.0]);
         assert_eq!(out[1], vec![3.0]);
         assert_eq!(out[2], vec![30.0]);
@@ -302,7 +316,7 @@ mod tests {
     #[test]
     fn reduction_cost_logarithmic() {
         let mut m = Machine::new(MachineSpec::ipsc860(), ProcGrid::new(&[16]));
-        allreduce_scalar(&mut m, ReduceOp::Sum, vec![1.0; 16]);
+        allreduce_scalar(&mut m, ReduceOp::Sum, vec![1.0; 16]).unwrap();
         let alpha = m.spec().alpha;
         // 4 up + 4 down stages; certainly below 10 startups worth.
         assert!(m.elapsed() < 10.0 * (alpha + 50e-6));

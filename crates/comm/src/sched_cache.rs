@@ -30,6 +30,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use f90d_machine::Machine;
 
+use crate::op::CommResult;
 use crate::schedule::{self, ElementReq, Schedule, ScheduleKind};
 
 /// Shard count. A small power of two: a workload set caches tens of
@@ -272,7 +273,7 @@ impl RunSchedules {
         kind: ScheduleKind,
         reqs: &[ElementReq],
         is_write: bool,
-    ) -> Arc<Schedule> {
+    ) -> CommResult<Arc<Schedule>> {
         let key = SchedKey {
             kind,
             grid: m.grid.shape.clone(),
@@ -281,10 +282,10 @@ impl RunSchedules {
         let side = is_write as usize;
         if self.reuse {
             if let Some(s) = self.seen.get(&key).and_then(|pair| pair[side].as_ref()) {
-                return s.clone();
+                return Ok(s.clone());
             }
         }
-        schedule::inspect(m, kind, reqs);
+        schedule::inspect(m, kind, reqs)?;
         let sched = if self.use_global {
             let (s, hit) = global().get_or_build(&key, || schedule::build_schedule(kind, reqs));
             if hit {
@@ -299,7 +300,7 @@ impl RunSchedules {
         if self.reuse {
             self.seen.entry(key).or_default()[side] = Some(sched.clone());
         }
-        sched
+        Ok(sched)
     }
 
     /// Global-cache hits this run (first-per-run patterns found built).

@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 use f90d_machine::{ArrayData, Machine, Transport};
 
 use crate::helpers::PairMoves;
+use crate::op::CommResult;
 
 /// Which inspector built the schedule (affects modelled preprocessing
 /// cost, not executor semantics).
@@ -147,18 +148,23 @@ pub fn build_schedule(kind: ScheduleKind, reqs: &[ElementReq]) -> Schedule {
 /// `schedule2`/`schedule3`, the real fan-in/count messages) to the
 /// machine. Split from [`build_schedule`] so the schedule cache can
 /// charge a run that skips the rebuild.
-pub fn inspect(m: &mut Machine, kind: ScheduleKind, reqs: &[ElementReq]) {
+pub fn inspect(m: &mut Machine, kind: ScheduleKind, reqs: &[ElementReq]) -> CommResult<()> {
     m.stats.record(kind.stat_name());
     // schedule1/schedule2 preprocess on the requesters (read side);
     // schedule3 preprocesses on the producers.
-    charge_inspector(m, kind, reqs, kind != ScheduleKind::SenderDriven);
+    charge_inspector(m, kind, reqs, kind != ScheduleKind::SenderDriven)
 }
 
 /// Inspector cost model shared by the builders: each request element
 /// costs a few ops in the preprocessing loop on its *requester* (for
 /// reads) or *producer* (for writes); fan-in/count exchanges add real
 /// messages through the transport.
-fn charge_inspector(m: &mut Machine, kind: ScheduleKind, reqs: &[ElementReq], read_side: bool) {
+fn charge_inspector(
+    m: &mut Machine,
+    kind: ScheduleKind,
+    reqs: &[ElementReq],
+    read_side: bool,
+) -> CommResult<()> {
     // Local preprocessing loop: ~4 ops per element (proc-of, local-of,
     // list appends), charged where the loop runs.
     let mut per_rank: BTreeMap<i64, i64> = BTreeMap::new();
@@ -182,10 +188,12 @@ fn charge_inspector(m: &mut Machine, kind: ScheduleKind, reqs: &[ElementReq], re
                 }
             }
             for (&(from, to), &n) in &pairs {
-                m.transport.send(from, to, tag, ArrayData::Int(vec![0; n]));
+                m.transport
+                    .post_send(from, to, tag, ArrayData::Int(vec![0; n]));
             }
             for &(from, to) in pairs.keys() {
-                m.transport.recv(to, from, tag);
+                let h = m.transport.post_recv(to, from, tag);
+                m.transport.complete(h)?;
             }
         }
         ScheduleKind::SenderDriven => {
@@ -199,57 +207,60 @@ fn charge_inspector(m: &mut Machine, kind: ScheduleKind, reqs: &[ElementReq], re
             pairs.sort_unstable();
             pairs.dedup();
             for &(from, to) in &pairs {
-                m.transport.send(from, to, tag, ArrayData::Int(vec![0]));
+                m.transport
+                    .post_send(from, to, tag, ArrayData::Int(vec![0]));
             }
             for &(from, to) in &pairs {
-                m.transport.recv(to, from, tag);
+                let h = m.transport.post_recv(to, from, tag);
+                m.transport.complete(h)?;
             }
         }
     }
+    Ok(())
 }
 
 /// `schedule1` (paper §5.3.2 example 1): invertible subscript — both
 /// sides preprocess locally, no inspector communication.
-pub fn schedule1(m: &mut Machine, reqs: &[ElementReq]) -> Schedule {
-    inspect(m, ScheduleKind::LocalOnly, reqs);
-    build_schedule(ScheduleKind::LocalOnly, reqs)
+pub fn schedule1(m: &mut Machine, reqs: &[ElementReq]) -> CommResult<Schedule> {
+    inspect(m, ScheduleKind::LocalOnly, reqs)?;
+    Ok(build_schedule(ScheduleKind::LocalOnly, reqs))
 }
 
 /// `schedule2` (paper §5.3.2 example 2): gather — receivers fan their
 /// request lists in to the owners.
-pub fn schedule2(m: &mut Machine, reqs: &[ElementReq]) -> Schedule {
-    inspect(m, ScheduleKind::FanInRequests, reqs);
-    build_schedule(ScheduleKind::FanInRequests, reqs)
+pub fn schedule2(m: &mut Machine, reqs: &[ElementReq]) -> CommResult<Schedule> {
+    inspect(m, ScheduleKind::FanInRequests, reqs)?;
+    Ok(build_schedule(ScheduleKind::FanInRequests, reqs))
 }
 
 /// `schedule3` (paper §5.3.2 example 3): scatter — senders know targets;
 /// only counts are exchanged.
-pub fn schedule3(m: &mut Machine, reqs: &[ElementReq]) -> Schedule {
-    inspect(m, ScheduleKind::SenderDriven, reqs);
-    build_schedule(ScheduleKind::SenderDriven, reqs)
+pub fn schedule3(m: &mut Machine, reqs: &[ElementReq]) -> CommResult<Schedule> {
+    inspect(m, ScheduleKind::SenderDriven, reqs)?;
+    Ok(build_schedule(ScheduleKind::SenderDriven, reqs))
 }
 
 /// Executor for read-side schedules: `precomp_read` when the schedule
 /// came from `schedule1`, `gather` when from `schedule2`. Moves elements
 /// from `src` (on owners) into `dst` (on requesters), one vectorized
 /// message per processor pair.
-pub fn execute_read(m: &mut Machine, sched: &Schedule, src: &str, dst: &str) {
+pub fn execute_read(m: &mut Machine, sched: &Schedule, src: &str, dst: &str) -> CommResult<()> {
     m.stats.record(match sched.kind {
         ScheduleKind::LocalOnly => "precomp_read",
         _ => "gather",
     });
-    crate::helpers::exchange(m, src, dst, &sched.moves);
+    crate::helpers::exchange(m, src, dst, &sched.moves)
 }
 
 /// Executor for write-side schedules: `postcomp_write` (`schedule1`) or
 /// `scatter` (`schedule3`). Identical data motion with roles swapped:
 /// producers send computed elements to the owners of the LHS.
-pub fn execute_write(m: &mut Machine, sched: &Schedule, src: &str, dst: &str) {
+pub fn execute_write(m: &mut Machine, sched: &Schedule, src: &str, dst: &str) -> CommResult<()> {
     m.stats.record(match sched.kind {
         ScheduleKind::LocalOnly => "postcomp_write",
         _ => "scatter",
     });
-    crate::helpers::exchange(m, src, dst, &sched.moves);
+    crate::helpers::exchange(m, src, dst, &sched.moves)
 }
 
 #[cfg(test)]
@@ -295,10 +306,10 @@ mod tests {
                 dst_off: 7,
             },
         ];
-        let sched = schedule2(&mut m, &reqs);
+        let sched = schedule2(&mut m, &reqs).unwrap();
         assert_eq!(sched.message_count(), 3);
         assert_eq!(sched.remote_elements(), 3);
-        execute_read(&mut m, &sched, "SRC", "DST");
+        execute_read(&mut m, &sched, "SRC", "DST").unwrap();
         assert_eq!(m.mems[0].array("DST").get(&[0]), Value::Real(102.0));
         assert_eq!(m.mems[0].array("DST").get(&[1]), Value::Real(203.0));
         assert_eq!(m.mems[2].array("DST").get(&[7]), Value::Real(5.0));
@@ -316,9 +327,9 @@ mod tests {
                 dst_off: k,
             })
             .collect();
-        let sched = schedule1(&mut m, &reqs);
+        let sched = schedule1(&mut m, &reqs).unwrap();
         let before = m.transport.messages;
-        execute_read(&mut m, &sched, "SRC", "DST");
+        execute_read(&mut m, &sched, "SRC", "DST").unwrap();
         assert_eq!(m.transport.messages - before, 1, "vectorization failed");
     }
 
@@ -332,7 +343,7 @@ mod tests {
             dst_off: 0,
         }];
         let msgs_before = m.transport.messages;
-        schedule1(&mut m, &reqs);
+        schedule1(&mut m, &reqs).unwrap();
         assert_eq!(
             m.transport.messages, msgs_before,
             "schedule1 must not communicate"
@@ -349,7 +360,7 @@ mod tests {
             dst_off: 0,
         }];
         let msgs_before = m.transport.messages;
-        schedule2(&mut m, &reqs);
+        schedule2(&mut m, &reqs).unwrap();
         assert!(
             m.transport.messages > msgs_before,
             "schedule2 fans in requests"
@@ -367,13 +378,13 @@ mod tests {
                 dst_off: (k / 4) as usize,
             })
             .collect();
-        let sched = schedule2(&mut m, &reqs);
+        let sched = schedule2(&mut m, &reqs).unwrap();
         m.reset_time();
-        execute_read(&mut m, &sched, "SRC", "DST");
+        execute_read(&mut m, &sched, "SRC", "DST").unwrap();
         let exec_only = m.elapsed();
         m.reset_time();
-        let sched2 = schedule2(&mut m, &reqs);
-        execute_read(&mut m, &sched2, "SRC", "DST");
+        let sched2 = schedule2(&mut m, &reqs).unwrap();
+        execute_read(&mut m, &sched2, "SRC", "DST").unwrap();
         let with_inspector = m.elapsed();
         assert!(with_inspector > exec_only, "inspector must cost something");
         assert_eq!(sched.signature(), sched2.signature());
@@ -390,7 +401,8 @@ mod tests {
                 src_off: 0,
                 dst_off: 0,
             }],
-        );
+        )
+        .unwrap();
         let b = schedule1(
             &mut m,
             &[ElementReq {
@@ -399,7 +411,8 @@ mod tests {
                 src_off: 1,
                 dst_off: 0,
             }],
-        );
+        )
+        .unwrap();
         assert_ne!(a.signature(), b.signature());
     }
 
@@ -421,8 +434,8 @@ mod tests {
                 dst_off: 5,
             },
         ];
-        let sched = schedule3(&mut m, &reqs);
-        execute_write(&mut m, &sched, "SRC", "DST");
+        let sched = schedule3(&mut m, &reqs).unwrap();
+        execute_write(&mut m, &sched, "SRC", "DST").unwrap();
         assert_eq!(m.mems[1].array("DST").get(&[4]), Value::Real(0.0));
         assert_eq!(m.mems[1].array("DST").get(&[5]), Value::Real(1.0));
     }
@@ -436,9 +449,9 @@ mod tests {
             src_off: 1,
             dst_off: 2,
         }];
-        let sched = schedule2(&mut m, &reqs);
+        let sched = schedule2(&mut m, &reqs).unwrap();
         let before = m.transport.messages;
-        execute_read(&mut m, &sched, "SRC", "DST");
+        execute_read(&mut m, &sched, "SRC", "DST").unwrap();
         assert_eq!(m.transport.messages, before);
         assert_eq!(m.mems[0].array("DST").get(&[2]), Value::Real(1.0));
         assert_eq!(sched.message_count(), 0);

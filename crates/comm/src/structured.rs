@@ -21,8 +21,9 @@ use f90d_distrib::Dad;
 use f90d_machine::{ArrayData, ElemType, LocalArray, Machine, Transport, Value};
 
 use crate::helpers::{
-    cartesian, exchange, fiber_through, owned_locals_per_dim, tree_broadcast, PairMoves,
+    cartesian, exchange, fiber_through, owned_locals_per_dim, tree_broadcast, ExchangeOp, PairMoves,
 };
+use crate::op::{CommOp, CommResult};
 
 /// Allocate (on every node) the slab temporary for `transfer`/`multicast`
 /// over dimension `dim` of `dad`: rank `r-1`, shaped by the local
@@ -111,7 +112,7 @@ pub fn transfer(
     dim: usize,
     src_g: i64,
     dst_coord: i64,
-) {
+) -> CommResult<()> {
     m.stats.record("transfer");
     let axis = dad.dims[dim]
         .grid_axis
@@ -137,19 +138,28 @@ pub fn transfer(
         } else {
             let bytes = payload.len() as i64 * payload.elem_type().bytes();
             m.transport.charge_compute(rank, copy_rate * bytes as f64);
-            m.transport.send(rank, dst_rank, tag, payload);
-            let got = m.transport.recv(dst_rank, rank, tag);
+            m.transport.post_send(rank, dst_rank, tag, payload);
+            let h = m.transport.post_recv(dst_rank, rank, tag);
+            let got = m.transport.complete(h)?;
             m.transport
                 .charge_compute(dst_rank, copy_rate * bytes as f64);
             slab_unpack(m, tmp, dst_rank, &got, &offsets);
         }
     }
+    Ok(())
 }
 
 /// `multicast` (paper §5.3.1 example 2, Fig. 4b): broadcast the slab
 /// `src[.., src_g, ..]` from its owner grid line along the grid axis of
 /// `dim`, into `tmp` on every node. Binomial tree per fiber: `O(log P)`.
-pub fn multicast(m: &mut Machine, src: &str, dad: &Dad, tmp: &str, dim: usize, src_g: i64) {
+pub fn multicast(
+    m: &mut Machine,
+    src: &str,
+    dad: &Dad,
+    tmp: &str,
+    dim: usize,
+    src_g: i64,
+) -> CommResult<()> {
     m.stats.record("multicast");
     let axis = dad.dims[dim]
         .grid_axis
@@ -169,8 +179,9 @@ pub fn multicast(m: &mut Machine, src: &str, dad: &Dad, tmp: &str, dim: usize, s
         let (members, root_pos) = fiber_through(m, &coords, axis);
         tree_broadcast(m, &members, root_pos, payload, |m, rank, data| {
             slab_unpack(m, tmp, rank, data, &offsets);
-        });
+        })?;
     }
+    Ok(())
 }
 
 /// `overlap_shift` (paper §5.1): for a compile-time shift constant `c`,
@@ -183,10 +194,40 @@ pub fn multicast(m: &mut Machine, src: &str, dad: &Dad, tmp: &str, dim: usize, s
 ///
 /// Supports BLOCK distributions — the only case the paper's Table 1 emits
 /// it for (shifts on CYCLIC layouts route through the unstructured path).
-pub fn overlap_shift(m: &mut Machine, arr: &str, dad: &Dad, dim: usize, c: i64, periodic: bool) {
+///
+/// Blocking wrapper over [`overlap_shift_post`] + `finish` — virtual
+/// metrics bit-identical to the pre-redesign one-shot call.
+pub fn overlap_shift(
+    m: &mut Machine,
+    arr: &str,
+    dad: &Dad,
+    dim: usize,
+    c: i64,
+    periodic: bool,
+) -> CommResult<()> {
+    overlap_shift_post(m, arr, dad, dim, c, periodic)?.finish(m)
+}
+
+/// Split-phase `overlap_shift`: plans the ghost exchange and **posts**
+/// it — boundary strips are packed and leave the senders (which pay the
+/// packing copy and the startup α), receives are registered, and the
+/// caller is free to charge interior computation before calling
+/// [`finish`](crate::op::CommOp::finish) on the returned op. This is the
+/// primitive the `comm_compute_overlap` optimization drives: ghost
+/// exchange posted → interior compute → complete → boundary compute.
+pub fn overlap_shift_post(
+    m: &mut Machine,
+    arr: &str,
+    dad: &Dad,
+    dim: usize,
+    c: i64,
+    periodic: bool,
+) -> CommResult<ExchangeOp<'static>> {
     m.stats.record("overlap_shift");
     if c == 0 {
-        return;
+        let mut op = ExchangeOp::new(arr, arr, PairMoves::new());
+        op.post(m)?;
+        return Ok(op);
     }
     let dm = &dad.dims[dim];
     let axis = dm.grid_axis.expect("overlap_shift needs a distributed dim");
@@ -247,7 +288,9 @@ pub fn overlap_shift(m: &mut Machine, arr: &str, dad: &Dad, dim: usize, c: i64, 
             entry.extend(pairs.into_iter().zip(dst_offsets));
         }
     }
-    exchange(m, arr, arr, &moves);
+    let mut op = ExchangeOp::new(arr, arr, moves);
+    op.post(m)?;
+    Ok(op)
 }
 
 /// `temporary_shift` (paper §5.1): shift by a (possibly runtime) amount
@@ -264,7 +307,7 @@ pub fn temporary_shift(
     dim: usize,
     s: i64,
     periodic: bool,
-) {
+) -> CommResult<()> {
     m.stats.record("temporary_shift");
     let dm = &dad.dims[dim];
     let axis = dm
@@ -306,7 +349,7 @@ pub fn temporary_shift(
             entry.extend(src_offs.into_iter().zip(dst_offs));
         }
     }
-    exchange(m, src, tmp, &moves);
+    exchange(m, src, tmp, &moves)
 }
 
 /// Fused `multicast_shift` (paper §5.3.1 example 3): for
@@ -324,7 +367,7 @@ pub fn multicast_shift(
     src_g: i64,
     shift_dim: usize,
     s: i64,
-) {
+) -> CommResult<()> {
     m.stats.record("multicast_shift");
     assert_ne!(mcast_dim, shift_dim);
     let axis = dad.dims[mcast_dim]
@@ -423,15 +466,16 @@ pub fn multicast_shift(
         let offs = offsets.clone();
         tree_broadcast(m, &members, root_pos, payload, |m, r, data| {
             slab_unpack(m, tmp, r, data, &offs);
-        });
+        })?;
     }
+    Ok(())
 }
 
 /// `concatenation` (paper §5.1): gather a distributed array onto **every**
 /// processor — used when the LHS of a FORALL is not distributed
 /// (Algorithm 1 step 11). `dst` must be allocated with the array's full
 /// global shape on every node.
-pub fn concatenation(m: &mut Machine, src: &str, dad: &Dad, dst: &str) {
+pub fn concatenation(m: &mut Machine, src: &str, dad: &Dad, dst: &str) -> CommResult<()> {
     m.stats.record("concatenation");
     let tag = m.fresh_tag();
     let copy_rate = m.spec().time_copy_byte;
@@ -461,8 +505,9 @@ pub fn concatenation(m: &mut Machine, src: &str, dad: &Dad, dst: &str) {
         } else {
             let bytes = payload.len() as i64 * ty.bytes();
             m.transport.charge_compute(rank, copy_rate * bytes as f64);
-            m.transport.send(rank, 0, tag, payload);
-            let got = m.transport.recv(0, rank, tag);
+            m.transport.post_send(rank, 0, tag, payload);
+            let h = m.transport.post_recv(0, rank, tag);
+            let got = m.transport.complete(h)?;
             m.transport.charge_compute(0, copy_rate * bytes as f64);
             for ((g, _), k) in owned.iter().zip(0..) {
                 assembled.push((g.clone(), got.get(k)));
@@ -491,7 +536,7 @@ pub fn concatenation(m: &mut Machine, src: &str, dad: &Dad, dst: &str) {
         for (k, g) in globals.iter().enumerate() {
             arr.set(g, data.get(k));
         }
-    });
+    })
 }
 
 #[cfg(test)]
@@ -545,7 +590,7 @@ mod tests {
         let (mut m, dad) = setup_2d(8, 2, 2);
         alloc_slab_tmp(&mut m, "TMP", &dad, 1, ElemType::Real);
         let dst_coord = dad.dims[1].proc_of(6);
-        transfer(&mut m, "B", &dad, "TMP", 1, 3, dst_coord);
+        transfer(&mut m, "B", &dad, "TMP", 1, 3, dst_coord).unwrap();
         // Owners of column 6 (axis-1 coord 1) must now hold B(i,3) in TMP.
         for rank in 0..m.nranks() {
             let coords = m.grid.coords_of(rank);
@@ -574,7 +619,7 @@ mod tests {
         // A(I,J)=B(I,3): column 3 broadcast along grid axis 1.
         let (mut m, dad) = setup_2d(8, 2, 2);
         alloc_slab_tmp(&mut m, "TMP", &dad, 1, ElemType::Real);
-        multicast(&mut m, "B", &dad, "TMP", 1, 3);
+        multicast(&mut m, "B", &dad, "TMP", 1, 3).unwrap();
         for rank in 0..m.nranks() {
             let coords = m.grid.coords_of(rank);
             let tmp = m.mems[rank as usize].array("TMP");
@@ -605,7 +650,7 @@ mod tests {
         // multicast over a rank-1 array: slab is a scalar; 15 messages in
         // 4 stages.
         alloc_slab_tmp(&mut m, "TMP", &dad, 0, ElemType::Real);
-        multicast(&mut m, "B", &dad, "TMP", 0, 5);
+        multicast(&mut m, "B", &dad, "TMP", 0, 5).unwrap();
         assert_eq!(m.transport.messages, 15);
         for rank in 0..16 {
             assert_eq!(
@@ -618,7 +663,7 @@ mod tests {
     #[test]
     fn overlap_shift_fills_ghosts_block() {
         let (mut m, dad) = setup_1d(16, 4, DistKind::Block);
-        overlap_shift(&mut m, "B", &dad, 0, 2, false);
+        overlap_shift(&mut m, "B", &dad, 0, 2, false).unwrap();
         // Node p owns globals 4p..4p+4; ghost cells l=4,5 must hold
         // globals 4p+4, 4p+5 (when in range).
         for p in 0..4i64 {
@@ -635,7 +680,7 @@ mod tests {
     #[test]
     fn overlap_shift_negative_and_periodic() {
         let (mut m, dad) = setup_1d(16, 4, DistKind::Block);
-        overlap_shift(&mut m, "B", &dad, 0, -1, true);
+        overlap_shift(&mut m, "B", &dad, 0, -1, true).unwrap();
         // Ghost l = -1 on node p holds global (4p - 1) mod 16.
         for p in 0..4i64 {
             let arr = m.mems[p as usize].array("B");
@@ -647,7 +692,7 @@ mod tests {
     #[test]
     fn overlap_shift_nonperiodic_edge_unfilled() {
         let (mut m, dad) = setup_1d(16, 4, DistKind::Block);
-        overlap_shift(&mut m, "B", &dad, 0, 1, false);
+        overlap_shift(&mut m, "B", &dad, 0, 1, false).unwrap();
         // Last node's ghost must stay zero (global 16 does not exist).
         let arr = m.mems[3].array("B");
         assert_eq!(arr.get(&[4]), Value::Real(0.0));
@@ -660,7 +705,7 @@ mod tests {
             for mem in &mut m.mems {
                 mem.insert_array("TMP", LocalArray::zeros(ElemType::Real, &dad.local_shape()));
             }
-            temporary_shift(&mut m, "B", &dad, "TMP", 0, 3, false);
+            temporary_shift(&mut m, "B", &dad, "TMP", 0, 3, false).unwrap();
             for rank in 0..3 {
                 let coords = m.grid.coords_of(rank);
                 let tmp = m.mems[rank as usize].array("TMP");
@@ -684,7 +729,7 @@ mod tests {
         for mem in &mut m.mems {
             mem.insert_array("TMP", LocalArray::zeros(ElemType::Real, &dad.local_shape()));
         }
-        temporary_shift(&mut m, "B", &dad, "TMP", 0, -1, true);
+        temporary_shift(&mut m, "B", &dad, "TMP", 0, -1, true).unwrap();
         // tmp(l) = B((g - 1) mod 12)
         let tmp0 = m.mems[0].array("TMP");
         assert_eq!(tmp0.get(&[0]), Value::Real(11.0));
@@ -697,7 +742,7 @@ mod tests {
         for mem in &mut m.mems {
             mem.insert_array("FULL", LocalArray::zeros(ElemType::Real, &[12]));
         }
-        concatenation(&mut m, "B", &dad, "FULL");
+        concatenation(&mut m, "B", &dad, "FULL").unwrap();
         for rank in 0..3 {
             let full = m.mems[rank as usize].array("FULL");
             for g in 0..12 {
@@ -711,7 +756,7 @@ mod tests {
         // A(I,J) = B(3, J+1): tmp(l_J) = B(3, global(l_J)+1)
         let (mut m, dad) = setup_2d(8, 2, 2);
         alloc_slab_tmp(&mut m, "TMP", &dad, 0, ElemType::Real);
-        multicast_shift(&mut m, "B", &dad, "TMP", 0, 3, 1, 1);
+        multicast_shift(&mut m, "B", &dad, "TMP", 0, 3, 1, 1).unwrap();
         for rank in 0..m.nranks() {
             let coords = m.grid.coords_of(rank);
             let tmp = m.mems[rank as usize].array("TMP");

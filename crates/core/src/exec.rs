@@ -4,12 +4,14 @@
 
 use std::collections::HashMap;
 
+use f90d_comm::op::{CommError, CommOp};
+use f90d_comm::overlap::{dims_overlap_compatible, Margins};
 use f90d_comm::sched_cache::RunSchedules;
 use f90d_comm::schedule::{self, ElementReq, ScheduleKind};
 use f90d_comm::structured;
 use f90d_distrib::{set_bound, Dad, DistKind};
 use f90d_frontend::ast::{BinOp, UnOp};
-use f90d_machine::{ElemType, LocalArray, Machine, Value};
+use f90d_machine::{ElemType, LocalArray, Machine, Transport, Value};
 use f90d_runtime::intrinsics as rt;
 use f90d_runtime::DistArray;
 
@@ -26,6 +28,12 @@ impl std::fmt::Display for ExecError {
 }
 
 impl std::error::Error for ExecError {}
+
+impl From<CommError> for ExecError {
+    fn from(e: CommError) -> Self {
+        ExecError(e.0)
+    }
+}
 
 type EResult<T> = Result<T, ExecError>;
 
@@ -56,6 +64,11 @@ pub struct Executor<'p> {
     /// Schedule reuse (§7(3), per-run) and the cross-run schedule cache:
     /// toggle `sched.reuse` / `sched.use_global` before running.
     pub sched: RunSchedules,
+    /// `OptFlags::comm_compute_overlap`: execute eligible stencil FORALLs
+    /// split-phase (ghost-exchange post → interior compute → complete →
+    /// boundary compute). Off by default — virtual time changes (that is
+    /// the point), array results and PRINT do not.
+    pub overlap: bool,
 }
 
 /// Loop-variable bindings (global Fortran-value semantics).
@@ -114,6 +127,7 @@ impl<'p> Executor<'p> {
             scalars,
             printed: Vec::new(),
             sched: RunSchedules::new(),
+            overlap: false,
         }
     }
 
@@ -150,14 +164,20 @@ impl<'p> Executor<'p> {
             scalars,
             printed: Vec::new(),
             sched: RunSchedules::new(),
+            overlap: false,
         }
     }
 
-    /// Run the whole program.
+    /// Run the whole program. Ends with a transport quiescence check:
+    /// leaked in-flight messages or never-completed posted receives
+    /// surface as an [`ExecError`] instead of being silently dropped.
     pub fn run(&mut self, m: &mut Machine) -> EResult<ExecReport> {
         let stmts = &self.prog.stmts;
         let mut env = Env::default();
         self.exec_stmts(stmts, m, &mut env)?;
+        m.transport
+            .quiescent_check()
+            .map_err(|e| ExecError(e.to_string()))?;
         Ok(ExecReport {
             elapsed: m.elapsed(),
             messages: m.transport.messages,
@@ -349,7 +369,7 @@ impl<'p> Executor<'p> {
                 let mut nd = new_dad.clone();
                 nd.name = old.name.clone();
                 let target = DistArray::from_dad(m, staging.clone(), old.ty, nd.clone(), 0);
-                f90d_comm::redist::redistribute(m, &old.name, &old.dad, &staging, &target.dad);
+                f90d_comm::redist::redistribute(m, &old.name, &old.dad, &staging, &target.dad)?;
                 // Move staged segments under the original name.
                 for mem in &mut m.mems {
                     let seg = mem.remove_array(&staging).expect("staging allocated");
@@ -361,7 +381,7 @@ impl<'p> Executor<'p> {
             RtCall::RemapCopy { src, dst } => {
                 let s = self.dist_array(*src);
                 let d = self.dist_array(*dst);
-                f90d_comm::redist::redistribute(m, &s.name, &s.dad, &d.name, &d.dad);
+                f90d_comm::redist::redistribute(m, &s.name, &s.dad, &d.name, &d.dad)?;
                 Ok(())
             }
         }
@@ -384,7 +404,7 @@ impl<'p> Executor<'p> {
                     &self.prog.arrays[*tmp].name,
                     *dim,
                     g,
-                );
+                )?;
                 Ok(())
             }
             CommStmt::Transfer {
@@ -408,12 +428,12 @@ impl<'p> Executor<'p> {
                     *dim,
                     sg,
                     dst_coord,
-                );
+                )?;
                 Ok(())
             }
             CommStmt::OverlapShift { arr, dim, c } => {
                 let dad = self.dads[*arr].clone();
-                structured::overlap_shift(m, &self.prog.arrays[*arr].name, &dad, *dim, *c, false);
+                structured::overlap_shift(m, &self.prog.arrays[*arr].name, &dad, *dim, *c, false)?;
                 Ok(())
             }
             CommStmt::TempShift {
@@ -432,7 +452,7 @@ impl<'p> Executor<'p> {
                     *dim,
                     s,
                     false,
-                );
+                )?;
                 Ok(())
             }
             CommStmt::MulticastShift {
@@ -455,7 +475,7 @@ impl<'p> Executor<'p> {
                     g,
                     *sdim,
                     s,
-                );
+                )?;
                 Ok(())
             }
             CommStmt::Concat { src, tmp } => {
@@ -465,7 +485,7 @@ impl<'p> Executor<'p> {
                     &self.prog.arrays[*src].name,
                     &dad,
                     &self.prog.arrays[*tmp].name,
-                );
+                )?;
                 Ok(())
             }
             CommStmt::BroadcastElem { arr, subs, target } => {
@@ -485,7 +505,7 @@ impl<'p> Executor<'p> {
                 let mut payload = f90d_machine::ArrayData::zeros(v.elem_type(), 1);
                 payload.set(0, v);
                 m.stats.record("broadcast_elem");
-                f90d_comm::helpers::tree_broadcast(m, &members, root_pos, payload, |_, _, _| {});
+                f90d_comm::helpers::tree_broadcast(m, &members, root_pos, payload, |_, _, _| {})?;
                 self.scalars.insert(target.clone(), v);
                 Ok(())
             }
@@ -530,6 +550,11 @@ impl<'p> Executor<'p> {
     // ---- FORALL ------------------------------------------------------------
 
     fn exec_forall(&mut self, f: &ForallNode, m: &mut Machine, env: &mut Env) -> EResult<()> {
+        if self.overlap {
+            if let Some(margins) = self.overlap_plan(f) {
+                return self.exec_forall_overlap(f, m, env, &margins);
+            }
+        }
         // Communication prelude.
         for c in &f.pre {
             self.exec_comm(c, m, env)?;
@@ -654,6 +679,227 @@ impl<'p> Executor<'p> {
             self.exec_scatter(f, m, invertible, &scatter_out)?;
         }
         Ok(())
+    }
+
+    /// Decide whether `f` is eligible for split-phase execution under
+    /// `comm_compute_overlap`, and compute the per-loop-variable ghost
+    /// margins if so.
+    ///
+    /// Eligible: the communication prelude is pure `overlap_shift` (the
+    /// canonical BLOCK stencil case the paper's §5.1 overlap areas serve),
+    /// no unstructured gathers, no owner filter, owned writes only, and
+    /// every shifted dimension maps onto a stride-1 `OwnerDim` loop
+    /// variable whose LHS dimension is
+    /// [`dims_overlap_compatible`] with the shifted array's — that
+    /// identity is what makes "iteration value within the owned block
+    /// interior" imply "every shifted read stays owned". Anything else
+    /// falls back to the blocking path (correct for every program;
+    /// overlap is a pure virtual-time optimization).
+    fn overlap_plan(&self, f: &ForallNode) -> Option<Margins> {
+        if f.pre.is_empty() || !f.gathers.is_empty() || !f.owner_filter.is_empty() {
+            return None;
+        }
+        if !f.body.iter().all(|b| matches!(b.write, WritePlan::Owned)) {
+            return None;
+        }
+        let mut margins = Margins::new(f.vars.len());
+        for c in &f.pre {
+            let CommStmt::OverlapShift {
+                arr,
+                dim,
+                c: amount,
+            } = c
+            else {
+                return None;
+            };
+            let sdm = &self.dads[*arr].dims[*dim];
+            let var = f.vars.iter().position(|spec| match &spec.part {
+                Partition::OwnerDim {
+                    arr: la,
+                    dim: ld,
+                    a: 1,
+                    ..
+                } => dims_overlap_compatible(&self.dads[*la].dims[*ld], sdm),
+                _ => false,
+            })?;
+            margins.add(var, *amount);
+        }
+        Some(margins)
+    }
+
+    /// Split-phase stencil execution (paper §5.1/§7 latency hiding):
+    /// post the ghost exchanges, compute the interior iterations (whose
+    /// shifted reads never leave the owned block) while the strips are on
+    /// the wire, complete the exchanges, then compute the boundary
+    /// iterations that read the freshly filled ghost cells. Writes from
+    /// both phases are staged and committed together, so array results
+    /// are bit-identical to the blocking path — only the virtual clocks
+    /// differ.
+    fn exec_forall_overlap(
+        &mut self,
+        f: &ForallNode,
+        m: &mut Machine,
+        env: &mut Env,
+        margins: &Margins,
+    ) -> EResult<()> {
+        // 1. Post every ghost exchange: senders pay pack + α and are free.
+        let mut posted = Vec::with_capacity(f.pre.len());
+        for c in &f.pre {
+            let CommStmt::OverlapShift {
+                arr,
+                dim,
+                c: amount,
+            } = c
+            else {
+                unreachable!("overlap_plan admitted a non-shift prelude")
+            };
+            let dad = self.dads[*arr].clone();
+            posted.push(structured::overlap_shift_post(
+                m,
+                &self.prog.arrays[*arr].name,
+                &dad,
+                *dim,
+                *amount,
+                false,
+            )?);
+        }
+        // 2. Per-rank iteration lists (no owner filter by eligibility),
+        // split once into the interior sub-product and the boundary
+        // slabs by the shared `f90d_comm::overlap` geometry.
+        let nranks = m.nranks() as usize;
+        let mut interior: Vec<Vec<Vec<i64>>> = Vec::with_capacity(nranks);
+        let mut boundary: Vec<Vec<Vec<Vec<i64>>>> = Vec::with_capacity(nranks);
+        for rank in 0..m.nranks() {
+            let mut lists = Vec::with_capacity(f.vars.len());
+            for spec in &f.vars {
+                lists.push(self.iterations_for(spec, m, rank, env)?);
+            }
+            interior.push(margins.interior_lists(&lists));
+            boundary.push(margins.boundary_slabs(&lists));
+        }
+        // 3. Interior compute, charged before the completions below so it
+        // genuinely hides the wire time.
+        let mut staged: Vec<Vec<(usize, Value)>> = vec![Vec::new(); nranks];
+        for rank in 0..m.nranks() {
+            let ops = self.forall_rank_run(
+                f,
+                m,
+                rank,
+                env,
+                &interior[rank as usize],
+                &mut staged[rank as usize],
+            )?;
+            m.transport.charge_elem_ops(rank, ops);
+        }
+        // 4. Complete the ghost exchanges: each receiver's clock advances
+        // to max(its post-interior clock, strip arrival).
+        for op in posted {
+            op.finish(m)?;
+        }
+        // 5. Boundary compute: only the shell tuples whose reads touch
+        // ghost cells, charged as one lump per rank (the VM engine sums
+        // identically, keeping backend virtual time bit-equal).
+        for rank in 0..m.nranks() {
+            let mut ops = 0;
+            for slab in &boundary[rank as usize] {
+                ops += self.forall_rank_run(f, m, rank, env, slab, &mut staged[rank as usize])?;
+            }
+            m.transport.charge_elem_ops(rank, ops);
+        }
+        // 6. Commit both phases' staged writes (FORALL RHS-before-LHS).
+        for (rank, writes) in staged.into_iter().enumerate() {
+            if writes.is_empty() {
+                continue;
+            }
+            let name = &self.prog.arrays[f.body[0].arr].name;
+            let arr = m.mems[rank].array_mut(name);
+            for (off, v) in writes {
+                arr.set_flat(off, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// One rank's element loop over the plain cartesian product of
+    /// `lists` (an interior sub-product or one boundary slab). Writes are
+    /// staged into `staged` (committed by the caller after both phases);
+    /// returns the modelled element-operation cost.
+    fn forall_rank_run(
+        &self,
+        f: &ForallNode,
+        m: &Machine,
+        rank: i64,
+        env: &mut Env,
+        lists: &[Vec<i64>],
+        staged: &mut Vec<(usize, Value)>,
+    ) -> EResult<i64> {
+        if lists.iter().any(|l| l.is_empty()) {
+            return Ok(0);
+        }
+        let var_names: Vec<String> = f.vars.iter().map(|v| v.var.clone()).collect();
+        let mask_ops = f.mask.as_ref().map_or(0, |m| m.op_count_cse(&var_names));
+        let body_ops: Vec<i64> = f
+            .body
+            .iter()
+            .map(|b| b.rhs.op_count_cse(&var_names) + 2)
+            .collect();
+        // Overlap-eligible FORALLs have no gathers; a dummy counter slice
+        // keeps eval_elem's signature uniform.
+        let mut seq_counters: Vec<usize> = Vec::new();
+        let mut ops: i64 = 0;
+        let mut cursor = vec![0usize; lists.len()];
+        'iter: loop {
+            for (spec, (&c, list)) in f.vars.iter().zip(cursor.iter().zip(lists)) {
+                env.push(&spec.var, list[c]);
+            }
+            let mut run = true;
+            if let Some(mask) = &f.mask {
+                ops += mask_ops;
+                run = self
+                    .eval_elem(mask, m, rank, env, &mut seq_counters)?
+                    .as_bool();
+            }
+            if run {
+                for (bi, b) in f.body.iter().enumerate() {
+                    let v = self.eval_elem(&b.rhs, m, rank, env, &mut seq_counters)?;
+                    ops += body_ops[bi];
+                    let g: Vec<i64> = b
+                        .subs
+                        .iter()
+                        .map(|e| {
+                            self.eval_elem(e, m, rank, env, &mut seq_counters)
+                                .map(|x| x.as_int())
+                        })
+                        .collect::<EResult<_>>()?;
+                    match &b.write {
+                        WritePlan::Owned => {
+                            let off = self.owned_offset(b.arr, m, rank, &g)?;
+                            staged.push((off, v));
+                        }
+                        WritePlan::ScatterSeq { .. } => {
+                            unreachable!("overlap_plan admitted a scatter write")
+                        }
+                    }
+                }
+            }
+            for _ in 0..f.vars.len() {
+                env.pop();
+            }
+            // advance cartesian cursor (last var fastest)
+            let mut d = lists.len();
+            loop {
+                if d == 0 {
+                    break 'iter;
+                }
+                d -= 1;
+                cursor[d] += 1;
+                if cursor[d] < lists[d].len() {
+                    break;
+                }
+                cursor[d] = 0;
+            }
+        }
+        Ok(ops)
     }
 
     /// The iterations of `spec` assigned to `rank` — the `set_BOUND`
@@ -814,8 +1060,8 @@ impl<'p> Executor<'p> {
         } else {
             ScheduleKind::FanInRequests
         };
-        let sched = self.sched.schedule(m, kind, &reqs, false);
-        schedule::execute_read(m, &sched, &src_name, &tmp_name);
+        let sched = self.sched.schedule(m, kind, &reqs, false)?;
+        schedule::execute_read(m, &sched, &src_name, &tmp_name)?;
         Ok(())
     }
 
@@ -864,8 +1110,8 @@ impl<'p> Executor<'p> {
         } else {
             ScheduleKind::SenderDriven
         };
-        let sched = self.sched.schedule(m, kind, &reqs, true);
-        schedule::execute_write(m, &sched, &buf_name, &dst_name);
+        let sched = self.sched.schedule(m, kind, &reqs, true)?;
+        schedule::execute_write(m, &sched, &buf_name, &dst_name)?;
         Ok(())
     }
 

@@ -119,6 +119,7 @@ impl Compiled {
                 let mut ex = Executor::new(&self.spmd, m);
                 ex.sched.reuse = self.options.opt.schedule_reuse;
                 ex.sched.use_global = self.options.sched_cache;
+                ex.overlap = self.options.opt.comm_compute_overlap;
                 let rep = ex.run(m)?;
                 Ok((
                     rep,
@@ -134,6 +135,7 @@ impl Compiled {
                 let mut eng = f90d_vm::Engine::new(prog, m);
                 eng.sched.reuse = self.options.opt.schedule_reuse;
                 eng.sched.use_global = self.options.sched_cache;
+                eng.overlap = self.options.opt.comm_compute_overlap;
                 let rep = eng.run(m).map_err(|e| exec::ExecError(e.0))?;
                 Ok((
                     ExecReport {
@@ -174,6 +176,7 @@ impl Compiled {
             fuse_multicast_shift,
             hoist_invariant_comm,
             overlap_shift,
+            comm_compute_overlap,
         } = self.options.opt;
         let mut bytes = self.source_hash.to_le_bytes().to_vec();
         for flag in [
@@ -182,6 +185,7 @@ impl Compiled {
             fuse_multicast_shift,
             hoist_invariant_comm,
             overlap_shift,
+            comm_compute_overlap,
         ] {
             bytes.push(flag as u8);
         }

@@ -13,7 +13,12 @@
 //!
 //! (§7 optimization 1, message vectorization, is inherent in the
 //! collective primitives; §7 optimization 3, schedule reuse, lives in the
-//! executor's schedule cache.)
+//! executor's schedule cache; the §5.1/§7 communication–computation
+//! overlap, [`OptFlags::comm_compute_overlap`], is an execution strategy
+//! rather than an IR rewrite — the executors split eligible
+//! `overlap_shift` stencil FORALLs into ghost-post → interior →
+//! complete → boundary phases at run time, so this pass leaves the
+//! statement tree untouched for it.)
 
 use std::collections::{HashMap, HashSet};
 

@@ -19,6 +19,15 @@ pub struct OptFlags {
     /// §5.1: use `overlap_shift` into ghost areas for compile-time shift
     /// constants (off ⇒ every shift goes through a temporary).
     pub overlap_shift: bool,
+    /// §5.1/§7 communication–computation overlap (opt-in): execute
+    /// stencil FORALLs whose prelude is pure `overlap_shift` as
+    /// ghost-exchange-post → interior compute → complete → boundary
+    /// compute, so interior computation hides the wire time of the ghost
+    /// exchange. Array results and PRINT output are bit-identical to the
+    /// blocking execution; only the virtual clocks (and therefore the
+    /// modelled elapsed time) change, which is why this is off by default
+    /// — `BENCH_baseline.json` pins the blocking virtual metrics.
+    pub comm_compute_overlap: bool,
 }
 
 impl Default for OptFlags {
@@ -29,6 +38,7 @@ impl Default for OptFlags {
             fuse_multicast_shift: true,
             hoist_invariant_comm: true,
             overlap_shift: true,
+            comm_compute_overlap: false,
         }
     }
 }
@@ -42,6 +52,7 @@ impl OptFlags {
             fuse_multicast_shift: false,
             hoist_invariant_comm: false,
             overlap_shift: false,
+            comm_compute_overlap: false,
         }
     }
 }

@@ -14,10 +14,12 @@
 //! * [`memory`] — per-node memories: named local arrays (with overlap/ghost
 //!   areas for `overlap_shift`) and replicated scalars.
 //! * [`transport`] — the point-to-point message layer (the role Express
-//!   played for the paper): `send`/`recv` with cost charging against
-//!   per-node virtual clocks. The collective library in `f90d-comm` is
-//!   built **only** on this interface, reproducing the paper's portability
-//!   layering (§5, reason 3).
+//!   played for the paper): posted `post_send`/`post_recv`/`complete`
+//!   operations (Express `isend`/`irecv`/`msgwait`) with cost charging
+//!   against per-node virtual clocks, plus blocking `send`/`recv`
+//!   wrappers. The collective library in `f90d-comm` is built **only** on
+//!   this interface, reproducing the paper's portability layering (§5,
+//!   reason 3).
 //! * [`machine`] — ties spec + grid + memories + clocks + statistics into
 //!   the [`machine::Machine`] SPMD substrate, and provides the loosely
 //!   synchronous local-phase executors (sequential and threaded).
@@ -39,5 +41,5 @@ pub mod value;
 pub use machine::{ExecMode, Machine, MachineStats};
 pub use memory::{LocalArray, NodeMemory};
 pub use spec::{MachineSpec, Topology};
-pub use transport::{MailboxTransport, Transport};
+pub use transport::{MailboxTransport, RecvHandle, Transport, TransportError};
 pub use value::{ArrayData, ElemType, Value};

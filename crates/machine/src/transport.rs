@@ -6,10 +6,34 @@
 //! collective library never change, which is precisely the portability
 //! argument of paper §5 (reason 3) and §8.1.
 //!
+//! # Posted operations
+//!
+//! The trait is a *nonblocking* posted-operation API, mirroring the
+//! Express `isend`/`irecv`/`msgwait` calls the paper's node programs are
+//! written against:
+//!
+//! * [`Transport::post_send`] — the sender pays the startup α **at post
+//!   time** and is immediately free to compute; the payload arrives at
+//!   `post_time + msg_time`.
+//! * [`Transport::post_recv`] — registers intent to receive and returns a
+//!   [`RecvHandle`]; charges nothing.
+//! * [`Transport::complete`] — consumes the handle and delivers the
+//!   payload; the receiver's clock advances to
+//!   `max(own clock, arrival time)` **at completion time**, so any local
+//!   compute charged between post and complete genuinely hides wire time
+//!   (paper §5.1/§7: communication–computation overlap into ghost areas).
+//!
+//! The blocking [`Transport::send`]/[`Transport::recv`] of the original
+//! API survive as provided post-then-complete wrappers with bit-identical
+//! virtual-time behaviour; `recv` keeps the historical panic on an
+//! unmatched message, while `complete` surfaces it as a structured
+//! [`TransportError`] that the collective library propagates up to
+//! `ExecError`.
+//!
 //! Messages carry [`ArrayData`] payloads (typed element vectors). Cost is
 //! charged against virtual clocks: the sender pays the startup α, the
 //! payload occupies the wire for β·bytes, and the receiver cannot complete
-//! its `recv` before the arrival time.
+//! its receive before the arrival time.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -19,21 +43,167 @@ use crate::value::ArrayData;
 /// A tag distinguishing message streams between the same (src, dst) pair.
 pub type Tag = u32;
 
-/// Point-to-point message passing with virtual-time accounting.
+/// Structured failure of a posted-operation completion or of the
+/// end-of-run quiescence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// `complete` found no matching message: in the loosely synchronous
+    /// execution model every receive is posted after its matching send,
+    /// so this is a compiler/runtime bug surfaced as an error instead of
+    /// an abort.
+    NoMatchingMessage {
+        /// Receiving rank.
+        to: i64,
+        /// Sending rank.
+        from: i64,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// The handle was posted before a [`MailboxTransport::reset`]: reset
+    /// invalidates every outstanding handle instead of letting it match a
+    /// message from a later run.
+    StaleHandle {
+        /// Receiving rank.
+        to: i64,
+        /// Sending rank.
+        from: i64,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// End-of-run leak report: messages still in flight (posted sends
+    /// never received) or receive handles never completed.
+    NotQuiescent {
+        /// Number of undelivered messages.
+        in_flight: usize,
+        /// Number of posted-but-never-completed receives.
+        open_recvs: usize,
+        /// `(from, to, tag)` of one leaked message, for diagnostics.
+        example: Option<(i64, i64, Tag)>,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::NoMatchingMessage { to, from, tag } => {
+                write!(f, "recv({to} <- {from}, tag {tag}): no pending message")
+            }
+            TransportError::StaleHandle { to, from, tag } => write!(
+                f,
+                "recv({to} <- {from}, tag {tag}): handle invalidated by transport reset"
+            ),
+            TransportError::NotQuiescent {
+                in_flight,
+                open_recvs,
+                example,
+            } => {
+                write!(
+                    f,
+                    "transport not quiescent: {in_flight} message(s) in flight, \
+                     {open_recvs} posted receive(s) never completed"
+                )?;
+                if let Some((from, to, tag)) = example {
+                    write!(f, " (e.g. {from} -> {to}, tag {tag})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Handle to one posted receive, consumed by [`Transport::complete`].
+///
+/// Deliberately neither `Clone` nor `Copy`: a posted receive completes
+/// exactly once. The fields are fixed at post time; `epoch` ties the
+/// handle to the transport generation so a [`MailboxTransport::reset`]
+/// between post and complete surfaces as [`TransportError::StaleHandle`]
+/// instead of silently matching a message from the next run.
+#[derive(Debug)]
+pub struct RecvHandle {
+    to: i64,
+    from: i64,
+    tag: Tag,
+    epoch: u64,
+}
+
+impl RecvHandle {
+    /// Construct a handle — for [`Transport`] implementors only.
+    pub fn new(to: i64, from: i64, tag: Tag, epoch: u64) -> Self {
+        RecvHandle {
+            to,
+            from,
+            tag,
+            epoch,
+        }
+    }
+
+    /// Receiving rank.
+    pub fn to(&self) -> i64 {
+        self.to
+    }
+
+    /// Sending rank.
+    pub fn from(&self) -> i64 {
+        self.from
+    }
+
+    /// Message tag.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// Transport generation the receive was posted in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Point-to-point posted-operation message passing with virtual-time
+/// accounting (see the module docs for the clock rules).
 pub trait Transport {
     /// Number of nodes reachable through this transport.
     fn nranks(&self) -> i64;
 
-    /// Send `payload` from `from` to `to` under `tag`.
-    fn send(&mut self, from: i64, to: i64, tag: Tag, payload: ArrayData);
+    /// Post a send of `payload` from `from` to `to` under `tag`. The
+    /// sender's clock advances by the startup α only (a self-send pays
+    /// the memcpy rate); the payload arrives at `post_time + msg_time`.
+    fn post_send(&mut self, from: i64, to: i64, tag: Tag, payload: ArrayData);
 
-    /// Receive the oldest pending message from `from` to `to` under `tag`.
+    /// Post a receive of the oldest pending (or future) message from
+    /// `from` to `to` under `tag`. Charges nothing; matching happens at
+    /// [`Transport::complete`] time, in completion order per channel.
+    fn post_recv(&mut self, to: i64, from: i64, tag: Tag) -> RecvHandle;
+
+    /// Complete a posted receive (Express `msgwait`): delivers the
+    /// payload and advances the receiver's clock to
+    /// `max(own clock, arrival)`. An unmatched or stale handle surfaces
+    /// as a [`TransportError`].
+    fn complete(&mut self, h: RecvHandle) -> Result<ArrayData, TransportError>;
+
+    /// End-of-run check: `Err` when messages are still in flight or
+    /// posted receives were never completed, instead of silently
+    /// dropping them.
+    fn quiescent_check(&self) -> Result<(), TransportError>;
+
+    /// Blocking send — a thin alias for [`Transport::post_send`] (the
+    /// sender never waits in this cost model).
+    fn send(&mut self, from: i64, to: i64, tag: Tag, payload: ArrayData) {
+        self.post_send(from, to, tag, payload);
+    }
+
+    /// Blocking receive: post-then-complete with no compute in between —
+    /// bit-identical virtual time to the pre-redesign blocking API.
     ///
     /// # Panics
-    /// Panics when no matching message is pending: the loosely synchronous
-    /// execution model delivers every receive after its matching send, so
-    /// a missing message is a compiler/runtime bug.
-    fn recv(&mut self, to: i64, from: i64, tag: Tag) -> ArrayData;
+    /// Panics when no matching message is pending — the historical
+    /// fast-path contract, kept for direct transport users. Library code
+    /// should use [`Transport::complete`] and propagate the error.
+    fn recv(&mut self, to: i64, from: i64, tag: Tag) -> ArrayData {
+        let h = self.post_recv(to, from, tag);
+        self.complete(h).unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 /// In-memory mailbox transport with virtual clocks — the `Sim` machine's
@@ -50,6 +220,11 @@ pub struct MailboxTransport {
     pub messages: u64,
     /// Total payload bytes sent (excluding self-copies).
     pub bytes: u64,
+    /// Transport generation, bumped by [`MailboxTransport::reset`]:
+    /// handles from earlier epochs are stale.
+    epoch: u64,
+    /// Receives posted in the current epoch and not yet completed.
+    open_recvs: u64,
 }
 
 impl MailboxTransport {
@@ -63,6 +238,8 @@ impl MailboxTransport {
             boxes: HashMap::new(),
             messages: 0,
             bytes: 0,
+            epoch: 0,
+            open_recvs: 0,
         }
     }
 
@@ -111,11 +288,18 @@ impl MailboxTransport {
     }
 
     /// Reset clocks and statistics (memories are not owned here).
+    ///
+    /// Bumps the transport epoch: every [`RecvHandle`] posted before the
+    /// reset is invalidated and completes as
+    /// [`TransportError::StaleHandle`] instead of dangling into the next
+    /// run's mailboxes.
     pub fn reset(&mut self) {
         self.clocks.iter_mut().for_each(|c| *c = 0.0);
         self.boxes.clear();
         self.messages = 0;
         self.bytes = 0;
+        self.epoch += 1;
+        self.open_recvs = 0;
     }
 
     /// `true` when no message is still in flight.
@@ -129,7 +313,7 @@ impl Transport for MailboxTransport {
         self.nranks
     }
 
-    fn send(&mut self, from: i64, to: i64, tag: Tag, payload: ArrayData) {
+    fn post_send(&mut self, from: i64, to: i64, tag: Tag, payload: ArrayData) {
         let bytes = payload.len() as i64 * payload.elem_type().bytes();
         let start = self.clocks[from as usize];
         let wire = self.spec.msg_time(from, to, bytes);
@@ -149,17 +333,52 @@ impl Transport for MailboxTransport {
             .push_back((arrival, payload));
     }
 
-    fn recv(&mut self, to: i64, from: i64, tag: Tag) -> ArrayData {
-        let q = self
+    fn post_recv(&mut self, to: i64, from: i64, tag: Tag) -> RecvHandle {
+        self.open_recvs += 1;
+        RecvHandle::new(to, from, tag, self.epoch)
+    }
+
+    fn complete(&mut self, h: RecvHandle) -> Result<ArrayData, TransportError> {
+        if h.epoch != self.epoch {
+            return Err(TransportError::StaleHandle {
+                to: h.to,
+                from: h.from,
+                tag: h.tag,
+            });
+        }
+        let (arrival, payload) = self
             .boxes
-            .get_mut(&(from, to, tag))
-            .unwrap_or_else(|| panic!("recv({to} <- {from}, tag {tag}): no mailbox"));
-        let (arrival, payload) = q
-            .pop_front()
-            .unwrap_or_else(|| panic!("recv({to} <- {from}, tag {tag}): no pending message"));
-        let c = &mut self.clocks[to as usize];
+            .get_mut(&(h.from, h.to, h.tag))
+            .and_then(VecDeque::pop_front)
+            .ok_or(TransportError::NoMatchingMessage {
+                to: h.to,
+                from: h.from,
+                tag: h.tag,
+            })?;
+        // Only a *successful* completion retires the posted receive: a
+        // failed one never delivered, so it must keep counting against
+        // the quiescence check.
+        self.open_recvs = self.open_recvs.saturating_sub(1);
+        let c = &mut self.clocks[h.to as usize];
         *c = c.max(arrival);
-        payload
+        Ok(payload)
+    }
+
+    fn quiescent_check(&self) -> Result<(), TransportError> {
+        let in_flight: usize = self.boxes.values().map(VecDeque::len).sum();
+        if in_flight == 0 && self.open_recvs == 0 {
+            return Ok(());
+        }
+        let example = self
+            .boxes
+            .iter()
+            .find(|(_, q)| !q.is_empty())
+            .map(|(&k, _)| k);
+        Err(TransportError::NotQuiescent {
+            in_flight,
+            open_recvs: self.open_recvs as usize,
+            example,
+        })
     }
 }
 
@@ -206,6 +425,33 @@ mod tests {
     }
 
     #[test]
+    fn compute_between_post_and_complete_hides_wire_time() {
+        // The §5.1 latency-hiding effect the posted API exists for: a
+        // receiver that computes while the message is on the wire pays
+        // max(compute, wire), not compute + wire.
+        let mut t = MailboxTransport::new(MachineSpec::ipsc860(), 2);
+        let wire = t.spec().msg_time(0, 1, 8000);
+        t.post_send(0, 1, 0, payload(1000)); // 8000 bytes
+        let h = t.post_recv(1, 0, 0);
+        // Posting charged nothing on the receiver.
+        assert_eq!(t.clock(1), 0.0);
+        // Interior compute worth half the wire time, charged while the
+        // payload is in flight.
+        t.charge_compute(1, wire * 0.5);
+        t.complete(h).unwrap();
+        assert!(
+            (t.clock(1) - wire).abs() < 1e-15,
+            "wire fully hides compute"
+        );
+        // Blocking equivalent: recv first, then compute — strictly later.
+        let mut b = MailboxTransport::new(MachineSpec::ipsc860(), 2);
+        b.send(0, 1, 0, payload(1000));
+        b.recv(1, 0, 0);
+        b.charge_compute(1, wire * 0.5);
+        assert!(t.clock(1) < b.clock(1));
+    }
+
+    #[test]
     fn self_send_is_cheap_copy() {
         let mut t = MailboxTransport::new(MachineSpec::ipsc860(), 2);
         t.send(0, 0, 0, payload(1000));
@@ -238,15 +484,75 @@ mod tests {
     }
 
     #[test]
-    fn stats_accumulate() {
+    fn complete_without_send_is_a_structured_error() {
+        let mut t = MailboxTransport::new(MachineSpec::ideal(), 2);
+        let h = t.post_recv(1, 0, 3);
+        assert_eq!(
+            t.complete(h),
+            Err(TransportError::NoMatchingMessage {
+                to: 1,
+                from: 0,
+                tag: 3
+            })
+        );
+        // A failed completion never delivered: the posted receive must
+        // keep counting against quiescence.
+        match t.quiescent_check() {
+            Err(TransportError::NotQuiescent { open_recvs, .. }) => assert_eq!(open_recvs, 1),
+            other => panic!("expected NotQuiescent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_invalidates_outstanding_handles() {
+        let mut t = MailboxTransport::new(MachineSpec::ideal(), 2);
+        t.post_send(0, 1, 5, payload(1));
+        let h = t.post_recv(1, 0, 5);
+        t.reset();
+        // The handle must not match a message posted after the reset.
+        t.post_send(0, 1, 5, payload(1));
+        assert_eq!(
+            t.complete(h),
+            Err(TransportError::StaleHandle {
+                to: 1,
+                from: 0,
+                tag: 5
+            })
+        );
+        // A fresh post/complete pair works and drains the new message.
+        let h2 = t.post_recv(1, 0, 5);
+        assert!(t.complete(h2).is_ok());
+        assert!(t.quiescent_check().is_ok());
+    }
+
+    #[test]
+    fn quiescent_check_reports_leaks() {
         let mut t = MailboxTransport::new(MachineSpec::ideal(), 3);
+        assert!(t.quiescent_check().is_ok());
         t.send(0, 1, 0, payload(10));
         t.send(1, 2, 0, payload(10));
         assert_eq!(t.messages, 2);
         assert_eq!(t.bytes, 160);
         assert!(!t.quiescent());
+        match t.quiescent_check() {
+            Err(TransportError::NotQuiescent {
+                in_flight,
+                open_recvs,
+                example,
+            }) => {
+                assert_eq!(in_flight, 2);
+                assert_eq!(open_recvs, 0);
+                assert!(example.is_some());
+            }
+            other => panic!("expected NotQuiescent, got {other:?}"),
+        }
         t.recv(1, 0, 0);
         t.recv(2, 1, 0);
         assert!(t.quiescent());
+        assert!(t.quiescent_check().is_ok());
+        // An open posted receive is also a leak.
+        let h = t.post_recv(0, 2, 9);
+        assert!(t.quiescent_check().is_err());
+        let _ = h;
     }
 }

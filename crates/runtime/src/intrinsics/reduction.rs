@@ -46,43 +46,43 @@ fn local_partial(
 /// `SUM(a)` — full sum, replicated scalar result.
 pub fn sum(m: &mut Machine, a: &DistArray) -> f64 {
     let p = local_partial(m, a, ReduceOp::Sum, |v| v.as_real());
-    allreduce_scalar(m, ReduceOp::Sum, p)
+    allreduce_scalar(m, ReduceOp::Sum, p).expect("collective is internally matched")
 }
 
 /// `PRODUCT(a)`.
 pub fn product(m: &mut Machine, a: &DistArray) -> f64 {
     let p = local_partial(m, a, ReduceOp::Prod, |v| v.as_real());
-    allreduce_scalar(m, ReduceOp::Prod, p)
+    allreduce_scalar(m, ReduceOp::Prod, p).expect("collective is internally matched")
 }
 
 /// `MAXVAL(a)`.
 pub fn maxval(m: &mut Machine, a: &DistArray) -> f64 {
     let p = local_partial(m, a, ReduceOp::Max, |v| v.as_real());
-    allreduce_scalar(m, ReduceOp::Max, p)
+    allreduce_scalar(m, ReduceOp::Max, p).expect("collective is internally matched")
 }
 
 /// `MINVAL(a)`.
 pub fn minval(m: &mut Machine, a: &DistArray) -> f64 {
     let p = local_partial(m, a, ReduceOp::Min, |v| v.as_real());
-    allreduce_scalar(m, ReduceOp::Min, p)
+    allreduce_scalar(m, ReduceOp::Min, p).expect("collective is internally matched")
 }
 
 /// `COUNT(mask)` — number of `.TRUE.` elements of a LOGICAL array.
 pub fn count(m: &mut Machine, mask: &DistArray) -> i64 {
     let p = local_partial(m, mask, ReduceOp::Sum, encode_value);
-    allreduce_scalar(m, ReduceOp::Sum, p) as i64
+    allreduce_scalar(m, ReduceOp::Sum, p).expect("collective is internally matched") as i64
 }
 
 /// `ALL(mask)`.
 pub fn all(m: &mut Machine, mask: &DistArray) -> bool {
     let p = local_partial(m, mask, ReduceOp::And, encode_value);
-    allreduce_scalar(m, ReduceOp::And, p) != 0.0
+    allreduce_scalar(m, ReduceOp::And, p).expect("collective is internally matched") != 0.0
 }
 
 /// `ANY(mask)`.
 pub fn any(m: &mut Machine, mask: &DistArray) -> bool {
     let p = local_partial(m, mask, ReduceOp::Or, encode_value);
-    allreduce_scalar(m, ReduceOp::Or, p) != 0.0
+    allreduce_scalar(m, ReduceOp::Or, p).expect("collective is internally matched") != 0.0
 }
 
 /// `DOTPRODUCT(a, b)` of two conforming 1-D arrays with identical
@@ -107,7 +107,7 @@ pub fn dotproduct(m: &mut Machine, a: &DistArray, b: &DistArray) -> f64 {
         }
         partials.push(acc);
     }
-    allreduce_scalar(m, ReduceOp::Sum, partials)
+    allreduce_scalar(m, ReduceOp::Sum, partials).expect("collective is internally matched")
 }
 
 fn loc_reduce(m: &mut Machine, a: &DistArray, op: ReduceOp) -> Vec<i64> {
@@ -141,7 +141,7 @@ fn loc_reduce(m: &mut Machine, a: &DistArray, op: ReduceOp) -> Vec<i64> {
         }
         partials.push(best);
     }
-    let (_, flat) = allreduce_loc(m, op, partials);
+    let (_, flat) = allreduce_loc(m, op, partials).expect("collective is internally matched");
     crate::array::unflatten(flat, a.shape())
 }
 
@@ -217,7 +217,7 @@ pub fn reduce_dim(m: &mut Machine, a: &DistArray, dst: &DistArray, dim: usize, o
     // Phase 2: tree-combine along the reduced dimension's grid axis.
     let combined = match a.dad.dims[dim].grid_axis {
         Some(axis) if a.dad.dims[dim].is_distributed() => {
-            allreduce_along_axis(m, axis, op, per_rank)
+            allreduce_along_axis(m, axis, op, per_rank).expect("collective is internally matched")
         }
         _ => per_rank,
     };

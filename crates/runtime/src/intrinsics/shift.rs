@@ -19,7 +19,8 @@ pub fn cshift(m: &mut Machine, src: &DistArray, dst: &DistArray, dim: usize, shi
     let n = src.shape()[dim];
     let s = shift.rem_euclid(n);
     if src.dad.dims[dim].is_distributed() {
-        temporary_shift(m, &src.name, &src.dad, &dst.name, dim, s, true);
+        temporary_shift(m, &src.name, &src.dad, &dst.name, dim, s, true)
+            .expect("collective is internally matched");
     } else {
         local_shift(m, src, dst, dim, s, None);
     }
@@ -38,7 +39,8 @@ pub fn eoshift(
     assert_eq!(src.shape(), dst.shape(), "EOSHIFT result must conform");
     let n = src.shape()[dim];
     if src.dad.dims[dim].is_distributed() {
-        temporary_shift(m, &src.name, &src.dad, &dst.name, dim, shift, false);
+        temporary_shift(m, &src.name, &src.dad, &dst.name, dim, shift, false)
+            .expect("collective is internally matched");
         // Fill vacated positions with the boundary value in a local phase.
         fill_vacated(m, dst, dim, shift, n, boundary);
     } else {

@@ -118,7 +118,8 @@ fn matmul_fox(m: &mut Machine, a: &DistArray, b: &DistArray, c: &DistArray) {
                         k += 1;
                     }
                 }
-            });
+            })
+            .expect("collective is internally matched");
         }
         // Local multiply-accumulate: C += ABLK * B, charged 2·blk³ ops.
         for rank in 0..m.nranks() {
@@ -169,7 +170,7 @@ fn matmul_fox(m: &mut Machine, a: &DistArray, b: &DistArray, c: &DistArray) {
                 }
                 moves.insert((rank, dst), elems);
             }
-            exchange(m, &b.name, "MM_BROLL", &moves);
+            exchange(m, &b.name, "MM_BROLL", &moves).expect("collective is internally matched");
             // Swap rolled data back into B.
             for rank in 0..m.nranks() {
                 let mem = &mut m.mems[rank as usize];
@@ -202,7 +203,7 @@ fn matmul_fox(m: &mut Machine, a: &DistArray, b: &DistArray, c: &DistArray) {
             }
             moves.insert((rank, dst), elems);
         }
-        exchange(m, &b.name, "MM_BROLL", &moves);
+        exchange(m, &b.name, "MM_BROLL", &moves).expect("collective is internally matched");
         for rank in 0..m.nranks() {
             let mem = &mut m.mems[rank as usize];
             let vals: Vec<Value> = {
@@ -232,8 +233,8 @@ fn matmul_replicate(m: &mut Machine, a: &DistArray, b: &DistArray, c: &DistArray
         mem.insert_array("MM_AFULL", LocalArray::zeros(ElemType::Real, &[an, ak]));
         mem.insert_array("MM_BFULL", LocalArray::zeros(ElemType::Real, &[ak, bk]));
     }
-    concatenation(m, &a.name, &a.dad, "MM_AFULL");
-    concatenation(m, &b.name, &b.dad, "MM_BFULL");
+    concatenation(m, &a.name, &a.dad, "MM_AFULL").expect("collective is internally matched");
+    concatenation(m, &b.name, &b.dad, "MM_BFULL").expect("collective is internally matched");
     for rank in 0..m.nranks() {
         let coords = m.grid.coords_of(rank);
         let owned = c.dad.owned_elements(&coords);

@@ -88,7 +88,8 @@ fn mask_picks(m: &mut Machine, mask: &DistArray) -> Vec<Vec<MaskPick>> {
         pos_of[r][k] = pos as i64;
     }
     // Charge the counting exchange (one scalar allreduce).
-    let _ = allreduce(m, ReduceOp::Sum, counts.iter().map(|&c| vec![c]).collect());
+    let _ = allreduce(m, ReduceOp::Sum, counts.iter().map(|&c| vec![c]).collect())
+        .expect("collective is internally matched");
     selected
         .into_iter()
         .zip(pos_of)
@@ -135,7 +136,7 @@ pub fn pack(m: &mut Machine, src: &DistArray, mask: &DistArray, dst: &DistArray)
             }
         }
     }
-    exchange(m, &src.name, &dst.name, &moves);
+    exchange(m, &src.name, &dst.name, &moves).expect("collective is internally matched");
     total
 }
 
@@ -166,7 +167,7 @@ pub fn unpack(m: &mut Machine, vec: &DistArray, mask: &DistArray, dst: &DistArra
             }
         }
     }
-    exchange(m, &vec.name, &dst.name, &moves);
+    exchange(m, &vec.name, &dst.name, &moves).expect("collective is internally matched");
 }
 
 #[cfg(test)]

@@ -8,18 +8,21 @@
 //! local-index forms plus a row-major stride sum) instead of per-element
 //! descriptor math and name lookups.
 //!
-//! FORALL local phases run under the machine's [`ExecMode`] — rank by
+//! FORALL local phases run under the machine's
+//! [`ExecMode`](f90d_machine::ExecMode) — rank by
 //! rank, or all ranks concurrently on scoped threads — because every
 //! element read of a compiled FORALL body targets the executing rank's
 //! own memory.
 
 use std::sync::Arc;
 
+use f90d_comm::op::{CommError, CommOp};
+use f90d_comm::overlap::{dims_overlap_compatible, Margins};
 use f90d_comm::sched_cache::RunSchedules;
 use f90d_comm::schedule::{self, ElementReq, Schedule, ScheduleKind};
 use f90d_comm::structured;
 use f90d_distrib::{set_bound, ArrayDimMap, Dad, DistKind};
-use f90d_machine::{ArrayData, LocalArray, Machine, NodeMemory, Value};
+use f90d_machine::{ArrayData, LocalArray, Machine, NodeMemory, Transport, Value};
 use f90d_runtime::intrinsics as rt;
 use f90d_runtime::DistArray;
 
@@ -37,6 +40,12 @@ impl std::fmt::Display for VmError {
 }
 
 impl std::error::Error for VmError {}
+
+impl From<CommError> for VmError {
+    fn from(e: CommError) -> Self {
+        VmError(e.0)
+    }
+}
 
 type VmResult<T> = Result<T, VmError>;
 
@@ -156,6 +165,11 @@ pub struct Engine {
     /// Schedule reuse (§7(3), per-run) and the cross-run schedule cache:
     /// toggle `sched.reuse` / `sched.use_global` before running.
     pub sched: RunSchedules,
+    /// `OptFlags::comm_compute_overlap`: execute eligible stencil FORALLs
+    /// split-phase (ghost-exchange post → interior compute → complete →
+    /// boundary compute). Off by default — virtual time changes (that is
+    /// the point), array results and PRINT do not.
+    pub overlap: bool,
 }
 
 impl Engine {
@@ -205,6 +219,7 @@ impl Engine {
             vars: vec![0; nvars],
             printed: Vec::new(),
             sched: RunSchedules::new(),
+            overlap: false,
         }
     }
 
@@ -353,6 +368,9 @@ impl Engine {
                 }
             }
         }
+        m.transport
+            .quiescent_check()
+            .map_err(|e| VmError(e.to_string()))?;
         Ok(RunReport {
             elapsed: m.elapsed(),
             messages: m.transport.messages,
@@ -429,7 +447,7 @@ impl Engine {
                     &prog.arrays[*tmp].name,
                     *dim,
                     g,
-                );
+                )?;
                 Ok(())
             }
             VmComm::Transfer {
@@ -453,12 +471,12 @@ impl Engine {
                     *dim,
                     sg,
                     dst_coord,
-                );
+                )?;
                 Ok(())
             }
             VmComm::OverlapShift { arr, dim, c } => {
                 let dad = self.dads[*arr].clone();
-                structured::overlap_shift(m, &prog.arrays[*arr].name, &dad, *dim, *c, false);
+                structured::overlap_shift(m, &prog.arrays[*arr].name, &dad, *dim, *c, false)?;
                 Ok(())
             }
             VmComm::TempShift {
@@ -477,7 +495,7 @@ impl Engine {
                     *dim,
                     s,
                     false,
-                );
+                )?;
                 Ok(())
             }
             VmComm::MulticastShift {
@@ -500,7 +518,7 @@ impl Engine {
                     g,
                     *sdim,
                     s,
-                );
+                )?;
                 Ok(())
             }
             VmComm::Concat { src, tmp } => {
@@ -510,7 +528,7 @@ impl Engine {
                     &prog.arrays[*src].name,
                     &dad,
                     &prog.arrays[*tmp].name,
-                );
+                )?;
                 Ok(())
             }
             VmComm::BroadcastElem { arr, subs, target } => {
@@ -530,7 +548,7 @@ impl Engine {
                 let mut payload = ArrayData::zeros(v.elem_type(), 1);
                 payload.set(0, v);
                 m.stats.record("broadcast_elem");
-                f90d_comm::helpers::tree_broadcast(m, &members, root_pos, payload, |_, _, _| {});
+                f90d_comm::helpers::tree_broadcast(m, &members, root_pos, payload, |_, _, _| {})?;
                 self.scalars[*target as usize] = v;
                 Ok(())
             }
@@ -617,7 +635,7 @@ impl Engine {
                 let mut nd = new_dad.clone();
                 nd.name = old.name.clone();
                 let target = DistArray::from_dad(m, staging.clone(), old.ty, nd.clone(), 0);
-                f90d_comm::redist::redistribute(m, &old.name, &old.dad, &staging, &target.dad);
+                f90d_comm::redist::redistribute(m, &old.name, &old.dad, &staging, &target.dad)?;
                 // Move staged segments under the original name.
                 for mem in &mut m.mems {
                     let seg = mem.remove_array(&staging).expect("staging allocated");
@@ -629,7 +647,7 @@ impl Engine {
             VmRt::RemapCopy { src, dst } => {
                 let s = self.dist_array(*src);
                 let d = self.dist_array(*dst);
-                f90d_comm::redist::redistribute(m, &s.name, &s.dad, &d.name, &d.dad);
+                f90d_comm::redist::redistribute(m, &s.name, &s.dad, &d.name, &d.dad)?;
                 Ok(())
             }
         }
@@ -639,6 +657,11 @@ impl Engine {
 
     fn exec_forall(&mut self, f: &VmForall, m: &mut Machine) -> VmResult<()> {
         let prog = self.prog.clone();
+        if self.overlap {
+            if let Some(margins) = self.overlap_plan(f, &prog) {
+                return self.exec_forall_overlap(f, m, &margins);
+            }
+        }
         let mut regs: Vec<Value> = Vec::new();
         // Communication prelude.
         for &c in &f.pre {
@@ -713,8 +736,9 @@ impl Engine {
                 &self.vars,
                 &self.scalars,
                 max_regs,
+                true,
             ) {
-                Ok((scat, ops)) => (Ok(scat), ops),
+                Ok((scat, _, ops)) => (Ok(scat), ops),
                 Err(e) => (Err(e), 0),
             }
         });
@@ -725,6 +749,186 @@ impl Engine {
         // Post-loop scatter.
         if let Some(invertible) = scatter {
             self.exec_scatter(f, m, invertible, &scatter_out)?;
+        }
+        Ok(())
+    }
+
+    /// Mirror of the tree walker's overlap eligibility test: the prelude
+    /// is pure `overlap_shift`, no gathers, no owner filter, owned writes
+    /// only, and every shifted dimension maps onto a stride-1 `OwnerDim`
+    /// loop variable whose LHS dimension is
+    /// [`dims_overlap_compatible`] with the shifted array's. Returns the
+    /// per-variable ghost margins, or `None` to fall back to blocking
+    /// execution. The margin arithmetic and the interior/boundary split
+    /// live in `f90d_comm::overlap`, shared with the tree walker, so the
+    /// backends cannot drift on which tuples count as interior.
+    fn overlap_plan(&self, f: &VmForall, prog: &VmProgram) -> Option<Margins> {
+        if f.pre.is_empty() || !f.gathers.is_empty() || !f.owner_filter.is_empty() {
+            return None;
+        }
+        if !f.body.iter().all(|b| b.scatter.is_none()) {
+            return None;
+        }
+        let mut margins = Margins::new(f.vars.len());
+        for &ci in &f.pre {
+            let VmComm::OverlapShift {
+                arr,
+                dim,
+                c: amount,
+            } = &prog.comms[ci as usize]
+            else {
+                return None;
+            };
+            let sdm = &self.dads[*arr].dims[*dim];
+            let var = f.vars.iter().position(|spec| match &spec.part {
+                VmPartition::OwnerDim {
+                    arr: la,
+                    dim: ld,
+                    a: 1,
+                    ..
+                } => dims_overlap_compatible(&self.dads[*la].dims[*ld], sdm),
+                _ => false,
+            })?;
+            margins.add(var, *amount);
+        }
+        Some(margins)
+    }
+
+    /// Split-phase stencil execution (paper §5.1/§7 latency hiding):
+    /// post the ghost exchanges, run the interior iterations under the
+    /// machine's [`f90d_machine::ExecMode`] while the strips are on the
+    /// wire, complete the exchanges, then run the boundary iterations
+    /// that read the freshly filled ghost cells. Writes from both phases
+    /// are staged and committed together — array results bit-identical
+    /// to blocking execution, only virtual clocks differ.
+    fn exec_forall_overlap(
+        &mut self,
+        f: &VmForall,
+        m: &mut Machine,
+        margins: &Margins,
+    ) -> VmResult<()> {
+        let prog = self.prog.clone();
+        let mut regs: Vec<Value> = Vec::new();
+        // 1. Post every ghost exchange.
+        let mut posted = Vec::with_capacity(f.pre.len());
+        for &ci in &f.pre {
+            let VmComm::OverlapShift { arr, dim, c } = &prog.comms[ci as usize] else {
+                unreachable!("overlap_plan admitted a non-shift prelude")
+            };
+            let dad = self.dads[*arr].clone();
+            posted.push(structured::overlap_shift_post(
+                m,
+                &prog.arrays[*arr].name,
+                &dad,
+                *dim,
+                *c,
+                false,
+            )?);
+        }
+        // 2. Bounds, per-rank iteration lists (no owner filter), and the
+        // interior/boundary split from the shared geometry.
+        let nranks = m.nranks() as usize;
+        let mut bounds = Vec::with_capacity(f.vars.len());
+        for spec in &f.vars {
+            let lb = self.eval_scalar(&spec.lb, m, &mut regs)?.as_int();
+            let ub = self.eval_scalar(&spec.ub, m, &mut regs)?.as_int();
+            let st = self.eval_scalar(&spec.st, m, &mut regs)?.as_int();
+            if st <= 0 {
+                return verr("FORALL stride must be positive");
+            }
+            bounds.push((lb, ub, st));
+        }
+        let mut interior: Vec<Vec<Vec<i64>>> = Vec::with_capacity(nranks);
+        let mut boundary: Vec<Vec<Vec<Vec<i64>>>> = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let lists: Vec<Vec<i64>> = f
+                .vars
+                .iter()
+                .zip(&bounds)
+                .map(|(spec, &b)| self.iterations_for(spec, b, m, rank as i64))
+                .collect();
+            interior.push(margins.interior_lists(&lists));
+            boundary.push(margins.boundary_slabs(&lists));
+        }
+        let resolved: Vec<Vec<Option<ResolvedAcc>>> = (0..nranks)
+            .map(|rank| {
+                let coords = m.grid.coords_of(rank as i64);
+                let mut table: Vec<Option<ResolvedAcc>> = vec![None; prog.accessors.len()];
+                for &a in &f.accs_used {
+                    table[a as usize] =
+                        Some(self.resolve_acc(&prog.accessors[a as usize], &coords));
+                }
+                table
+            })
+            .collect();
+        let max_regs = forall_max_regs(f);
+        // 3. Interior compute (charged by local_phase_map before the
+        // completions below, so it genuinely hides the wire time).
+        let results: Vec<Result<StagedWrites, String>> = m.local_phase_map(|rank, mem| {
+            match run_forall_rank(
+                &prog,
+                f,
+                rank,
+                mem,
+                &interior[rank as usize],
+                &resolved[rank as usize],
+                &self.vars,
+                &self.scalars,
+                max_regs,
+                false,
+            ) {
+                Ok((_, staged, ops)) => (Ok(staged), ops),
+                Err(e) => (Err(e), 0),
+            }
+        });
+        let mut staged_all: Vec<StagedWrites> = Vec::with_capacity(nranks);
+        for r in results {
+            staged_all.push(r.map_err(VmError)?);
+        }
+        // 4. Complete the ghost exchanges.
+        for op in posted {
+            op.finish(m)?;
+        }
+        // 5. Boundary compute: only the shell slabs, their costs summed
+        // into one charge per rank (the tree walker charges identically,
+        // keeping backend virtual time bit-equal).
+        let results: Vec<Result<StagedWrites, String>> = m.local_phase_map(|rank, mem| {
+            let mut staged = StagedWrites::new();
+            let mut ops = 0i64;
+            for slab in &boundary[rank as usize] {
+                match run_forall_rank(
+                    &prog,
+                    f,
+                    rank,
+                    mem,
+                    slab,
+                    &resolved[rank as usize],
+                    &self.vars,
+                    &self.scalars,
+                    max_regs,
+                    false,
+                ) {
+                    Ok((_, st, o)) => {
+                        staged.extend(st);
+                        ops += o;
+                    }
+                    Err(e) => return (Err(e), 0),
+                }
+            }
+            (Ok(staged), ops)
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            staged_all[rank].extend(r.map_err(VmError)?);
+        }
+        // 6. Commit both phases' staged writes (RHS-before-LHS).
+        for (rank, writes) in staged_all.into_iter().enumerate() {
+            if writes.is_empty() {
+                continue;
+            }
+            let arr = m.mems[rank].array_mut(&prog.arrays[f.body[0].arr].name);
+            for (off, v) in writes {
+                arr.set_flat(off, v);
+            }
         }
         Ok(())
     }
@@ -965,8 +1169,8 @@ impl Engine {
             m.mems[rank].insert_array(tmp_name.clone(), LocalArray::zeros(ty, &[n.max(1) as i64]));
         }
         // Schedule (per-run §7(3) reuse + cross-run cache).
-        let sched = self.schedule_for(m, &reqs, g.local_only, false);
-        schedule::execute_read(m, &sched, &src_name, &tmp_name);
+        let sched = self.schedule_for(m, &reqs, g.local_only, false)?;
+        schedule::execute_read(m, &sched, &src_name, &tmp_name)?;
         Ok(())
     }
 
@@ -1009,8 +1213,8 @@ impl Engine {
                 }
             }
         }
-        let sched = self.schedule_for(m, &reqs, invertible, true);
-        schedule::execute_write(m, &sched, &buf_name, &dst_name);
+        let sched = self.schedule_for(m, &reqs, invertible, true)?;
+        schedule::execute_write(m, &sched, &buf_name, &dst_name)?;
         Ok(())
     }
 
@@ -1024,7 +1228,7 @@ impl Engine {
         reqs: &[ElementReq],
         fast_path: bool,
         is_write: bool,
-    ) -> Arc<Schedule> {
+    ) -> VmResult<Arc<Schedule>> {
         let kind = if fast_path {
             ScheduleKind::LocalOnly
         } else if is_write {
@@ -1032,13 +1236,17 @@ impl Engine {
         } else {
             ScheduleKind::FanInRequests
         };
-        self.sched.schedule(m, kind, reqs, is_write)
+        Ok(self.sched.schedule(m, kind, reqs, is_write)?)
     }
 }
 
 /// One rank's scatter-write output: `(global_subscripts, value)` pairs in
 /// iteration order.
 type ScatterOut = Vec<(Vec<i64>, Value)>;
+
+/// One rank's staged owned writes: `(flat offset, value)` pairs, returned
+/// uncommitted to the caller during split-phase (overlap) execution.
+type StagedWrites = Vec<(usize, Value)>;
 
 /// Allocation shape + symmetric ghost widths for one declared array.
 fn decl_alloc(decl: &VmArrayDecl) -> (Vec<i64>, Vec<i64>) {
@@ -1078,7 +1286,14 @@ fn forall_max_regs(f: &VmForall) -> usize {
 /// The per-rank element loop: flat fetch/decode over the mask and body
 /// register code, with owned writes staged (FORALL RHS-before-LHS
 /// semantics within the rank) and scatter writes collected for the
-/// post-loop schedule. Returns the scatter outputs and the modelled cost.
+/// post-loop schedule. Returns the scatter outputs, any uncommitted
+/// staged writes, and the modelled cost.
+///
+/// `commit`: `true` commits the staged owned writes into `mem` before
+/// returning (the blocking path). `false` returns them uncommitted —
+/// the overlap driver runs this once over the interior sub-product and
+/// once per boundary slab, and commits both phases together after the
+/// ghost exchange completes.
 #[allow(clippy::too_many_arguments)]
 fn run_forall_rank(
     prog: &VmProgram,
@@ -1090,10 +1305,11 @@ fn run_forall_rank(
     vars_base: &[i64],
     scalars: &[Value],
     max_regs: usize,
-) -> Result<(ScatterOut, i64), String> {
+    commit: bool,
+) -> Result<(ScatterOut, StagedWrites, i64), String> {
     let mut scat: ScatterOut = Vec::new();
     if lists.iter().any(|l| l.is_empty()) {
-        return Ok((scat, 0));
+        return Ok((scat, Vec::new(), 0));
     }
     let views: Vec<Option<&LocalArray>> = resolved
         .iter()
@@ -1196,16 +1412,20 @@ fn run_forall_rank(
     }
     drop(views);
     drop(seq_views);
-    // Commit staged owned writes (RHS-before-LHS within the rank); the
-    // commit target follows the tree walker: the first body assignment's
-    // array (lowering rejects mixed-array owned bodies).
-    if !staged.is_empty() {
-        let arr = mem.array_mut(&prog.arrays[f.body[0].arr].name);
-        for (off, v) in staged {
-            arr.set_flat(off, v);
+    // Blocking path: commit staged owned writes (RHS-before-LHS within
+    // the rank); the commit target follows the tree walker: the first
+    // body assignment's array (lowering rejects mixed-array owned
+    // bodies). Overlap phases return them uncommitted instead.
+    if commit {
+        if !staged.is_empty() {
+            let arr = mem.array_mut(&prog.arrays[f.body[0].arr].name);
+            for (off, v) in staged {
+                arr.set_flat(off, v);
+            }
         }
+        return Ok((scat, Vec::new(), ops));
     }
-    Ok((scat, ops))
+    Ok((scat, staged, ops))
 }
 
 /// Element-context expression evaluation: the innermost fetch/decode
