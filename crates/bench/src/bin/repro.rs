@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|overlap|abl-shift|abl-sched|abl-fuse|abl-overlap|matrix]
 //!       [--n <matrix size>] [--quick] [--backend treewalk|vm]
-//!       [--jobs N] [--out results.json] [--baseline results.json] [--wall-tol F]
+//!       [--jobs N] [--exec sequential|threaded] [--workers N]
+//!       [--out results.json] [--baseline results.json] [--wall-tol F]
 //!       [--repeat N] [--no-sched-cache]
 //! ```
 //!
@@ -36,6 +37,16 @@
 //! `--out overlap.json` writes the rows as an `f90d-overlap/v1` document
 //! (schema in the README).
 //!
+//! `--exec threaded` runs every cell's local phases on its machine's
+//! persistent worker pool; `--workers N` sets the process-wide worker
+//! budget the cells lease pool workers from (default: host
+//! parallelism), so `--jobs J --exec threaded` never runs more than N
+//! pool threads however `J × P` multiplies out — cells that lease
+//! nothing degrade to sequential. Virtual metrics are bit-identical to
+//! `--exec sequential` by construction; CI gates a threaded run against
+//! the same `BENCH_baseline.json` to prove it. Per-cell worker grants
+//! land in `results.json` (`workers`, informational, never gated).
+//!
 //! `--repeat N` runs the matrix N times back to back in one process:
 //! every run is gated against `--baseline` (proving the warm schedule
 //! cache changes no virtual metric) and reports its schedule-cache
@@ -52,7 +63,7 @@ use f90d_bench::workloads;
 use f90d_core::detect::{classify_pair, classify_subscript, DimAlign};
 use f90d_core::{compile, Backend, CompileOptions};
 use f90d_frontend::ast::{BinOp, Expr};
-use f90d_machine::MachineSpec;
+use f90d_machine::{ExecMode, MachineSpec};
 
 fn backend_name(b: Backend) -> &'static str {
     match b {
@@ -85,6 +96,8 @@ fn main() {
     let mut wall_tol: Option<f64> = None;
     let mut repeat: usize = 1;
     let mut sched_cache = true;
+    let mut exec = ExecMode::Sequential;
+    let mut workers: Option<usize> = None;
     let mut n_arg = false;
     let mut backend_arg = false;
     let mut it = args.iter().skip(1);
@@ -107,6 +120,21 @@ fn main() {
                     })
             }
             "--no-sched-cache" => sched_cache = false,
+            "--exec" => {
+                exec = it
+                    .next()
+                    .and_then(|v| ExecMode::parse(v))
+                    .unwrap_or_else(|| {
+                        eprintln!("--exec expects `sequential` or `threaded`");
+                        std::process::exit(2);
+                    })
+            }
+            "--workers" => {
+                workers = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--workers expects a worker-budget total");
+                    std::process::exit(2);
+                }))
+            }
             "--jobs" => {
                 jobs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--jobs expects a worker count");
@@ -146,7 +174,9 @@ fn main() {
         || baseline.is_some()
         || wall_tol.is_some()
         || repeat > 1
-        || !sched_cache;
+        || !sched_cache
+        || exec != ExecMode::Sequential
+        || workers.is_some();
     if matrix_flags && which == "all" {
         which = "matrix".into();
     }
@@ -159,6 +189,8 @@ fn main() {
             wall_tol,
             repeat,
             sched_cache,
+            exec,
+            workers,
         );
         return;
     }
@@ -171,6 +203,8 @@ fn main() {
             || wall_tol.is_some()
             || repeat > 1
             || !sched_cache
+            || exec != ExecMode::Sequential
+            || workers.is_some()
             || n_arg
             || backend_arg
         {
@@ -181,7 +215,7 @@ fn main() {
         return;
     }
     if matrix_flags {
-        eprintln!("--jobs/--out/--baseline/--wall-tol/--repeat/--no-sched-cache require the matrix experiment (--exp matrix), not --exp {which}");
+        eprintln!("--jobs/--exec/--workers/--out/--baseline/--wall-tol/--repeat/--no-sched-cache require the matrix experiment (--exp matrix), not --exp {which}");
         std::process::exit(2);
     }
     if quick {
@@ -235,6 +269,7 @@ fn main() {
 /// results → `--out` (last run when `--repeat` > 1); regression gate →
 /// `--baseline`, applied to **every** repeat (exit 1 on drift — a warm
 /// schedule cache must not move a single virtual bit).
+#[allow(clippy::too_many_arguments)]
 fn exp_matrix(
     quick: bool,
     jobs: usize,
@@ -243,6 +278,8 @@ fn exp_matrix(
     wall_tol: Option<f64>,
     repeat: usize,
     sched_cache: bool,
+    exec: ExecMode,
+    workers: Option<usize>,
 ) {
     use f90d_bench::harness;
 
@@ -252,13 +289,19 @@ fn exp_matrix(
         harness::Scale::Full
     };
     let cells = harness::matrix(scale);
+    let mut cfg = harness::MatrixConfig::new(scale);
+    cfg.jobs = jobs;
+    cfg.sched_cache = sched_cache;
+    cfg.exec = exec;
+    cfg.budget = workers;
     eprintln!(
-        "# matrix: {} cells, {} jobs, suite {}, {} run(s), schedule cache {}",
+        "# matrix: {} cells, {} jobs, suite {}, {} run(s), schedule cache {}, exec {}",
         cells.len(),
         jobs,
         scale.name(),
         repeat,
-        if sched_cache { "on" } else { "off" }
+        if sched_cache { "on" } else { "off" },
+        exec.name()
     );
     let base = baseline.map(|path| {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -272,7 +315,7 @@ fn exp_matrix(
         (path, doc)
     });
     for run in 1..=repeat {
-        let report = harness::run_matrix_with(&cells, jobs, scale, sched_cache);
+        let report = harness::run_matrix_cfg(&cells, &cfg);
         print!("{}", harness::render_table(&report));
         let per_cell_wall: f64 = report.cells.iter().map(|c| c.wall_s).sum();
         eprintln!(
@@ -282,6 +325,15 @@ fn exp_matrix(
             per_cell_wall,
             100.0 * per_cell_wall / (report.wall_s * report.jobs as f64)
         );
+        if report.exec == ExecMode::Threaded {
+            let pooled = report.cells.iter().filter(|c| c.workers > 0).count();
+            eprintln!(
+                "# exec threaded: worker budget {}, {} of {} cells ran pooled (rest degraded to sequential)",
+                report.worker_budget,
+                pooled,
+                report.cells.len()
+            );
+        }
         eprintln!(
             "# schedule cache (run {run}): hits={} misses={}",
             report.sched_hits, report.sched_misses

@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use f90d_core::{compile, vm_cache, Backend, CompileOptions};
 use f90d_distrib::ProcGrid;
-use f90d_machine::{Machine, MachineSpec};
+use f90d_machine::{budget, ExecMode, Machine, MachineSpec};
 use serde::json::Json;
 
 use crate::workloads;
@@ -127,6 +127,11 @@ pub struct CellResult {
     pub sched_hits: u64,
     /// Schedule-cache misses (inspector builds) during this cell's run.
     pub sched_misses: u64,
+    /// Pool workers the cell's machine held for its local phases (0 =
+    /// sequential, either by `--exec sequential` or because the worker
+    /// budget was exhausted when this cell leased). Informational —
+    /// grants depend on which cells run concurrently — and never gated.
+    pub workers: usize,
 }
 
 /// One full matrix run.
@@ -148,6 +153,11 @@ pub struct MatrixReport {
     pub sched_hits: u64,
     /// Schedule-cache misses (inspector builds) during this run.
     pub sched_misses: u64,
+    /// Local-phase execution mode the cells ran under.
+    pub exec: ExecMode,
+    /// Worker-budget total at run time (`repro --workers`, default host
+    /// parallelism). Threaded cells lease pool workers from this pot.
+    pub worker_budget: usize,
     /// Per-cell results, in canonical matrix order.
     pub cells: Vec<CellResult>,
 }
@@ -241,8 +251,19 @@ pub fn run_cell(cell: &Cell) -> CellResult {
 /// [`run_cell`] with the cross-run schedule cache on or off
 /// (`repro --no-sched-cache`). Virtual metrics are identical either way.
 pub fn run_cell_with(cell: &Cell, sched_cache: bool) -> CellResult {
+    run_cell_cfg(cell, sched_cache, ExecMode::Sequential)
+}
+
+/// [`run_cell_with`] under an explicit local-phase execution mode
+/// (`repro --exec`). A threaded cell leases up to P pool workers from
+/// the process-wide `f90d_machine::budget` for the duration of the run
+/// — the machine (and with it the pool and its lease) is dropped when
+/// this returns, normally or by panic, so a crashed cell can never leak
+/// budget. Virtual metrics are identical in either mode.
+pub fn run_cell_cfg(cell: &Cell, sched_cache: bool, exec: ExecMode) -> CellResult {
     let mut opts = CompileOptions::on_grid(&cell.grid).with_backend(cell.backend);
     opts.sched_cache = sched_cache;
+    opts.exec_mode = Some(exec);
     let compiled =
         compile(&cell.source(), &opts).unwrap_or_else(|e| panic!("{} compiles: {e}", cell.id()));
     let mut m = Machine::new(cell.spec(), ProcGrid::new(&cell.grid));
@@ -260,6 +281,40 @@ pub fn run_cell_with(cell: &Cell, sched_cache: bool) -> CellResult {
         cache_hit: trace.program_cache_hit,
         sched_hits: trace.sched_hits,
         sched_misses: trace.sched_misses,
+        workers: m.workers(),
+    }
+}
+
+/// How [`run_matrix_cfg`] runs a matrix: worker count, suite name,
+/// schedule-cache toggle, local-phase execution mode, worker budget.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Harness job workers (cells run concurrently).
+    pub jobs: usize,
+    /// Suite preset recorded in the report (baselines must match).
+    pub scale: Scale,
+    /// Consult the cross-run schedule cache (`--no-sched-cache` off).
+    pub sched_cache: bool,
+    /// Local-phase execution mode per cell (`repro --exec`).
+    pub exec: ExecMode,
+    /// When `Some`, set the process-wide worker-budget total before the
+    /// run (`repro --workers N`); `None` leaves it at its current value
+    /// (default: host parallelism). Threaded cells lease pool workers
+    /// per cell and degrade to sequential when the pot is empty, so
+    /// `jobs × per-cell workers` never exceeds this total.
+    pub budget: Option<usize>,
+}
+
+impl MatrixConfig {
+    /// Sequential single-job defaults for `scale`.
+    pub fn new(scale: Scale) -> Self {
+        MatrixConfig {
+            jobs: 1,
+            scale,
+            sched_cache: true,
+            exec: ExecMode::Sequential,
+            budget: None,
+        }
     }
 }
 
@@ -268,12 +323,6 @@ pub fn run_cell_with(cell: &Cell, sched_cache: bool) -> CellResult {
 /// `scale` is recorded as the report's suite name — pass the same value
 /// the cells were built with ([`diff_baseline`] refuses cross-suite
 /// comparisons).
-///
-/// Each worker owns a deque seeded round-robin; it pops its own front
-/// (LIFO locality does not matter here — cells are independent — but
-/// front/back discipline keeps steals contention-free) and when empty
-/// steals from the back of the others. No worker ever blocks on another:
-/// the only shared state a cell touches is the sharded program cache.
 pub fn run_matrix_scaled(cells: &[Cell], jobs: usize, scale: Scale) -> MatrixReport {
     run_matrix_with(cells, jobs, scale, true)
 }
@@ -285,7 +334,82 @@ pub fn run_matrix_with(
     scale: Scale,
     sched_cache: bool,
 ) -> MatrixReport {
-    let jobs = jobs.max(1);
+    let mut cfg = MatrixConfig::new(scale);
+    cfg.jobs = jobs;
+    cfg.sched_cache = sched_cache;
+    run_matrix_cfg(cells, &cfg)
+}
+
+/// Pop one job for worker `w`: its own deque's front, else a steal from
+/// the back of another worker's deque.
+///
+/// Two audit findings from the original inline version are pinned down
+/// here (and by the `jobs ≫ cells` stress test):
+///
+/// * The old `queues[w].lock().unwrap().pop_front().or_else(|| …steal…)`
+///   kept the **temporary** guard on the worker's own deque alive for
+///   the whole statement — Rust extends initializer temporaries to the
+///   end of the `let` — so every stealer scanned victims *while holding
+///   its own lock*. Two workers in the steal phase could each block on
+///   the other's held mutex: a circular wait that deadlocked the pool
+///   (overwhelmingly likely once `jobs ≫ cells` puts most workers in
+///   the steal phase at once). The own-queue pop is now a separate
+///   statement, so no lock is held while stealing.
+/// * The steal scan itself locked victims front-to-back with blocking
+///   `lock()`, serializing idle workers behind busy queues. It now
+///   skips contended victims with `try_lock` and only re-scans while a
+///   contended victim might still hold work. Skipping is *safe* for
+///   termination: seeding finishes before any worker starts (the seed
+///   loop precedes `thread::scope`, so no worker can observe a
+///   half-seeded deque), and every deque's owner drains it with its own
+///   blocking pop before exiting — a skipped job is never a lost job.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    let mine = queues[w].lock().unwrap().pop_front();
+    if mine.is_some() {
+        return mine;
+    }
+    let jobs = queues.len();
+    loop {
+        let mut saw_contended = false;
+        for off in 1..jobs {
+            match queues[(w + off) % jobs].try_lock() {
+                Ok(mut q) => {
+                    if let Some(i) = q.pop_back() {
+                        return Some(i);
+                    }
+                }
+                // Contended: someone is popping/stealing there right
+                // now. Skip it — never block on a victim — but remember
+                // to look again: it may still hold undrained work.
+                Err(std::sync::TryLockError::WouldBlock) => saw_contended = true,
+                // A poisoned victim deque means a worker panicked inside
+                // a pop — its cells are already lost to the panic, which
+                // propagates through the scope join; stop stealing.
+                Err(std::sync::TryLockError::Poisoned(_)) => {}
+            }
+        }
+        if !saw_contended {
+            return None;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// [`run_matrix_scaled`] under a full [`MatrixConfig`]: schedule cache,
+/// execution mode and worker budget.
+///
+/// Each worker owns a deque seeded round-robin **before** the scope
+/// starts; it pops its own front and when empty steals from the back of
+/// the others via `next_job` (try-lock, never blocking on a victim).
+/// With `exec = Threaded` every cell leases pool workers from the
+/// process-wide budget for its machine's local phases, so the host runs
+/// at most `budget` pool threads no matter how `jobs × P` multiplies
+/// out; cells that lease nothing run sequentially — bit-identically.
+pub fn run_matrix_cfg(cells: &[Cell], cfg: &MatrixConfig) -> MatrixReport {
+    let jobs = cfg.jobs.max(1);
+    if let Some(total) = cfg.budget {
+        budget::global().set_total(total);
+    }
     let (hits0, misses0) = (vm_cache().hits(), vm_cache().misses());
     let sched = f90d_comm::sched_cache::global();
     let (shits0, smisses0) = (sched.hits(), sched.misses());
@@ -302,28 +426,24 @@ pub fn run_matrix_with(
         for w in 0..jobs {
             let queues = &queues;
             let slots = &slots;
-            s.spawn(move || loop {
-                let job = queues[w].lock().unwrap().pop_front().or_else(|| {
-                    (1..jobs).find_map(|off| queues[(w + off) % jobs].lock().unwrap().pop_back())
-                });
-                match job {
-                    Some(i) => {
-                        let _ = slots[i].set(run_cell_with(&cells[i], sched_cache));
-                    }
-                    None => break,
+            s.spawn(move || {
+                while let Some(i) = next_job(queues, w) {
+                    let _ = slots[i].set(run_cell_cfg(&cells[i], cfg.sched_cache, cfg.exec));
                 }
             });
         }
     });
 
     MatrixReport {
-        suite: scale.name(),
+        suite: cfg.scale.name(),
         jobs,
         wall_s: t0.elapsed().as_secs_f64(),
         cache_hits: vm_cache().hits() - hits0,
         cache_misses: vm_cache().misses() - misses0,
         sched_hits: sched.hits() - shits0,
         sched_misses: sched.misses() - smisses0,
+        exec: cfg.exec,
+        worker_budget: budget::global().total(),
         cells: slots
             .into_iter()
             .map(|s| s.into_inner().expect("every cell ran"))
@@ -397,6 +517,10 @@ pub fn report_json(rep: &MatrixReport) -> Json {
                 ),
                 ("sched_hits".into(), Json::Num(c.sched_hits as f64)),
                 ("sched_misses".into(), Json::Num(c.sched_misses as f64)),
+                // Pool workers leased for this cell's local phases.
+                // Informational, never gated: grants depend on which
+                // cells happened to run concurrently.
+                ("workers".into(), Json::Num(c.workers as f64)),
             ])
         })
         .collect();
@@ -404,6 +528,11 @@ pub fn report_json(rep: &MatrixReport) -> Json {
         ("schema".into(), Json::Str("f90d-results/v1".into())),
         ("suite".into(), Json::Str(rep.suite.into())),
         ("jobs".into(), Json::Num(rep.jobs as f64)),
+        // Execution mode + worker budget (informational, never gated:
+        // virtual metrics are mode-independent by construction, which is
+        // exactly what `--exec threaded --baseline` proves in CI).
+        ("exec".into(), Json::Str(rep.exec.name().into())),
+        ("worker_budget".into(), Json::Num(rep.worker_budget as f64)),
         ("wall_s".into(), Json::Num(rep.wall_s)),
         (
             "cache".into(),

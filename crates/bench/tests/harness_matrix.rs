@@ -9,7 +9,8 @@
 //! gate tests below operate on synthetic documents and never touch the
 //! process-wide program cache.
 
-use f90d_bench::harness::{self, Scale};
+use f90d_bench::harness::{self, MatrixConfig, Scale};
+use f90d_machine::{budget, pool, ExecMode};
 use serde::json::Json;
 
 /// Strip the `cache:` trailer — cross-run cache state (second run is all
@@ -83,6 +84,100 @@ fn jobs8_matches_jobs1_bit_exactly() {
         );
     }
     harness::diff_baseline(&b, &a, None).expect("jobs=8 run must match jobs=1 baseline");
+}
+
+/// Regression/stress test for the steal path: `jobs ≫ cells` puts most
+/// workers straight into the steal phase. The original loop held each
+/// stealer's **own** deque lock across the victim scan (a `let`
+/// statement's temporary `MutexGuard` lives to the end of the
+/// statement) and blocked on contended victims — two stealers waiting
+/// on each other's held mutex deadlocked the whole matrix. The fix pops
+/// the own queue in its own statement and steals with `try_lock`; this
+/// must now terminate every time.
+#[test]
+fn jobs_exceeding_cells_terminates() {
+    let all = harness::matrix(Scale::Tiny);
+    let cells = &all[..3];
+    for _ in 0..10 {
+        let rep = harness::run_matrix_scaled(cells, 32, Scale::Tiny);
+        assert_eq!(rep.cells.len(), 3, "every cell ran exactly once");
+        for (c, want) in rep.cells.iter().zip(cells) {
+            assert_eq!(&c.cell, want, "canonical order preserved");
+        }
+    }
+}
+
+/// `--exec threaded` end to end: bit-identical to the sequential matrix
+/// in every gated metric, with at least one cell genuinely pooled, and
+/// the sampled live pool-thread count never exceeding the configured
+/// worker budget (`jobs × P` never materializes as threads).
+#[test]
+fn threaded_exec_matches_sequential_bit_exactly_within_budget() {
+    const BUDGET: usize = 6;
+    let cells = harness::matrix(Scale::Tiny);
+    let seq = harness::run_matrix_cfg(&cells, &MatrixConfig::new(Scale::Tiny));
+
+    let mut cfg = MatrixConfig::new(Scale::Tiny);
+    cfg.jobs = 2;
+    cfg.exec = ExecMode::Threaded;
+    cfg.budget = Some(BUDGET);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let max_live = std::sync::atomic::AtomicUsize::new(0);
+    // Stops the sampler even when the matrix run panics — otherwise the
+    // scope would join the sampler forever and a failure would hang.
+    struct StopOnDrop<'a>(&'a std::sync::atomic::AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+    let thr = std::thread::scope(|s| {
+        s.spawn(|| {
+            use std::sync::atomic::Ordering;
+            while !done.load(Ordering::SeqCst) {
+                max_live.fetch_max(pool::live_workers(), Ordering::SeqCst);
+                std::thread::yield_now();
+            }
+        });
+        let _stop = StopOnDrop(&done);
+        harness::run_matrix_cfg(&cells, &cfg)
+    });
+
+    assert_eq!(thr.exec, ExecMode::Threaded);
+    assert_eq!(thr.worker_budget, BUDGET);
+    let sampled = max_live.load(std::sync::atomic::Ordering::SeqCst);
+    assert!(
+        sampled <= BUDGET,
+        "sampled {sampled} live pool threads > budget {BUDGET}"
+    );
+    assert!(
+        thr.cells.iter().any(|c| c.workers >= 2),
+        "at least one cell must have run on a real pool"
+    );
+    assert_eq!(budget::global().in_use(), 0, "all leases returned");
+
+    for (a, b) in seq.cells.iter().zip(&thr.cells) {
+        assert_eq!(a.cell, b.cell, "canonical order");
+        assert_eq!(a.virt_s.to_bits(), b.virt_s.to_bits(), "{}", a.cell.id());
+        assert_eq!(a.messages, b.messages, "{}", a.cell.id());
+        assert_eq!(a.bytes, b.bytes, "{}", a.cell.id());
+        assert_eq!(a.printed, b.printed, "{}", a.cell.id());
+        assert_eq!(a.workers, 0, "sequential cells lease nothing");
+    }
+    assert_eq!(
+        cells_only(&harness::render_table(&seq)),
+        cells_only(&harness::render_table(&thr)),
+        "deterministic stdout must be byte-identical across --exec"
+    );
+    // And the serialized documents gate clean against each other (the
+    // per-cell `workers` and top-level exec/worker_budget fields are
+    // informational, never compared).
+    harness::diff_baseline(
+        &harness::report_json(&thr),
+        &harness::report_json(&seq),
+        None,
+    )
+    .expect("threaded run must match sequential baseline");
 }
 
 /// A tiny synthetic results document (no cells are actually run).

@@ -35,6 +35,20 @@ fn cerr<T>(msg: impl Into<String>) -> CResult<T> {
     Err(CodegenError(msg.into()))
 }
 
+/// Validate a const-evaluated `CYCLIC(K)` block size. `DimDist::new`
+/// asserts `K > 0`, but by the time a descriptor is built (possibly at
+/// run time, for `REDISTRIBUTE`) the surface syntax is gone — so both
+/// codegen sites that accept a `CYCLIC(K)` spec (the `DISTRIBUTE`
+/// directive in `build_dad` and the `REDISTRIBUTE` statement) must turn
+/// a non-positive `K` into a [`CodegenError`] here instead of panicking
+/// deep inside `f90d_distrib`.
+fn cyclic_block_kind(array: &str, k: i64) -> CResult<DistKind> {
+    if k <= 0 {
+        return cerr(format!("{array}: CYCLIC({k}) block size must be positive"));
+    }
+    Ok(DistKind::BlockCyclic(k))
+}
+
 fn elem_type(ty: Ty) -> ElemType {
     match ty {
         Ty::Integer => ElemType::Int,
@@ -175,12 +189,12 @@ impl<'a> Codegen<'a> {
                     .dist_kinds
                     .iter()
                     .map(|k| match k {
-                        DistKindSpec::Block => DistKind::Block,
-                        DistKindSpec::Cyclic => DistKind::Cyclic,
-                        DistKindSpec::BlockCyclic(k) => DistKind::BlockCyclic(*k),
-                        DistKindSpec::Star => DistKind::Collapsed,
+                        DistKindSpec::Block => Ok(DistKind::Block),
+                        DistKindSpec::Cyclic => Ok(DistKind::Cyclic),
+                        DistKindSpec::BlockCyclic(k) => cyclic_block_kind(name, *k),
+                        DistKindSpec::Star => Ok(DistKind::Collapsed),
                     })
-                    .collect();
+                    .collect::<CResult<_>>()?;
                 DadBuilder::new(name, extents)
                     .template(template)
                     .align(align)
@@ -348,7 +362,7 @@ impl<'a> Codegen<'a> {
                         ast::DistSpec::BlockCyclic(e) => {
                             let v = f90d_frontend::sema::const_eval(e, &info.params)
                                 .map_err(|e| CodegenError(e.to_string()))?;
-                            Ok(DistKind::BlockCyclic(v))
+                            cyclic_block_kind(array, v)
                         }
                         ast::DistSpec::Star => Ok(DistKind::Collapsed),
                     })

@@ -69,6 +69,12 @@ pub struct Executor<'p> {
     /// boundary compute). Off by default — virtual time changes (that is
     /// the point), array results and PRINT do not.
     pub overlap: bool,
+    /// [`CompileOptions::exec_mode`](crate::CompileOptions::exec_mode):
+    /// when `Some`, [`Executor::run`] switches the machine to this
+    /// local-phase mode (leasing threaded workers from the process-wide
+    /// budget) before executing. `None` respects the machine as given.
+    /// Virtual metrics are identical either way.
+    pub exec: Option<f90d_machine::ExecMode>,
 }
 
 /// Loop-variable bindings (global Fortran-value semantics).
@@ -128,6 +134,7 @@ impl<'p> Executor<'p> {
             printed: Vec::new(),
             sched: RunSchedules::new(),
             overlap: false,
+            exec: None,
         }
     }
 
@@ -165,6 +172,7 @@ impl<'p> Executor<'p> {
             printed: Vec::new(),
             sched: RunSchedules::new(),
             overlap: false,
+            exec: None,
         }
     }
 
@@ -172,6 +180,9 @@ impl<'p> Executor<'p> {
     /// leaked in-flight messages or never-completed posted receives
     /// surface as an [`ExecError`] instead of being silently dropped.
     pub fn run(&mut self, m: &mut Machine) -> EResult<ExecReport> {
+        if let Some(mode) = self.exec {
+            m.set_exec(mode);
+        }
         let stmts = &self.prog.stmts;
         let mut env = Env::default();
         self.exec_stmts(stmts, m, &mut env)?;

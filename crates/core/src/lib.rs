@@ -120,6 +120,7 @@ impl Compiled {
                 ex.sched.reuse = self.options.opt.schedule_reuse;
                 ex.sched.use_global = self.options.sched_cache;
                 ex.overlap = self.options.opt.comm_compute_overlap;
+                ex.exec = self.options.exec_mode;
                 let rep = ex.run(m)?;
                 Ok((
                     rep,
@@ -136,6 +137,7 @@ impl Compiled {
                 eng.sched.reuse = self.options.opt.schedule_reuse;
                 eng.sched.use_global = self.options.sched_cache;
                 eng.overlap = self.options.opt.comm_compute_overlap;
+                eng.exec = self.options.exec_mode;
                 let rep = eng.run(m).map_err(|e| exec::ExecError(e.0))?;
                 Ok((
                     ExecReport {

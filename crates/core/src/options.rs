@@ -1,5 +1,7 @@
 //! Compilation options and optimization flags (paper §7).
 
+use f90d_machine::ExecMode;
+
 /// Optimization switches — each corresponds to one of the paper's §7
 /// communication optimizations and is exercised by an ablation benchmark.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +87,17 @@ pub struct CompileOptions {
     /// changes — and [`OptFlags::schedule_reuse`] (the per-run §7(3)
     /// optimization, which *does* shape virtual time) stays independent.
     pub sched_cache: bool,
+    /// Local-phase execution mode applied to the machine when this
+    /// program runs (`repro --exec`). `None` (the default) respects
+    /// whatever mode the caller configured on the
+    /// [`Machine`](f90d_machine::Machine); `Some(mode)` makes
+    /// [`Compiled::run_on`](crate::Compiled::run_on) switch the machine
+    /// via `Machine::set_exec`, leasing threaded workers from the
+    /// process-wide budget. Purely a host-execution choice: every
+    /// virtual metric (and the lowered bytecode — this field is
+    /// deliberately **not** part of the VM program-cache key) is
+    /// identical across modes.
+    pub exec_mode: Option<ExecMode>,
 }
 
 impl Default for CompileOptions {
@@ -94,6 +107,7 @@ impl Default for CompileOptions {
             opt: OptFlags::default(),
             backend: Backend::default(),
             sched_cache: true,
+            exec_mode: None,
         }
     }
 }
@@ -110,6 +124,12 @@ impl CompileOptions {
     /// Same options with a different backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Same options with an explicit local-phase execution mode.
+    pub fn with_exec(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = Some(mode);
         self
     }
 }

@@ -103,6 +103,9 @@ fn run_backend(
     backend: Backend,
     mode: ExecMode,
 ) -> (Vec<ArrayData>, f64, u64, u64, Vec<String>) {
+    // Threaded runs must get a real pool even on single-core CI hosts,
+    // where the default worker budget would degrade them to sequential.
+    f90d_machine::budget::global().ensure_total_at_least(8);
     let opts = CompileOptions::on_grid(grid).with_backend(backend);
     let compiled = compile(src, &opts).expect("compiles");
     let mut m = Machine::with_mode(MachineSpec::ipsc860(), ProcGrid::new(grid), mode);

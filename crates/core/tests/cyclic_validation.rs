@@ -1,0 +1,88 @@
+//! Regression tests: a const-evaluated `CYCLIC(K)` block size of `K ≤ 0`
+//! must surface as a compile-time `CodegenError` at **both** codegen
+//! sites that accept a distribution spec — the `DISTRIBUTE` directive
+//! (`build_dad`) and the executable `REDISTRIBUTE` statement — instead
+//! of tripping the `K > 0` assert inside `f90d_distrib::DimDist::new`
+//! (a panic, for `REDISTRIBUTE` formerly at *run* time).
+
+use f90d_core::{compile, CompileOptions};
+
+/// Site 1: the `DISTRIBUTE` directive, literal zero.
+#[test]
+fn distribute_cyclic_zero_is_codegen_error() {
+    let src = "
+PROGRAM BADDIST
+INTEGER, PARAMETER :: N = 16
+REAL A(N)
+C$ TEMPLATE T(N)
+C$ ALIGN A(I) WITH T(I)
+C$ DISTRIBUTE T(CYCLIC(0))
+FORALL (I=1:N) A(I) = 1.0
+END
+";
+    let err = compile(src, &CompileOptions::on_grid(&[4]))
+        .expect_err("CYCLIC(0) must be rejected, not panic");
+    assert!(
+        err.contains("CYCLIC(0)") && err.contains("positive"),
+        "diagnostic must name the bad spec: {err}"
+    );
+}
+
+/// Site 1 again, with the non-positive size hidden behind a PARAMETER
+/// expression so only const evaluation can see it.
+#[test]
+fn distribute_cyclic_negative_parameter_is_codegen_error() {
+    let src = "
+PROGRAM BADDIST2
+INTEGER, PARAMETER :: N = 16, K = 2
+REAL A(N)
+C$ TEMPLATE T(N)
+C$ ALIGN A(I) WITH T(I)
+C$ DISTRIBUTE T(CYCLIC(K - 4))
+FORALL (I=1:N) A(I) = 1.0
+END
+";
+    let err = compile(src, &CompileOptions::on_grid(&[4]))
+        .expect_err("CYCLIC(-2) must be rejected, not panic");
+    assert!(err.contains("CYCLIC(-2)"), "{err}");
+}
+
+/// Site 2: the executable `REDISTRIBUTE` statement. Before the fix this
+/// compiled fine and the `DimDist::new` assert fired when the program
+/// ran; now it is a compile-time error like the directive site.
+#[test]
+fn redistribute_cyclic_zero_is_codegen_error() {
+    let src = "
+PROGRAM BADRED
+INTEGER, PARAMETER :: N = 16, K = 0
+REAL A(N)
+C$ DISTRIBUTE A(BLOCK)
+FORALL (I=1:N) A(I) = REAL(I*I)
+C$ REDISTRIBUTE A(CYCLIC(K))
+FORALL (I=1:N) A(I) = A(I) + 1.0
+END
+";
+    let err = compile(src, &CompileOptions::on_grid(&[4]))
+        .expect_err("REDISTRIBUTE CYCLIC(0) must be rejected, not panic at run time");
+    assert!(
+        err.contains("CYCLIC(0)") && err.contains("positive"),
+        "diagnostic must name the bad spec: {err}"
+    );
+}
+
+/// Positive sizes keep working at both sites (and `CYCLIC(1)` still
+/// normalizes to plain `CYCLIC` inside the descriptor).
+#[test]
+fn positive_cyclic_k_still_compiles_at_both_sites() {
+    let src = "
+PROGRAM GOODK
+INTEGER, PARAMETER :: N = 16
+REAL A(N)
+C$ DISTRIBUTE A(CYCLIC(3))
+FORALL (I=1:N) A(I) = REAL(I)
+C$ REDISTRIBUTE A(CYCLIC(2))
+FORALL (I=1:N) A(I) = A(I) + 1.0
+END
+";
+    compile(src, &CompileOptions::on_grid(&[4])).expect("positive K compiles");
+}

@@ -2,14 +2,18 @@
 //! programs (1-D and 2-D, random distributions, shifts, masks) must
 //! produce **bit-identical** arrays under `Backend::TreeWalk`,
 //! `Backend::Vm`, and the sequential reference interpreter, across grids
-//! `[1]`, `[2]`, and `[2,2]`.
+//! `[1]`, `[2]`, and `[2,2]` — under a **sampled local-phase execution
+//! mode**: `ExecMode::Threaded` (persistent worker pool, cross-run
+//! schedule cache on as everywhere) must be indistinguishable from
+//! `ExecMode::Sequential` in arrays, virtual time, and elapsed parity
+//! between backends.
 
 use std::collections::HashMap;
 
 use f90d_core::reference::run_reference;
 use f90d_core::{compile, Backend, CompileOptions, Executor};
 use f90d_distrib::ProcGrid;
-use f90d_machine::{ArrayData, Machine, MachineSpec};
+use f90d_machine::{budget, ArrayData, ExecMode, Machine, MachineSpec};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -24,6 +28,7 @@ struct RandProgram {
     scale: f64,
     masked: bool,
     grid: Vec<i64>,
+    exec: ExecMode,
 }
 
 fn offset(c: i64) -> String {
@@ -89,6 +94,10 @@ fn dists() -> impl Strategy<Value = &'static str> {
     prop_oneof![Just("BLOCK"), Just("CYCLIC"), Just("CYCLIC(3)")]
 }
 
+fn exec_modes() -> impl Strategy<Value = ExecMode> {
+    prop_oneof![Just(ExecMode::Sequential), Just(ExecMode::Threaded)]
+}
+
 fn rand_program() -> impl Strategy<Value = RandProgram> {
     (
         1usize..=2,
@@ -100,9 +109,10 @@ fn rand_program() -> impl Strategy<Value = RandProgram> {
         prop_oneof![Just(0.5f64), Just(1.0), Just(-2.0)],
         any::<bool>(),
         0usize..3,
+        exec_modes(),
     )
         .prop_map(
-            |(ndim, n, dist, dist2, shift1, shift2, scale, masked, grid_pick)| {
+            |(ndim, n, dist, dist2, shift1, shift2, scale, masked, grid_pick, exec)| {
                 // The issue's grid matrix: [1], [2] for 1-D programs and
                 // [1,1], [2,1], [2,2] for 2-D ones.
                 let grid = match (ndim, grid_pick) {
@@ -122,6 +132,7 @@ fn rand_program() -> impl Strategy<Value = RandProgram> {
                     scale,
                     masked,
                     grid,
+                    exec,
                 }
             },
         )
@@ -139,6 +150,9 @@ proptest! {
 
     #[test]
     fn backends_and_reference_bit_identical(p in rand_program()) {
+        // Single-core hosts would otherwise degrade every threaded
+        // sample to sequential; raise the budget so the pool is real.
+        budget::global().ensure_total_at_least(8);
         let src = program(&p);
         let inits = host_inits(&p);
         let names = ["A", "B", "C"];
@@ -149,8 +163,8 @@ proptest! {
             .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
         let reference = run_reference(&compiled.analyzed, &inits).unwrap();
 
-        // Tree walker.
-        let mut m = Machine::new(MachineSpec::ideal(), ProcGrid::new(&p.grid));
+        // Tree walker, under the sampled execution mode.
+        let mut m = Machine::with_mode(MachineSpec::ideal(), ProcGrid::new(&p.grid), p.exec);
         let mut ex = Executor::new(&compiled.spmd, &mut m);
         for (name, data) in &inits {
             prop_assert!(ex.seed_array(&mut m, name, data));
@@ -164,7 +178,7 @@ proptest! {
         // Bytecode engine.
         let compiled_vm = compile(&src, &opts.clone().with_backend(Backend::Vm)).unwrap();
         let prog = compiled_vm.vm_program().unwrap_or_else(|e| panic!("lowering failed: {e}\n{src}"));
-        let mut m2 = Machine::new(MachineSpec::ideal(), ProcGrid::new(&p.grid));
+        let mut m2 = Machine::with_mode(MachineSpec::ideal(), ProcGrid::new(&p.grid), p.exec);
         let mut eng = f90d_vm::Engine::new(prog, &mut m2);
         for (name, data) in &inits {
             prop_assert!(eng.seed_array(&mut m2, name, data));
@@ -185,5 +199,28 @@ proptest! {
         }
         // Virtual time parity between the distributed backends.
         prop_assert_eq!(m.elapsed(), m2.elapsed(), "virtual time differs\n{}", src);
+
+        // Threaded samples additionally anchor against an explicitly
+        // sequential tree-walk run: arrays AND virtual time must be
+        // bit-identical across execution modes.
+        if p.exec == ExecMode::Threaded {
+            let mut ms = Machine::new(MachineSpec::ideal(), ProcGrid::new(&p.grid));
+            let mut exs = Executor::new(&compiled.spmd, &mut ms);
+            for (name, data) in &inits {
+                prop_assert!(exs.seed_array(&mut ms, name, data));
+            }
+            exs.run(&mut ms).unwrap_or_else(|e| panic!("sequential anchor failed: {e}\n{src}"));
+            for (k, name) in names.iter().enumerate() {
+                let seq = exs.gather_array(&mut ms, name).unwrap();
+                prop_assert_eq!(
+                    &tw[k], &seq,
+                    "array {} differs: threaded vs sequential\n{}", name, src
+                );
+            }
+            prop_assert_eq!(
+                m.elapsed().to_bits(), ms.elapsed().to_bits(),
+                "virtual time must be mode-independent\n{}", src
+            );
+        }
     }
 }

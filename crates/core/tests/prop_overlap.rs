@@ -1,5 +1,7 @@
 //! Differential property test for the transport redesign: random shift
-//! kernels × grids × both backends.
+//! kernels × grids × both backends × both local-phase execution modes
+//! (threaded runs lease pool workers from the process-wide budget and
+//! must be bit-identical to sequential ones, including under overlap).
 //!
 //! * **Blocking wrappers**: executing through the posted-operation API's
 //!   post-then-finish wrappers must be deterministic and bit-identical
@@ -13,7 +15,7 @@
 
 use f90d_core::{compile, Backend, CompileOptions, Executor};
 use f90d_distrib::ProcGrid;
-use f90d_machine::{ArrayData, Machine, MachineSpec};
+use f90d_machine::{budget, ArrayData, ExecMode, Machine, MachineSpec};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -24,6 +26,7 @@ struct ShiftKernel {
     iters: i64,
     grid: Vec<i64>,
     machine: &'static str,
+    exec: ExecMode,
 }
 
 fn offset(c: i64) -> String {
@@ -73,15 +76,19 @@ fn kernels() -> impl Strategy<Value = ShiftKernel> {
         1i64..=3,
         prop_oneof![Just(vec![1]), Just(vec![2]), Just(vec![4])],
         prop_oneof![Just("ipsc860"), Just("ncube2")],
+        prop_oneof![Just(ExecMode::Sequential), Just(ExecMode::Threaded)],
     )
-        .prop_map(|(n, shift1, shift2, iters, grid, machine)| ShiftKernel {
-            n,
-            shift1,
-            shift2,
-            iters,
-            grid,
-            machine,
-        })
+        .prop_map(
+            |(n, shift1, shift2, iters, grid, machine, exec)| ShiftKernel {
+                n,
+                shift1,
+                shift2,
+                iters,
+                grid,
+                machine,
+                exec,
+            },
+        )
 }
 
 fn spec_of(name: &str) -> MachineSpec {
@@ -93,8 +100,11 @@ fn spec_of(name: &str) -> MachineSpec {
 
 type Metrics = (u64, u64, u64, Vec<String>, Vec<ArrayData>);
 
-/// `(virt_bits, messages, bytes, printed, arrays)` of one run.
-fn run(p: &ShiftKernel, backend: Backend, overlap: bool) -> Metrics {
+/// `(virt_bits, messages, bytes, printed, arrays)` of one run under an
+/// explicit execution mode, wired through the executor/engine `exec`
+/// field exactly as `CompileOptions::exec_mode` is.
+fn run_exec(p: &ShiftKernel, backend: Backend, overlap: bool, exec: ExecMode) -> Metrics {
+    budget::global().ensure_total_at_least(8);
     let src = program(p);
     let mut opts = CompileOptions::on_grid(&p.grid).with_backend(backend);
     opts.opt.comm_compute_overlap = overlap;
@@ -104,6 +114,7 @@ fn run(p: &ShiftKernel, backend: Backend, overlap: bool) -> Metrics {
         Backend::TreeWalk => {
             let mut ex = Executor::new(&compiled.spmd, &mut m);
             ex.overlap = overlap;
+            ex.exec = Some(exec);
             let rep = ex
                 .run(&mut m)
                 .unwrap_or_else(|e| panic!("tree walk failed: {e}\n{src}"));
@@ -125,6 +136,7 @@ fn run(p: &ShiftKernel, backend: Backend, overlap: bool) -> Metrics {
                 .unwrap_or_else(|e| panic!("lowering failed: {e}\n{src}"));
             let mut eng = f90d_vm::Engine::new(prog, &mut m);
             eng.overlap = overlap;
+            eng.exec = Some(exec);
             let rep = eng
                 .run(&mut m)
                 .unwrap_or_else(|e| panic!("vm failed: {e}\n{src}"));
@@ -143,6 +155,11 @@ fn run(p: &ShiftKernel, backend: Backend, overlap: bool) -> Metrics {
     }
 }
 
+/// [`run_exec`] under the kernel's sampled mode.
+fn run(p: &ShiftKernel, backend: Backend, overlap: bool) -> Metrics {
+    run_exec(p, backend, overlap, p.exec)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -153,11 +170,18 @@ proptest! {
         prop_assert_eq!(&tw, &tw2, "blocking wrappers must be deterministic");
         let vm = run(&p, Backend::Vm, false);
         prop_assert_eq!(&tw, &vm, "blocking metrics must agree across backends");
+        // Execution mode must be invisible in every metric: anchor the
+        // sampled mode against an explicitly sequential run.
+        let seq = run_exec(&p, Backend::TreeWalk, false, ExecMode::Sequential);
+        prop_assert_eq!(&tw, &seq, "threaded must be bit-identical to sequential");
     }
 
     #[test]
     fn overlap_preserves_results_and_never_slows(p in kernels()) {
-        let (tb, msg_b, by_b, pr_b, arr_b) = run(&p, Backend::TreeWalk, false);
+        // Sequential blocking anchor: the overlap runs below execute in
+        // the sampled mode, so this also differentially tests
+        // threaded × overlap × schedule-cache against sequential.
+        let (tb, msg_b, by_b, pr_b, arr_b) = run_exec(&p, Backend::TreeWalk, false, ExecMode::Sequential);
         for backend in [Backend::TreeWalk, Backend::Vm] {
             let (to, msg_o, by_o, pr_o, arr_o) = run(&p, backend, true);
             prop_assert_eq!(msg_o, msg_b, "messages invariant under overlap");

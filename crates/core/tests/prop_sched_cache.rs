@@ -3,11 +3,14 @@
 //! backends must produce **bit-identical** virtual time, message/byte
 //! counts, PRINT output and machine stats whether the process-wide
 //! schedule cache is cold, warm (the hit path that skips the inspector
-//! rebuild), or disabled (`repro --no-sched-cache`).
+//! rebuild), or disabled (`repro --no-sched-cache`) — and whichever
+//! local-phase execution mode (`CompileOptions::exec_mode`) is sampled,
+//! so threaded × schedule-cache interactions are differentially tested
+//! against sequential through the same `run_on` path the harness uses.
 
 use f90d_core::{compile, Backend, CompileOptions, ExecReport};
 use f90d_distrib::ProcGrid;
-use f90d_machine::{Machine, MachineSpec};
+use f90d_machine::{budget, ExecMode, Machine, MachineSpec};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -21,6 +24,7 @@ struct RandIrregular {
     dist: &'static str,
     grid: Vec<i64>,
     backend: Backend,
+    exec: ExecMode,
 }
 
 /// An irregular kernel in the shape of the paper's §4 example 3: a
@@ -69,28 +73,34 @@ fn rand_irregular() -> impl Strategy<Value = RandIrregular> {
         prop_oneof![Just("BLOCK"), Just("CYCLIC"), Just("CYCLIC(3)")],
         0usize..3,
         any::<bool>(),
+        prop_oneof![Just(ExecMode::Sequential), Just(ExecMode::Threaded)],
     )
-        .prop_map(|(n, ku, kv, iters, dist, grid_pick, vm)| RandIrregular {
-            n,
-            ku,
-            kv,
-            iters,
-            dist,
-            grid: match grid_pick {
-                0 => vec![1],
-                1 => vec![2],
-                _ => vec![4],
+        .prop_map(
+            |(n, ku, kv, iters, dist, grid_pick, vm, exec)| RandIrregular {
+                n,
+                ku,
+                kv,
+                iters,
+                dist,
+                grid: match grid_pick {
+                    0 => vec![1],
+                    1 => vec![2],
+                    _ => vec![4],
+                },
+                backend: if vm { Backend::Vm } else { Backend::TreeWalk },
+                exec,
             },
-            backend: if vm { Backend::Vm } else { Backend::TreeWalk },
-        })
+        )
 }
 
 /// One full run on a fresh machine; returns the report plus the sorted
 /// machine stats (schedule builders must be *recorded* identically even
 /// when the cache skips the rebuild).
 fn run(src: &str, p: &RandIrregular, sched_cache: bool) -> (ExecReport, Vec<(&'static str, u64)>) {
+    budget::global().ensure_total_at_least(8);
     let mut opts = CompileOptions::on_grid(&p.grid).with_backend(p.backend);
     opts.sched_cache = sched_cache;
+    opts.exec_mode = Some(p.exec);
     let compiled = compile(src, &opts).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
     let mut m = Machine::new(MachineSpec::ipsc860(), ProcGrid::new(&p.grid));
     let rep = compiled
@@ -121,6 +131,11 @@ proptest! {
         let (cold, stats_cold) = run(&src, &p, true);
         let (warm, stats_warm) = run(&src, &p, true);
         let (off, stats_off) = run(&src, &p, false);
+        // Execution-mode anchor: the same cell explicitly sequential.
+        let seq = RandIrregular { exec: ExecMode::Sequential, ..p.clone() };
+        let (seq_rep, stats_seq) = run(&src, &seq, true);
+        assert_bit_identical(&cold, &seq_rep, "sampled exec mode vs sequential", &src);
+        prop_assert_eq!(&stats_cold, &stats_seq, "stats differ threaded vs sequential\n{}", &src);
         assert_bit_identical(&cold, &warm, "first cached vs warm rerun", &src);
         assert_bit_identical(&cold, &off, "cached vs --no-sched-cache", &src);
         prop_assert_eq!(&stats_cold, &stats_warm, "stats differ cached vs warm\n{}", &src);

@@ -1,0 +1,189 @@
+//! Process-wide worker-budget policy.
+//!
+//! The repro harness runs matrix cells on its own pool of job threads;
+//! with [`ExecMode::Threaded`](crate::ExecMode::Threaded) each cell's
+//! [`Machine`](crate::Machine) additionally wants `P` local-phase
+//! workers. Unchecked, that is `jobs × P` compute threads on a host with
+//! some fixed parallelism — oversubscription that slows every cell down
+//! (the ROADMAP item this module closes). The [`WorkerBudget`] is the
+//! arbiter: a process-wide pot of worker slots (default: the host's
+//! available parallelism, `repro --workers N` to override) that machines
+//! [`lease`](WorkerBudget::lease) pool workers from and return on drop.
+//!
+//! Leasing is best-effort and never blocks: a machine asks for up to `P`
+//! workers and is granted whatever is still available — possibly zero,
+//! in which case it degrades gracefully to sequential execution on the
+//! calling thread (which is always correct: execution is virtual-time
+//! deterministic, threading only changes host wall clock). Grants of a
+//! single worker are rounded down to zero for the same reason: a
+//! one-thread pool is sequential execution plus synchronization
+//! overhead. A consequence the tests pin down: with a budget of 1 the
+//! whole process is provably sequential.
+//!
+//! Harness job threads are deliberately **not** counted against the
+//! budget: while a cell's phases run on pool workers, its job thread is
+//! blocked in [`WorkerPool::run_scoped`](crate::pool::WorkerPool::run_scoped),
+//! so it occupies no core.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+struct BudgetState {
+    total: usize,
+    in_use: usize,
+}
+
+/// A pot of worker slots shared by every threaded
+/// [`Machine`](crate::Machine) in the process (via [`global`]), or by
+/// whatever set of machines a test hands an instance to.
+pub struct WorkerBudget {
+    state: Mutex<BudgetState>,
+}
+
+impl WorkerBudget {
+    /// A budget of `total` worker slots.
+    pub fn new(total: usize) -> Arc<WorkerBudget> {
+        Arc::new(WorkerBudget {
+            state: Mutex::new(BudgetState { total, in_use: 0 }),
+        })
+    }
+
+    /// Lease up to `want` workers without blocking. The grant is
+    /// `min(want, available)`, rounded down to zero when that is less
+    /// than two (a one-thread pool cannot beat sequential execution).
+    /// The returned lease releases its grant on drop — including during
+    /// a panic unwind, which is what guarantees a crashed matrix cell
+    /// returns its workers.
+    pub fn lease(self: &Arc<Self>, want: usize) -> WorkerLease {
+        let mut st = self.state.lock().unwrap();
+        let available = st.total.saturating_sub(st.in_use);
+        let grant = want.min(available);
+        let grant = if grant < 2 { 0 } else { grant };
+        st.in_use += grant;
+        drop(st);
+        WorkerLease {
+            budget: Arc::clone(self),
+            workers: grant,
+        }
+    }
+
+    /// Total worker slots.
+    pub fn total(&self) -> usize {
+        self.state.lock().unwrap().total
+    }
+
+    /// Worker slots currently leased out.
+    pub fn in_use(&self) -> usize {
+        self.state.lock().unwrap().in_use
+    }
+
+    /// Replace the total (the `repro --workers N` override). Outstanding
+    /// leases are unaffected; lowering the total below `in_use` simply
+    /// means no new grants until enough leases are returned.
+    pub fn set_total(&self, total: usize) {
+        self.state.lock().unwrap().total = total;
+    }
+
+    /// Raise the total to at least `n` (never lowers it). Tests that
+    /// must exercise real pools call this so they stay meaningful on
+    /// single-core CI hosts, where the default budget would degrade
+    /// every machine to sequential.
+    pub fn ensure_total_at_least(&self, n: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.total = st.total.max(n);
+    }
+}
+
+/// An RAII grant of worker slots from a [`WorkerBudget`]. Dropping it —
+/// normally or during panic unwind — returns the grant.
+pub struct WorkerLease {
+    budget: Arc<WorkerBudget>,
+    workers: usize,
+}
+
+impl WorkerLease {
+    /// Number of workers granted (possibly zero: degrade to sequential).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl std::fmt::Debug for WorkerLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerLease")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for WorkerLease {
+    fn drop(&mut self) {
+        if self.workers > 0 {
+            let mut st = self.budget.state.lock().unwrap();
+            st.in_use = st.in_use.saturating_sub(self.workers);
+        }
+    }
+}
+
+/// The process-wide budget. Starts at the host's available parallelism;
+/// [`configure`] (or `WorkerBudget::set_total`) overrides it.
+pub fn global() -> &'static Arc<WorkerBudget> {
+    static GLOBAL: OnceLock<Arc<WorkerBudget>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        WorkerBudget::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Set the process-wide budget total (the `repro --workers N` flag).
+pub fn configure(total: usize) {
+    global().set_total(total);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_capped_and_returned() {
+        let b = WorkerBudget::new(5);
+        let l1 = b.lease(3);
+        assert_eq!(l1.workers(), 3);
+        assert_eq!(b.in_use(), 3);
+        // Only 2 left: a want of 4 is trimmed to the remainder.
+        let l2 = b.lease(4);
+        assert_eq!(l2.workers(), 2);
+        assert_eq!(b.in_use(), 5);
+        // Exhausted: grant is zero, not blocking.
+        let l3 = b.lease(4);
+        assert_eq!(l3.workers(), 0);
+        drop(l1);
+        assert_eq!(b.in_use(), 2);
+        drop(l2);
+        drop(l3);
+        assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    fn single_worker_grants_round_down_to_zero() {
+        let b = WorkerBudget::new(1);
+        assert_eq!(b.lease(4).workers(), 0, "budget=1 must stay sequential");
+        let b = WorkerBudget::new(8);
+        assert_eq!(b.lease(1).workers(), 0, "a 1-thread pool is pointless");
+        let _l = b.lease(7);
+        assert_eq!(b.lease(4).workers(), 0, "only 1 slot left");
+    }
+
+    #[test]
+    fn totals_can_move_under_outstanding_leases() {
+        let b = WorkerBudget::new(4);
+        let l = b.lease(4);
+        b.set_total(2);
+        assert_eq!(b.lease(2).workers(), 0, "lowered below in_use");
+        drop(l);
+        assert_eq!(b.in_use(), 0);
+        b.ensure_total_at_least(6);
+        assert_eq!(b.total(), 6);
+        b.ensure_total_at_least(3);
+        assert_eq!(b.total(), 6, "ensure never lowers");
+        assert_eq!(b.lease(9).workers(), 6);
+    }
+}

@@ -23,6 +23,11 @@
 //! * [`machine`] — ties spec + grid + memories + clocks + statistics into
 //!   the [`machine::Machine`] SPMD substrate, and provides the loosely
 //!   synchronous local-phase executors (sequential and threaded).
+//! * [`pool`] / [`budget`] — the persistent chunked worker pool behind
+//!   [`machine::ExecMode::Threaded`] and the process-wide worker budget
+//!   that keeps `harness jobs × per-machine workers` within the host's
+//!   parallelism (machines lease workers per run and degrade gracefully
+//!   to sequential when the budget is exhausted).
 //!
 //! Virtual time: every node has a clock. Local computation advances one
 //! node's clock by a modelled cost; a message from `s` to `d` of `m` bytes
@@ -32,14 +37,18 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod machine;
 pub mod memory;
+pub mod pool;
 pub mod spec;
 pub mod transport;
 pub mod value;
 
+pub use budget::{WorkerBudget, WorkerLease};
 pub use machine::{ExecMode, Machine, MachineStats};
 pub use memory::{LocalArray, NodeMemory};
+pub use pool::WorkerPool;
 pub use spec::{MachineSpec, Topology};
 pub use transport::{MailboxTransport, RecvHandle, Transport, TransportError};
 pub use value::{ArrayData, ElemType, Value};

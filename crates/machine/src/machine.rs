@@ -4,16 +4,28 @@
 //! Generated SPMD programs alternate *local computation* phases and
 //! *global communication* phases (paper §2). `Machine::local_phase` runs a
 //! per-rank closure over every node memory — sequentially, or truly in
-//! parallel over std scoped threads ([`ExecMode::Threaded`]) — and
-//! charges each node's modelled cost to its virtual clock. Communication
-//! phases are executed by the collective library (`f90d-comm`) through the
-//! machine's [`MailboxTransport`].
+//! parallel on the machine's persistent [`WorkerPool`]
+//! ([`ExecMode::Threaded`]) — and charges each node's modelled cost to
+//! its virtual clock. Communication phases are executed by the collective
+//! library (`f90d-comm`) through the machine's [`MailboxTransport`].
+//!
+//! Threaded execution is budgeted: [`Machine::set_exec`] leases pool
+//! workers from the process-wide [`crate::budget`], so any number
+//! of machines running concurrently (the repro harness runs one per
+//! matrix cell) never exceed the configured host parallelism; a machine
+//! that gets no grant degrades gracefully to sequential execution.
+//! Either way the run is *identical* in every virtual metric — ranks
+//! never share state inside a phase and costs are charged in rank order
+//! afterwards — which is what keeps `--exec threaded` bit-exact against
+//! the sequential `BENCH_baseline.json`.
 
 use std::collections::HashMap;
 
 use f90d_distrib::ProcGrid;
 
+use crate::budget;
 use crate::memory::NodeMemory;
+use crate::pool::WorkerPool;
 use crate::spec::MachineSpec;
 use crate::transport::MailboxTransport;
 
@@ -24,9 +36,30 @@ pub enum ExecMode {
     /// what the paper-figure reproductions use (time is virtual anyway).
     #[default]
     Sequential,
-    /// All ranks concurrently on crossbeam scoped threads — demonstrates
-    /// that generated node programs are genuinely parallel programs.
+    /// Ranks concurrently, chunked over the machine's persistent
+    /// [`WorkerPool`] — demonstrates that generated node programs are
+    /// genuinely parallel programs. Falls back to sequential when the
+    /// process-wide worker [`budget`] grants no workers.
     Threaded,
+}
+
+impl ExecMode {
+    /// Name used by `repro --exec` and `results.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Sequential => "sequential",
+            ExecMode::Threaded => "threaded",
+        }
+    }
+
+    /// Parse a `repro --exec` value.
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s {
+            "sequential" => Some(ExecMode::Sequential),
+            "threaded" => Some(ExecMode::Threaded),
+            _ => None,
+        }
+    }
 }
 
 /// Per-primitive call counters, for communication-volume experiments.
@@ -68,10 +101,16 @@ pub struct Machine {
     pub transport: MailboxTransport,
     /// Per-rank memories, indexed by physical rank.
     pub mems: Vec<NodeMemory>,
-    /// Local-phase execution mode.
+    /// Local-phase execution mode. Read-only for most callers: use
+    /// [`Machine::set_exec`] to change it, which also manages the worker
+    /// pool (setting the field directly leaves `Threaded` without a pool
+    /// and the machine silently runs sequentially).
     pub mode: ExecMode,
     /// Primitive call counters.
     pub stats: MachineStats,
+    /// Persistent local-phase worker pool (`Threaded` only; `None` means
+    /// phases run sequentially). Holds its budget lease until dropped.
+    pool: Option<WorkerPool>,
     tag_seq: u32,
 }
 
@@ -94,6 +133,7 @@ impl Machine {
             mems: (0..n).map(|_| NodeMemory::new()).collect(),
             mode: ExecMode::Sequential,
             stats: MachineStats::default(),
+            pool: None,
             tag_seq: 0,
         }
     }
@@ -105,11 +145,40 @@ impl Machine {
         self.tag_seq
     }
 
-    /// Build with an explicit execution mode.
+    /// Build with an explicit execution mode (leasing pool workers from
+    /// the global [`budget`] for [`ExecMode::Threaded`]).
     pub fn with_mode(spec: MachineSpec, grid: ProcGrid, mode: ExecMode) -> Self {
         let mut m = Self::new(spec, grid);
-        m.mode = mode;
+        m.set_exec(mode);
         m
+    }
+
+    /// Switch the local-phase execution mode. `Threaded` leases up to
+    /// one worker per rank from the process-wide worker
+    /// [`budget`] and keeps the resulting [`WorkerPool`]
+    /// (and its lease) until the machine switches back to `Sequential`
+    /// or is dropped; if the budget grants fewer than two workers the
+    /// machine degrades gracefully to sequential execution
+    /// ([`Machine::workers`] reports 0). Every virtual metric is
+    /// identical in either mode.
+    pub fn set_exec(&mut self, mode: ExecMode) {
+        self.mode = mode;
+        match mode {
+            ExecMode::Sequential => self.pool = None,
+            ExecMode::Threaded => {
+                if self.pool.is_none() && self.mems.len() > 1 {
+                    let lease = budget::global().lease(self.mems.len());
+                    self.pool = WorkerPool::with_lease(lease);
+                }
+            }
+        }
+    }
+
+    /// Live pool workers backing threaded phases (0 = phases run
+    /// sequentially on the calling thread). Recorded per matrix cell in
+    /// `results.json`.
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::workers)
     }
 
     /// Number of nodes.
@@ -141,68 +210,64 @@ impl Machine {
     where
         F: Fn(i64, &mut NodeMemory) -> i64 + Sync,
     {
-        let costs: Vec<i64> = match self.mode {
-            ExecMode::Sequential => self
-                .mems
-                .iter_mut()
-                .enumerate()
-                .map(|(r, mem)| f(r as i64, mem))
-                .collect(),
-            ExecMode::Threaded => {
-                let mut costs = vec![0i64; self.mems.len()];
-                std::thread::scope(|s| {
-                    for ((r, mem), c) in self.mems.iter_mut().enumerate().zip(costs.iter_mut()) {
-                        let f = &f;
-                        s.spawn(move || {
-                            *c = f(r as i64, mem);
-                        });
-                    }
-                });
-                costs
-            }
-        };
-        for (r, ops) in costs.into_iter().enumerate() {
-            self.transport.charge_elem_ops(r as i64, ops);
-        }
+        self.local_phase_map(|r, mem| ((), f(r, mem)));
     }
 
     /// Like [`Machine::local_phase`] but also collects a per-rank result.
+    ///
+    /// Under [`ExecMode::Threaded`] the ranks are split into at most
+    /// `workers` contiguous chunks, one pool task each (not one thread
+    /// per rank): per-phase overhead is a condvar wake on the persistent
+    /// pool instead of P thread spawns. Each rank still sees exactly its
+    /// own [`NodeMemory`], results land in pre-partitioned slots, and
+    /// costs are charged in rank order after the phase — so every
+    /// virtual metric is bit-identical to sequential execution.
     pub fn local_phase_map<T, F>(&mut self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(i64, &mut NodeMemory) -> (T, i64) + Sync,
     {
-        let mut out: Vec<Option<T>> = (0..self.mems.len()).map(|_| None).collect();
-        match self.mode {
-            ExecMode::Sequential => {
+        let n = self.mems.len();
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut costs = vec![0i64; n];
+        match (&self.pool, self.mode) {
+            (Some(pool), ExecMode::Threaded) if n > 1 => {
+                let chunk = n.div_ceil(pool.workers().min(n));
+                let f = &f;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+                    .mems
+                    .chunks_mut(chunk)
+                    .zip(out.chunks_mut(chunk))
+                    .zip(costs.chunks_mut(chunk))
+                    .enumerate()
+                    .map(|(ci, ((mems, slots), cs))| {
+                        let base = ci * chunk;
+                        Box::new(move || {
+                            for (j, ((mem, slot), c)) in mems
+                                .iter_mut()
+                                .zip(slots.iter_mut())
+                                .zip(cs.iter_mut())
+                                .enumerate()
+                            {
+                                let (v, ops) = f((base + j) as i64, mem);
+                                *slot = Some(v);
+                                *c = ops;
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run_scoped(tasks);
+            }
+            _ => {
                 for (r, mem) in self.mems.iter_mut().enumerate() {
                     let (v, ops) = f(r as i64, mem);
                     out[r] = Some(v);
-                    self.transport.charge_elem_ops(r as i64, ops);
+                    costs[r] = ops;
                 }
             }
-            ExecMode::Threaded => {
-                let mut costs = vec![0i64; self.mems.len()];
-                std::thread::scope(|s| {
-                    for (((r, mem), c), slot) in self
-                        .mems
-                        .iter_mut()
-                        .enumerate()
-                        .zip(costs.iter_mut())
-                        .zip(out.iter_mut())
-                    {
-                        let f = &f;
-                        s.spawn(move || {
-                            let (v, ops) = f(r as i64, mem);
-                            *slot = Some(v);
-                            *c = ops;
-                        });
-                    }
-                });
-                for (r, ops) in costs.into_iter().enumerate() {
-                    self.transport.charge_elem_ops(r as i64, ops);
-                }
-            }
+        }
+        for (r, ops) in costs.into_iter().enumerate() {
+            self.transport.charge_elem_ops(r as i64, ops);
         }
         out.into_iter()
             .map(|o| o.expect("phase filled slot"))
@@ -223,6 +288,10 @@ mod tests {
     use crate::value::{ElemType, Value};
 
     fn machine(n: i64, mode: ExecMode) -> Machine {
+        // On a single-core host the default budget would degrade every
+        // threaded machine to sequential; raise it so these tests
+        // exercise the real pool.
+        budget::global().ensure_total_at_least(8);
         Machine::with_mode(MachineSpec::ideal(), ProcGrid::new(&[n]), mode)
     }
 
@@ -251,9 +320,24 @@ mod tests {
     #[test]
     fn local_phase_map_collects_results() {
         let mut m = machine(3, ExecMode::Threaded);
+        assert!(m.workers() >= 2, "budget raised, pool expected");
         let vals = m.local_phase_map(|r, _| (r * r, r));
         assert_eq!(vals, vec![0, 1, 4]);
         assert_eq!(m.transport.clock(2), 2.0);
+    }
+
+    #[test]
+    fn set_exec_round_trips_pool_and_lease() {
+        let mut m = machine(4, ExecMode::Threaded);
+        let w = m.workers();
+        assert!(w >= 2);
+        m.set_exec(ExecMode::Sequential);
+        assert_eq!(m.workers(), 0, "pool released on switch to sequential");
+        m.set_exec(ExecMode::Threaded);
+        assert!(m.workers() >= 2, "pool re-leased");
+        // Phases agree across the switchovers.
+        m.local_phase(|r, _| r + 1);
+        assert_eq!(m.transport.clock(3), 4.0);
     }
 
     #[test]

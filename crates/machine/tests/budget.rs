@@ -1,0 +1,196 @@
+//! Worker-budget policy battery:
+//!
+//! * live pool threads never exceed the configured budget, however many
+//!   machines (≈ harness `jobs × P`) run concurrently;
+//! * a panicking cell releases its lease (RAII drop during unwind) and
+//!   joins its pool threads;
+//! * `budget = 1` is provably fully sequential (zero pool threads) with
+//!   bit-identical results.
+//!
+//! These tests mutate the process-wide budget, so they serialize on a
+//! local lock; nothing else in this test binary touches it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use f90d_distrib::ProcGrid;
+use f90d_machine::{budget, pool, ExecMode, Machine, MachineSpec};
+
+static BUDGET_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    BUDGET_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn machine(p: i64, mode: ExecMode) -> Machine {
+    Machine::with_mode(MachineSpec::ideal(), ProcGrid::new(&[p]), mode)
+}
+
+/// Run a few phases and return the final clock of the last rank —
+/// enough to compare threaded and sequential execution.
+fn run_phases(m: &mut Machine) -> (Vec<i64>, f64) {
+    let vals = m.local_phase_map(|r, _| (r * r + 1, r + 1));
+    m.local_phase(|r, _| 2 * r);
+    (vals, m.transport.clock(m.nranks() - 1))
+}
+
+#[test]
+fn live_workers_never_exceed_budget() {
+    let _g = lock();
+    budget::global().set_total(3);
+    assert_eq!(pool::live_workers(), 0, "no pools yet");
+
+    // First machine wants 4 workers, gets the whole pot of 3.
+    let m1 = machine(4, ExecMode::Threaded);
+    assert_eq!(m1.workers(), 3);
+    assert_eq!(pool::live_workers(), 3);
+    assert_eq!(budget::global().in_use(), 3);
+
+    // Second concurrent machine: pot is empty, degrades to sequential.
+    let m2 = machine(4, ExecMode::Threaded);
+    assert_eq!(m2.workers(), 0, "budget exhausted → sequential");
+    assert_eq!(pool::live_workers(), 3, "no extra threads spawned");
+
+    // Releasing the first machine returns its grant — and the threads
+    // are joined *before* the lease is released, so the freed budget is
+    // never double-counted against still-live threads.
+    drop(m1);
+    assert_eq!(pool::live_workers(), 0);
+    assert_eq!(budget::global().in_use(), 0);
+    let m3 = machine(4, ExecMode::Threaded);
+    assert_eq!(m3.workers(), 3);
+    drop(m3);
+    drop(m2);
+}
+
+/// The harness shape: `jobs` concurrent cells, each wanting `P` pool
+/// workers. A sampler races the cells and asserts the live pool-thread
+/// count never exceeds the budget — i.e. `P × jobs` threads never
+/// materialize.
+#[test]
+fn concurrent_machines_stay_within_budget() {
+    let _g = lock();
+    const BUDGET: usize = 4;
+    budget::global().set_total(BUDGET);
+    assert_eq!(pool::live_workers(), 0);
+
+    const CELL_THREADS: usize = 6;
+    let done = AtomicUsize::new(0);
+    let max_seen = AtomicUsize::new(0);
+    let over_budget_grants = AtomicUsize::new(0);
+    // Counts a cell thread as done even if it panics — otherwise the
+    // sampler would spin forever and a failure would hang the test.
+    struct DoneOnDrop<'a>(&'a AtomicUsize);
+    impl Drop for DoneOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    std::thread::scope(|s| {
+        // Sampler: races the cells, exits once every cell thread is done.
+        s.spawn(|| {
+            while done.load(Ordering::SeqCst) < CELL_THREADS {
+                max_seen.fetch_max(pool::live_workers(), Ordering::SeqCst);
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..CELL_THREADS {
+            s.spawn(|| {
+                let _done = DoneOnDrop(&done);
+                for _ in 0..8 {
+                    let mut m = machine(4, ExecMode::Threaded);
+                    if budget::global().in_use() > BUDGET {
+                        over_budget_grants.fetch_add(1, Ordering::SeqCst);
+                    }
+                    run_phases(&mut m);
+                    // Machine (pool + lease) dropped each iteration.
+                }
+            });
+        }
+    });
+    assert_eq!(over_budget_grants.load(Ordering::SeqCst), 0);
+    assert!(
+        max_seen.load(Ordering::SeqCst) <= BUDGET,
+        "sampled {} live pool threads > budget {BUDGET}",
+        max_seen.load(Ordering::SeqCst)
+    );
+    assert_eq!(pool::live_workers(), 0, "all pools drained");
+    assert_eq!(budget::global().in_use(), 0, "all leases returned");
+}
+
+#[test]
+fn cell_panic_releases_lease_and_joins_pool() {
+    let _g = lock();
+    budget::global().set_total(4);
+    assert_eq!(budget::global().in_use(), 0);
+
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let mut m = machine(4, ExecMode::Threaded);
+        assert!(m.workers() >= 2, "test needs a real pool");
+        m.local_phase(|r, _| {
+            if r == 2 {
+                panic!("rank 2 exploded mid-phase");
+            }
+            1
+        });
+    }));
+    assert!(r.is_err(), "phase panic must propagate to the cell");
+    // The unwind dropped the machine: pool joined, lease returned.
+    assert_eq!(pool::live_workers(), 0, "pool threads joined on unwind");
+    assert_eq!(budget::global().in_use(), 0, "lease released on unwind");
+
+    // The budget is immediately usable again.
+    let m = machine(4, ExecMode::Threaded);
+    assert_eq!(m.workers(), 4);
+}
+
+#[test]
+fn machine_survives_phase_panic() {
+    let _g = lock();
+    budget::global().set_total(4);
+    let mut m = machine(4, ExecMode::Threaded);
+    assert!(m.workers() >= 2);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        m.local_phase(|r, _| if r == 1 { panic!("boom") } else { 0 });
+    }));
+    assert!(r.is_err());
+    // Pool workers caught the unwind and kept running: the same machine
+    // executes the next phase normally.
+    let (vals, _) = run_phases(&mut m);
+    assert_eq!(vals, vec![1, 2, 5, 10]);
+}
+
+#[test]
+fn budget_one_is_fully_sequential_and_identical() {
+    let _g = lock();
+    budget::global().set_total(1);
+
+    let mut threaded = machine(4, ExecMode::Threaded);
+    assert_eq!(threaded.workers(), 0, "budget=1 grants nothing");
+    assert_eq!(pool::live_workers(), 0, "no pool thread anywhere");
+
+    let mut sequential = machine(4, ExecMode::Sequential);
+    let (tv, tc) = run_phases(&mut threaded);
+    let (sv, sc) = run_phases(&mut sequential);
+    assert_eq!(tv, sv, "results identical");
+    assert_eq!(tc.to_bits(), sc.to_bits(), "clocks bit-identical");
+}
+
+/// Threaded and sequential execution agree bit-exactly when the pool is
+/// real, too (the machine-level half of the harness's `--exec threaded`
+/// baseline gate).
+#[test]
+fn pooled_phases_match_sequential_bit_exactly() {
+    let _g = lock();
+    budget::global().set_total(8);
+    let mut threaded = machine(7, ExecMode::Threaded);
+    assert!(threaded.workers() >= 2);
+    let mut sequential = machine(7, ExecMode::Sequential);
+    for _ in 0..5 {
+        let (tv, tc) = run_phases(&mut threaded);
+        let (sv, sc) = run_phases(&mut sequential);
+        assert_eq!(tv, sv);
+        assert_eq!(tc.to_bits(), sc.to_bits());
+    }
+}

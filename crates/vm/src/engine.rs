@@ -170,6 +170,12 @@ pub struct Engine {
     /// boundary compute). Off by default — virtual time changes (that is
     /// the point), array results and PRINT do not.
     pub overlap: bool,
+    /// `CompileOptions::exec_mode`: when `Some`, [`Engine::run`]
+    /// switches the machine to this local-phase mode (leasing threaded
+    /// workers from the process-wide `f90d_machine::budget`) before
+    /// executing. `None` respects the machine as given. Virtual metrics
+    /// are identical either way.
+    pub exec: Option<f90d_machine::ExecMode>,
 }
 
 impl Engine {
@@ -220,6 +226,7 @@ impl Engine {
             printed: Vec::new(),
             sched: RunSchedules::new(),
             overlap: false,
+            exec: None,
         }
     }
 
@@ -260,6 +267,9 @@ impl Engine {
     /// Run the whole program: a flat fetch/decode loop over the
     /// statement stream.
     pub fn run(&mut self, m: &mut Machine) -> VmResult<RunReport> {
+        if let Some(mode) = self.exec {
+            m.set_exec(mode);
+        }
         let prog = self.prog.clone();
         let mut regs: Vec<Value> = Vec::new();
         let mut do_stack: Vec<(i64, i64)> = Vec::new();
