@@ -130,16 +130,26 @@ fn main() {
                     })
             }
             "--workers" => {
-                workers = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--workers expects a worker-budget total");
-                    std::process::exit(2);
-                }))
+                workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&w: &usize| w >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--workers expects a worker-budget total >= 1");
+                            std::process::exit(2);
+                        }),
+                )
             }
             "--jobs" => {
-                jobs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--jobs expects a worker count");
-                    std::process::exit(2);
-                }))
+                jobs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&j: &usize| j >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--jobs expects a worker count >= 1");
+                            std::process::exit(2);
+                        }),
+                )
             }
             "--out" => out = it.next().cloned(),
             "--baseline" => baseline = it.next().cloned(),

@@ -1,0 +1,338 @@
+//! `serve-bench` — cold-vs-warm throughput of the `f90d-serve` daemon,
+//! with a hard gate on the warm steady state.
+//!
+//! ```text
+//! serve-bench [--quick] [--out BENCH_serve.json] [--requests N] [--clients N]
+//! ```
+//!
+//! Spawns an in-process server, then drives three phases over real TCP:
+//!
+//! - **cold** — distinct jobs (unique sources) from one client, so
+//!   every request pays the frontend, the bytecode lowering, inspector
+//!   schedule builds and a machine construction;
+//! - **warm** — the identical job repeated by the same single client,
+//!   so every request rides the compiled cache, the program cache, the
+//!   schedule cache and the machine pool (like-for-like with cold: the
+//!   only difference is cache state);
+//! - **burst** — the identical job from several concurrent clients, to
+//!   exercise in-flight dedup (joins are reported, not gated — on a
+//!   single-CPU host concurrency adds scheduling overhead, so the
+//!   throughput gate stays on the sequential phases).
+//!
+//! The gate (exit 1 on violation) asserts the warm steady state the
+//! daemon promises:
+//!
+//! 1. every warm and burst response reports `program_cache_hit=true`,
+//!    `compile_cache_hit=true` and `sched_misses=0`;
+//! 2. the machine pool constructs **zero** machines during the warm and
+//!    burst phases (`machine_pool.created` is flat across them);
+//! 3. warm throughput is strictly greater than cold throughput.
+//!
+//! `--out` writes an `f90d-serve-bench/v1` document (schema in the
+//! README); the committed `BENCH_serve.json` at the repo root is one
+//! such run.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use f90d_core::Backend;
+use f90d_serve::{Client, RunRequest, ServeConfig, Server};
+use serde::json::Json;
+
+fn num(doc: &Json, path: &[&str]) -> f64 {
+    let mut cur = doc;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing {key} in {}", doc.render()));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("{path:?} not a number"))
+}
+
+fn is_true(doc: &Json, path: &[&str]) -> bool {
+    let mut cur = doc;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return false,
+        }
+    }
+    cur == &Json::Bool(true)
+}
+
+/// Assert one warm/burst response rode every cache; collect violations
+/// instead of panicking so the report names all of them at once.
+fn check_warm(resp: &Json, phase: &str, violations: &mut Vec<String>) {
+    if !is_true(resp, &["ok"]) {
+        violations.push(format!("{phase} request failed: {}", resp.render()));
+        return;
+    }
+    if !is_true(resp, &["telemetry", "program_cache_hit"]) {
+        violations.push(format!("{phase} response without program_cache_hit=true"));
+    }
+    if !is_true(resp, &["telemetry", "compile_cache_hit"]) {
+        violations.push(format!("{phase} response without compile_cache_hit=true"));
+    }
+    if num(resp, &["telemetry", "sched_misses"]) != 0.0 {
+        violations.push(format!("{phase} response with sched_misses != 0"));
+    }
+}
+
+fn run_req(source: String) -> RunRequest {
+    RunRequest {
+        source,
+        grid: vec![4],
+        machine: "ipsc860".to_string(),
+        backend: Backend::Vm,
+        sched_cache: true,
+        threaded: false,
+        overlap: false,
+    }
+}
+
+/// A compile-heavy, execution-light job: `pairs` × 2 aligned FORALLs
+/// with no communication, over an 8-element array. The frontend,
+/// codegen and lowering pay per statement; the execution is trivial —
+/// so the cold/warm throughput ratio measures what the caches save,
+/// not how fast the simulator sweeps a grid. `tag` sets the job
+/// identity apart (distinct source text → distinct dedup/cache key).
+fn many_forall(pairs: usize, tag: usize) -> String {
+    let mut src = String::from(
+        "
+PROGRAM MANY
+INTEGER, PARAMETER :: N = 8
+REAL A(N), B(N)
+C$ TEMPLATE T(N)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+C$ DISTRIBUTE T(BLOCK)
+",
+    );
+    src.push_str(&format!("FORALL (I=1:N) B(I) = REAL(I) + {tag}.0\n"));
+    for k in 0..pairs {
+        src.push_str(&format!("FORALL (I=1:N) A(I) = B(I) * 2.0 + {k}.0\n"));
+        src.push_str("FORALL (I=1:N) B(I) = A(I) + 1.0\n");
+    }
+    src.push_str("END\n");
+    src
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut requests: usize = 48;
+    let mut clients: usize = 4;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().cloned(),
+            "--requests" => {
+                requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--requests expects a count >= 1");
+                        std::process::exit(2);
+                    })
+            }
+            "--clients" => {
+                clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--clients expects a count >= 1");
+                        std::process::exit(2);
+                    })
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        requests = requests.min(16);
+    }
+    let cold_jobs = if quick { 8 } else { 16 };
+    let pairs = 48;
+
+    let handle = Server::spawn(ServeConfig {
+        max_running: 2,
+        max_queued: 256,
+        ..ServeConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("serve-bench: cannot spawn server: {e}");
+        std::process::exit(1);
+    });
+    let addr = handle.addr;
+    eprintln!("# serve-bench: daemon on {addr}, {cold_jobs} cold jobs, {requests} warm requests x {clients} clients");
+
+    // ---- cold phase: every job distinct -------------------------------
+    let mut c = Client::connect(addr).unwrap();
+    let cold_start = Instant::now();
+    for i in 0..cold_jobs {
+        let resp = c.run(&run_req(many_forall(pairs, i))).unwrap();
+        assert!(
+            is_true(&resp, &["ok"]),
+            "cold request failed: {}",
+            resp.render()
+        );
+    }
+    let cold_wall = cold_start.elapsed().as_secs_f64();
+    let cold_rps = cold_jobs as f64 / cold_wall;
+    eprintln!("# cold: {cold_jobs} requests in {cold_wall:.3} s = {cold_rps:.1} req/s");
+
+    // ---- warm-up: populate every cache for the steady-state job -------
+    let warm_source = many_forall(pairs, cold_jobs);
+    let prime = c.run(&run_req(warm_source.clone())).unwrap();
+    assert!(is_true(&prime, &["ok"]), "{}", prime.render());
+
+    let stats_before = c.stats().unwrap();
+    let created_before = num(&stats_before, &["stats", "machine_pool", "created"]);
+
+    let mut violations: Vec<String> = Vec::new();
+
+    // ---- warm phase: identical job, same single client as cold --------
+    let warm_req = Arc::new(run_req(warm_source));
+    let warm_start = Instant::now();
+    for _ in 0..requests {
+        let resp = c.run(&warm_req).unwrap();
+        check_warm(&resp, "warm", &mut violations);
+    }
+    let warm_wall = warm_start.elapsed().as_secs_f64();
+    let warm_rps = requests as f64 / warm_wall;
+    eprintln!("# warm: {requests} requests in {warm_wall:.3} s = {warm_rps:.1} req/s");
+
+    // ---- burst phase: identical job, concurrent clients ---------------
+    let per_client = requests.div_ceil(clients);
+    let burst_total = per_client * clients;
+    let burst_start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let req = Arc::clone(&warm_req);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut violations = Vec::new();
+                for _ in 0..per_client {
+                    let resp = c.run(&req).unwrap();
+                    check_warm(&resp, "burst", &mut violations);
+                }
+                violations
+            })
+        })
+        .collect();
+    for t in threads {
+        violations.extend(t.join().unwrap());
+    }
+    let burst_wall = burst_start.elapsed().as_secs_f64();
+    let burst_rps = burst_total as f64 / burst_wall;
+    eprintln!("# burst: {burst_total} requests on {clients} clients in {burst_wall:.3} s = {burst_rps:.1} req/s");
+
+    let stats_after = c.stats().unwrap();
+    let created_after = num(&stats_after, &["stats", "machine_pool", "created"]);
+    let machines_created_delta = created_after - created_before;
+    let joined = num(&stats_after, &["stats", "server", "joined"]);
+    let reused = num(&stats_after, &["stats", "machine_pool", "reused"]);
+    eprintln!(
+        "# warm steady state: machines created during warm phase = {machines_created_delta}, \
+         pool reuses total = {reused}, dedup joins total = {joined}"
+    );
+
+    if machines_created_delta != 0.0 {
+        violations.push(format!(
+            "machine pool constructed {machines_created_delta} machines during the warm phase (want 0)"
+        ));
+    }
+    if warm_rps <= cold_rps {
+        violations.push(format!(
+            "warm throughput {warm_rps:.1} req/s not strictly above cold {cold_rps:.1} req/s"
+        ));
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("f90d-serve-bench/v1".into())),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("cold_jobs".into(), Json::Num(cold_jobs as f64)),
+                ("warm_requests".into(), Json::Num(requests as f64)),
+                ("burst_requests".into(), Json::Num(burst_total as f64)),
+                ("clients".into(), Json::Num(clients as f64)),
+                ("forall_pairs".into(), Json::Num(pairs as f64)),
+                ("grid".into(), Json::Arr(vec![Json::Num(4.0)])),
+            ]),
+        ),
+        (
+            "cold".into(),
+            Json::Obj(vec![
+                ("requests".into(), Json::Num(cold_jobs as f64)),
+                ("wall_s".into(), Json::Num(cold_wall)),
+                ("req_per_s".into(), Json::Num(cold_rps)),
+            ]),
+        ),
+        (
+            "warm".into(),
+            Json::Obj(vec![
+                ("requests".into(), Json::Num(requests as f64)),
+                ("wall_s".into(), Json::Num(warm_wall)),
+                ("req_per_s".into(), Json::Num(warm_rps)),
+                ("speedup".into(), Json::Num(warm_rps / cold_rps)),
+            ]),
+        ),
+        (
+            "burst".into(),
+            Json::Obj(vec![
+                ("requests".into(), Json::Num(burst_total as f64)),
+                ("clients".into(), Json::Num(clients as f64)),
+                ("wall_s".into(), Json::Num(burst_wall)),
+                ("req_per_s".into(), Json::Num(burst_rps)),
+            ]),
+        ),
+        (
+            "warm_steady_state".into(),
+            Json::Obj(vec![
+                ("program_cache_hit".into(), Json::Bool(true)),
+                ("compile_cache_hit".into(), Json::Bool(true)),
+                ("sched_misses".into(), Json::Num(0.0)),
+                (
+                    "machines_created_delta".into(),
+                    Json::Num(machines_created_delta),
+                ),
+                ("dedup_joins".into(), Json::Num(joined)),
+                ("pool_reuses".into(), Json::Num(reused)),
+            ]),
+        ),
+        (
+            "server_stats".into(),
+            stats_after.get("stats").cloned().unwrap_or(Json::Null),
+        ),
+    ]);
+    if let Some(path) = &out {
+        std::fs::write(path, doc.render_pretty() + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("# wrote {path}");
+    }
+
+    handle.shutdown().unwrap();
+
+    if !violations.is_empty() {
+        eprintln!("# WARM STEADY STATE VIOLATED:");
+        for v in &violations {
+            eprintln!("#   {v}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "serve-bench: warm {warm_rps:.1} req/s vs cold {cold_rps:.1} req/s ({:.2}x), \
+         0 machine constructions, program cache hot, schedule cache dry of misses",
+        warm_rps / cold_rps
+    );
+}

@@ -281,7 +281,7 @@ pub fn run_cell_cfg(cell: &Cell, sched_cache: bool, exec: ExecMode) -> CellResul
         cache_hit: trace.program_cache_hit,
         sched_hits: trace.sched_hits,
         sched_misses: trace.sched_misses,
-        workers: m.workers(),
+        workers: trace.workers,
     }
 }
 

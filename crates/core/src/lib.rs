@@ -95,6 +95,11 @@ pub struct RunTrace {
     pub sched_hits: u64,
     /// Cross-run schedule-cache misses (inspector builds performed).
     pub sched_misses: u64,
+    /// Pool workers the machine held for this run's local phases (0 =
+    /// sequential, either by mode or because the process-wide worker
+    /// budget was exhausted when the machine leased). Serve telemetry
+    /// and `results.json` report this per request/cell.
+    pub workers: usize,
 }
 
 impl Compiled {
@@ -128,6 +133,7 @@ impl Compiled {
                         program_cache_hit: None,
                         sched_hits: ex.sched.hits(),
                         sched_misses: ex.sched.misses(),
+                        workers: m.workers(),
                     },
                 ))
             }
@@ -150,6 +156,7 @@ impl Compiled {
                         program_cache_hit: Some(hit),
                         sched_hits: eng.sched.hits(),
                         sched_misses: eng.sched.misses(),
+                        workers: m.workers(),
                     },
                 ))
             }

@@ -135,15 +135,77 @@ impl Json {
     }
 
     /// Parse a JSON document (the whole input must be one value).
+    ///
+    /// Nesting is bounded by [`ParseLimits::DEFAULT_MAX_DEPTH`] even here:
+    /// the parser recurses per nesting level, and an unbounded `[[[[…`
+    /// would otherwise overflow the stack instead of returning an error.
+    /// Use [`Json::parse_limited`] to tighten (or widen) the limits for
+    /// untrusted input.
     pub fn parse(src: &str) -> Result<Json, String> {
+        Self::parse_limited(src, &ParseLimits::default())
+    }
+
+    /// [`Json::parse`] with explicit input-size and nesting limits —
+    /// the entry point for untrusted (network) input. Exceeding either
+    /// limit is an ordinary parse error, never a panic or stack overflow.
+    pub fn parse_limited(src: &str, limits: &ParseLimits) -> Result<Json, String> {
         let bytes = src.as_bytes();
+        if bytes.len() > limits.max_bytes {
+            return Err(format!(
+                "input too large: {} bytes exceeds the {}-byte cap",
+                bytes.len(),
+                limits.max_bytes
+            ));
+        }
         let mut pos = 0;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, limits.max_depth)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing input at byte {pos}"));
         }
         Ok(v)
+    }
+
+    /// Parse raw bytes (network input): validates UTF-8 first, returning
+    /// a parse error — not a panic — on malformed sequences, then applies
+    /// `limits` as [`Json::parse_limited`] does.
+    pub fn parse_bytes(src: &[u8], limits: &ParseLimits) -> Result<Json, String> {
+        let text = std::str::from_utf8(src).map_err(|e| format!("invalid UTF-8: {e}"))?;
+        Self::parse_limited(text, limits)
+    }
+}
+
+/// Input bounds for [`Json::parse_limited`] / [`Json::parse_bytes`]:
+/// byte-size cap and nesting-depth cap, both surfaced as parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input length in bytes.
+    pub max_bytes: usize,
+    /// Maximum container nesting depth (arrays + objects combined).
+    pub max_depth: usize,
+}
+
+impl ParseLimits {
+    /// Default nesting cap. Deep enough for any document this workspace
+    /// writes, shallow enough that the recursive parser can never get
+    /// close to the thread stack limit.
+    pub const DEFAULT_MAX_DEPTH: usize = 512;
+
+    /// Limits sized for a network request body.
+    pub fn network(max_bytes: usize, max_depth: usize) -> Self {
+        ParseLimits {
+            max_bytes,
+            max_depth,
+        }
+    }
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: usize::MAX,
+            max_depth: Self::DEFAULT_MAX_DEPTH,
+        }
     }
 }
 
@@ -192,7 +254,7 @@ fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -201,6 +263,9 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         Some(b'f') => expect(b, pos, "false").map(|_| Json::Bool(false)),
         Some(b'"') => parse_string(b, pos).map(Json::Str),
         Some(b'[') => {
+            if depth == 0 {
+                return Err(format!("nesting too deep at byte {pos}", pos = *pos));
+            }
             *pos += 1;
             let mut v = Vec::new();
             skip_ws(b, pos);
@@ -209,7 +274,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(v));
             }
             loop {
-                v.push(parse_value(b, pos)?);
+                v.push(parse_value(b, pos, depth - 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -222,6 +287,9 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
         }
         Some(b'{') => {
+            if depth == 0 {
+                return Err(format!("nesting too deep at byte {pos}", pos = *pos));
+            }
             *pos += 1;
             let mut fields = Vec::new();
             skip_ws(b, pos);
@@ -234,7 +302,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let k = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, ":")?;
-                fields.push((k, parse_value(b, pos)?));
+                fields.push((k, parse_value(b, pos, depth - 1)?));
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -357,6 +425,65 @@ mod tests {
         assert!(Json::parse("{").is_err());
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // Far past any sane document: without the depth budget this
+        // recursion would blow the thread stack instead of erroring.
+        let deep = "[".repeat(200_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting too deep"), "{err}");
+        // Same via objects.
+        let deep = r#"{"a":"#.repeat(200_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting too deep"), "{err}");
+        // Exactly at the limit still parses.
+        let limits = ParseLimits::network(1 << 20, 8);
+        let ok = "[[[[[[[[0]]]]]]]]"; // depth 8
+        assert!(Json::parse_limited(ok, &limits).is_ok());
+        let over = "[[[[[[[[[0]]]]]]]]]"; // depth 9
+        assert!(Json::parse_limited(over, &limits).is_err());
+    }
+
+    #[test]
+    fn size_cap_rejects_oversized_input() {
+        let limits = ParseLimits::network(16, 32);
+        assert!(Json::parse_limited("[1,2,3]", &limits).is_ok());
+        let big = format!("[{}]", "1,".repeat(40));
+        let err = Json::parse_limited(&big, &limits).unwrap_err();
+        assert!(err.contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        for src in [
+            "{\"a\":",
+            "[1, 2",
+            "\"unterminated",
+            "{\"a\": [1, {\"b\":",
+            "tru",
+            "-",
+        ] {
+            assert!(Json::parse(src).is_err(), "{src:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_bytes_are_an_error() {
+        let limits = ParseLimits::default();
+        // Lone continuation byte, overlong-ish junk, truncated multibyte.
+        for bad in [
+            &b"\"\x80\""[..],
+            &b"{\"k\": \"\xff\xfe\"}"[..],
+            &b"\"\xe2\x82\""[..],
+        ] {
+            let err = Json::parse_bytes(bad, &limits).unwrap_err();
+            assert!(err.contains("invalid UTF-8"), "{err}");
+        }
+        // Valid UTF-8 bytes parse normally.
+        let v = Json::parse_bytes("\"caf\u{e9}\"".as_bytes(), &limits).unwrap();
+        assert_eq!(v.as_str(), Some("caf\u{e9}"));
     }
 
     #[test]

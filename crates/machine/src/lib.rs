@@ -23,6 +23,11 @@
 //! * [`machine`] — ties spec + grid + memories + clocks + statistics into
 //!   the [`machine::Machine`] SPMD substrate, and provides the loosely
 //!   synchronous local-phase executors (sequential and threaded).
+//! * [`mpool`] — machine pooling for long-running services: a finished
+//!   machine is checked in (fully [`machine::Machine::reset`] — memories,
+//!   clocks, mailboxes, tags, worker lease) and checked out again for the
+//!   next request, so a warmed-up server constructs no machines on its
+//!   hot path.
 //! * [`pool`] / [`budget`] — the persistent chunked worker pool behind
 //!   [`machine::ExecMode::Threaded`] and the process-wide worker budget
 //!   that keeps `harness jobs × per-machine workers` within the host's
@@ -40,6 +45,7 @@
 pub mod budget;
 pub mod machine;
 pub mod memory;
+pub mod mpool;
 pub mod pool;
 pub mod spec;
 pub mod transport;
@@ -48,6 +54,7 @@ pub mod value;
 pub use budget::{WorkerBudget, WorkerLease};
 pub use machine::{ExecMode, Machine, MachineStats};
 pub use memory::{LocalArray, NodeMemory};
+pub use mpool::MachinePool;
 pub use pool::WorkerPool;
 pub use spec::{MachineSpec, Topology};
 pub use transport::{MailboxTransport, RecvHandle, Transport, TransportError};

@@ -202,6 +202,27 @@ impl Machine {
         self.stats.reset();
     }
 
+    /// Restore the machine to its freshly-constructed state so it can be
+    /// reused for another program run (the [`crate::mpool::MachinePool`]
+    /// check-in path): memories are cleared, the transport is reset (its
+    /// epoch bump invalidates any outstanding
+    /// [`RecvHandle`](crate::transport::RecvHandle)s), statistics and the
+    /// tag sequence restart from zero, and the worker pool — with its
+    /// lease on the process-wide [`budget`] — is released, so an idle
+    /// pooled machine never holds budget. A subsequent run on this
+    /// machine is bit-identical to one on `Machine::new` with the same
+    /// spec and grid: every source of state a program can observe
+    /// (arrays, scalars, clocks, mailboxes, tags) restarts from zero.
+    pub fn reset(&mut self) {
+        self.set_exec(ExecMode::Sequential);
+        for mem in &mut self.mems {
+            mem.clear();
+        }
+        self.transport.reset();
+        self.stats.reset();
+        self.tag_seq = 0;
+    }
+
     /// Run one local computation phase. The closure receives
     /// `(rank, &mut NodeMemory)` and returns the number of modelled
     /// element operations it performed; that cost is charged to the

@@ -230,6 +230,15 @@ impl NodeMemory {
     pub fn array_names(&self) -> impl Iterator<Item = &str> {
         self.arrays.keys().map(|s| s.as_str())
     }
+
+    /// Drop every array and scalar, keeping the map allocations — the
+    /// [`Machine::reset`](crate::Machine::reset) path for machine reuse,
+    /// so a recycled node memory starts exactly like a fresh one without
+    /// rebuilding the `HashMap`s.
+    pub fn clear(&mut self) {
+        self.arrays.clear();
+        self.scalars.clear();
+    }
 }
 
 #[cfg(test)]
