@@ -5,7 +5,7 @@
 //!       [--n <matrix size>] [--quick] [--backend treewalk|vm]
 //!       [--jobs N] [--exec sequential|threaded] [--workers N]
 //!       [--out results.json] [--baseline results.json] [--wall-tol F]
-//!       [--repeat N] [--no-sched-cache]
+//!       [--repeat N] [--no-sched-cache] [--native|--no-native] [--gate F]
 //! ```
 //!
 //! `--quick` shrinks the Gaussian-elimination size (255 instead of 1023)
@@ -16,8 +16,22 @@
 //! (fig5 / table4 / fig6 / port): the tree-walking interpreter or the
 //! register-bytecode VM. Modelled (virtual) times are identical by
 //! construction; the host wall-clock printed beside each experiment is
-//! what the VM accelerates. `--exp vmcmp` prints both backends
-//! head-to-head so BENCH records can track the VM speedup.
+//! what the VM accelerates. `--exp vmcmp` prints all three execution
+//! tiers head-to-head — tree walk, bytecode VM, and the native kernel
+//! tier — so BENCH records can track both speedups. It accepts only
+//! `--quick`, `--out vmcmp.json` (an `f90d-vmcmp/v2` document, schema in
+//! the README) and `--gate <factor>`, which exits 1 unless the native
+//! tier beats the bytecode VM by at least that wall-clock factor on some
+//! comm-light workload (jacobi / gauss — irregular is gather-bound and
+//! only reported). Virtual-time drift between tiers always exits 1.
+//!
+//! `--no-native` turns the native kernel tier off for the matrix
+//! (`OptFlags::native_kernels = false`: every FORALL runs the bytecode
+//! element loop); `--native` restores the default. Virtual metrics are
+//! bit-identical either way — the flag exists to measure the tier and to
+//! bisect host-side misbehaviour, and per-cell `native_kernels`
+//! matched/fallback counts land in `results.json` (informational, never
+//! gated).
 //!
 //! `--exp matrix` (implied by `--jobs`) runs the full §8 experiment
 //! matrix on a work-stealing worker pool (`f90d_bench::harness`).
@@ -98,12 +112,27 @@ fn main() {
     let mut sched_cache = true;
     let mut exec = ExecMode::Sequential;
     let mut workers: Option<usize> = None;
+    let mut native = true;
+    let mut gate: Option<f64> = None;
     let mut n_arg = false;
     let mut backend_arg = false;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--exp" => which = it.next().cloned().unwrap_or_else(|| "all".into()),
+            "--native" => native = true,
+            "--no-native" => native = false,
+            "--gate" => {
+                gate = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&g: &f64| g > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--gate expects a speedup factor > 0 (e.g. 1.5)");
+                            std::process::exit(2);
+                        }),
+                )
+            }
             "--n" => {
                 n_arg = true;
                 n = it.next().and_then(|v| v.parse().ok()).unwrap_or(1023)
@@ -186,7 +215,32 @@ fn main() {
         || repeat > 1
         || !sched_cache
         || exec != ExecMode::Sequential
-        || workers.is_some();
+        || workers.is_some()
+        || !native;
+    if which == "vmcmp" {
+        // Like overlap, the experiment fixes its own cells and always
+        // runs every tier; reject flags it would otherwise ignore.
+        if jobs.is_some()
+            || baseline.is_some()
+            || wall_tol.is_some()
+            || repeat > 1
+            || !sched_cache
+            || exec != ExecMode::Sequential
+            || workers.is_some()
+            || !native
+            || n_arg
+            || backend_arg
+        {
+            eprintln!("--exp vmcmp accepts only --quick, --out and --gate (it always runs all three tiers at its own sizes)");
+            std::process::exit(2);
+        }
+        exp_vmcmp(quick, out, gate);
+        return;
+    }
+    if gate.is_some() {
+        eprintln!("--gate is the vmcmp native-speedup gate; it requires --exp vmcmp");
+        std::process::exit(2);
+    }
     if matrix_flags && which == "all" {
         which = "matrix".into();
     }
@@ -201,6 +255,7 @@ fn main() {
             sched_cache,
             exec,
             workers,
+            native,
         );
         return;
     }
@@ -215,6 +270,7 @@ fn main() {
             || !sched_cache
             || exec != ExecMode::Sequential
             || workers.is_some()
+            || !native
             || n_arg
             || backend_arg
         {
@@ -252,10 +308,10 @@ fn main() {
     if all || which == "port" {
         timed("port", backend, || exp_portability(backend));
     }
-    if all || which == "vmcmp" {
-        exp_vmcmp();
-    }
     if all {
+        // `--exp vmcmp` alone returns above (it takes its own flags);
+        // the full suite still includes an ungated run.
+        exp_vmcmp(quick, None, None);
         exp_overlap(quick, None);
     }
     if all || which == "abl-shift" {
@@ -290,6 +346,7 @@ fn exp_matrix(
     sched_cache: bool,
     exec: ExecMode,
     workers: Option<usize>,
+    native: bool,
 ) {
     use f90d_bench::harness;
 
@@ -304,14 +361,16 @@ fn exp_matrix(
     cfg.sched_cache = sched_cache;
     cfg.exec = exec;
     cfg.budget = workers;
+    cfg.native = native;
     eprintln!(
-        "# matrix: {} cells, {} jobs, suite {}, {} run(s), schedule cache {}, exec {}",
+        "# matrix: {} cells, {} jobs, suite {}, {} run(s), schedule cache {}, exec {}, native kernels {}",
         cells.len(),
         jobs,
         scale.name(),
         repeat,
         if sched_cache { "on" } else { "off" },
-        exec.name()
+        exec.name(),
+        if native { "on" } else { "off" }
     );
     let base = baseline.map(|path| {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -371,47 +430,174 @@ fn exp_matrix(
     }
 }
 
-/// Backend head-to-head: host wall-clock of one full run per workload,
-/// plus a check that the modelled times agree.
-fn exp_vmcmp() {
-    let cases: Vec<(&str, String, Vec<i64>)> = vec![
-        (
-            "jacobi 256, 4 sweeps, [2,2]",
-            workloads::jacobi(256, 4),
-            vec![2, 2],
-        ),
-        ("gauss 96, [4]", workloads::gaussian(96), vec![4]),
-        ("irregular 4096, [4]", workloads::irregular(4096), vec![4]),
-    ];
+/// Execution-tier head-to-head: host wall-clock of one full run per
+/// workload under each of the three tiers (tree walk / bytecode VM /
+/// native kernels), a check that the modelled times agree bit-for-bit,
+/// and — with `--gate` — an exit-1 gate on the native-vs-vm speedup over
+/// the comm-light workloads.
+fn exp_vmcmp(quick: bool, out: Option<String>, gate: Option<f64>) {
+    // `comm_light`: FORALL time dominates, so the native tier has
+    // something to accelerate. The irregular kernel is gather/scatter
+    // bound (and falls back to bytecode anyway) — reported, never gated.
+    struct Case {
+        name: &'static str,
+        src: String,
+        grid: Vec<i64>,
+        comm_light: bool,
+    }
+    let cases: Vec<Case> = if quick {
+        vec![
+            Case {
+                name: "jacobi 128, 4 sweeps, [2,2]",
+                src: workloads::jacobi(128, 4),
+                grid: vec![2, 2],
+                comm_light: true,
+            },
+            Case {
+                name: "gauss 64, [4]",
+                src: workloads::gaussian(64),
+                grid: vec![4],
+                comm_light: true,
+            },
+            Case {
+                name: "irregular 2048, [4]",
+                src: workloads::irregular(2048),
+                grid: vec![4],
+                comm_light: false,
+            },
+        ]
+    } else {
+        vec![
+            Case {
+                name: "jacobi 256, 4 sweeps, [2,2]",
+                src: workloads::jacobi(256, 4),
+                grid: vec![2, 2],
+                comm_light: true,
+            },
+            Case {
+                name: "gauss 96, [4]",
+                src: workloads::gaussian(96),
+                grid: vec![4],
+                comm_light: true,
+            },
+            Case {
+                name: "irregular 4096, [4]",
+                src: workloads::irregular(4096),
+                grid: vec![4],
+                comm_light: false,
+            },
+        ]
+    };
     let spec = MachineSpec::ipsc860();
-    let rows: Vec<Vec<String>> = cases
+    let rows: Vec<(&Case, exp::TierRow)> = cases
         .iter()
-        .map(|(name, src, grid)| {
-            let (wt, wv, vt, vv) = exp::backend_wallclock(src, grid, &spec);
+        .map(|c| (c, exp::tier_wallclock(&c.src, &c.grid, &spec)))
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(c, r)| {
             vec![
-                name.to_string(),
-                format!("{:.1}", wt * 1e3),
-                format!("{:.1}", wv * 1e3),
-                format!("{:.2}x", wt / wv),
-                if vt == vv {
+                c.name.to_string(),
+                format!("{:.1}", r.wall_treewalk_s * 1e3),
+                format!("{:.1}", r.wall_vm_s * 1e3),
+                format!("{:.1}", r.wall_native_s * 1e3),
+                format!("{:.2}x", r.wall_vm_s / r.wall_native_s),
+                format!("{:.2}x", r.wall_treewalk_s / r.wall_native_s),
+                format!("{}/{}", r.native_matched, r.native_fallback),
+                if r.virt_equal {
                     "yes".into()
                 } else {
-                    format!("NO ({vt} vs {vv})")
+                    "NO".into()
                 },
             ]
         })
         .collect();
     exp::print_table(
-        "VM backend — host wall-clock, tree walk vs bytecode (iPSC/860 model)",
+        "Execution tiers — host wall-clock, tree walk vs bytecode vs native kernels (iPSC/860 model)",
         &[
             "workload",
             "treewalk ms",
             "vm ms",
-            "speedup",
+            "native ms",
+            "native vs vm",
+            "native vs tw",
+            "matched/fallback",
             "virtual time equal",
         ],
-        &rows,
+        &table,
     );
+    if let Some(path) = &out {
+        use serde::json::Json;
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("f90d-vmcmp/v2".into())),
+            (
+                "machine".into(),
+                Json::Str(MachineSpec::ipsc860().name.clone()),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|(c, r)| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::Str(c.name.into())),
+                                ("comm_light".into(), Json::Bool(c.comm_light)),
+                                ("wall_treewalk_s".into(), Json::Num(r.wall_treewalk_s)),
+                                ("wall_vm_s".into(), Json::Num(r.wall_vm_s)),
+                                ("wall_native_s".into(), Json::Num(r.wall_native_s)),
+                                ("virt_s".into(), Json::Num(r.virt_s)),
+                                ("virt_equal".into(), Json::Bool(r.virt_equal)),
+                                (
+                                    "native_kernels".into(),
+                                    Json::Obj(vec![
+                                        ("matched".into(), Json::Num(r.native_matched as f64)),
+                                        ("fallback".into(), Json::Num(r.native_fallback as f64)),
+                                    ]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("# wrote {path}");
+    }
+    // Tier drift in the modelled metrics is a correctness failure no
+    // matter what was asked for.
+    let drifted: Vec<&str> = rows
+        .iter()
+        .filter(|(_, r)| !r.virt_equal)
+        .map(|(c, _)| c.name)
+        .collect();
+    if !drifted.is_empty() {
+        eprintln!("# VIRTUAL TIME DRIFT between tiers on: {drifted:?}");
+        std::process::exit(1);
+    }
+    if let Some(need) = gate {
+        let best = rows
+            .iter()
+            .filter(|(c, _)| c.comm_light)
+            .map(|(c, r)| (c.name, r.wall_vm_s / r.wall_native_s))
+            .fold(
+                ("none", 0.0_f64),
+                |acc, x| if x.1 > acc.1 { x } else { acc },
+            );
+        if best.1 < need {
+            eprintln!(
+                "# NATIVE TIER GATE FAILED: best comm-light native-vs-vm speedup {:.2}x ({}) < {need}x",
+                best.1, best.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "  native tier gate: {:.2}x on {} (>= {need}x required): pass",
+            best.1, best.0
+        );
+    }
 }
 
 /// The §5.1/§7 communication–computation overlap experiment: Jacobi

@@ -68,13 +68,36 @@ pub fn ge_compiled_time_backend(
     m.elapsed()
 }
 
-/// Host wall-clock and modelled time of one full run of `src` under each
-/// backend: `(wall_treewalk_s, wall_vm_s, virt_treewalk_s, virt_vm_s)`.
-/// Lowering is warmed outside the timed region (the program cache is what
-/// repeated-run harnesses hit).
-pub fn backend_wallclock(src: &str, grid: &[i64], spec: &MachineSpec) -> (f64, f64, f64, f64) {
-    let run = |backend: Backend| {
-        let opts = CompileOptions::on_grid(grid).with_backend(backend);
+/// One row of the three-tier head-to-head (`repro --exp vmcmp`): best-of-
+/// three host wall-clock per execution tier on one workload, plus the
+/// modelled metrics that must be bit-identical across tiers.
+#[derive(Debug, Clone)]
+pub struct TierRow {
+    /// Tree-walking interpreter wall-clock (seconds).
+    pub wall_treewalk_s: f64,
+    /// Bytecode VM with the native kernel tier disabled.
+    pub wall_vm_s: f64,
+    /// Bytecode VM with native kernels on (the default configuration).
+    pub wall_native_s: f64,
+    /// Modelled time of the native run (the other tiers must agree).
+    pub virt_s: f64,
+    /// Virtual time bit-identical across all three tiers.
+    pub virt_equal: bool,
+    /// FORALL executions the native run dispatched to kernels.
+    pub native_matched: u64,
+    /// FORALL executions the native run left on the bytecode loop.
+    pub native_fallback: u64,
+}
+
+/// Host wall-clock of one full run of `src` under each execution tier:
+/// tree walk, bytecode VM (`native_kernels` off), and the native kernel
+/// tier. Lowering is warmed outside the timed region (the program cache
+/// is what repeated-run harnesses hit); each tier gets one warm-up run
+/// and then the best of three.
+pub fn tier_wallclock(src: &str, grid: &[i64], spec: &MachineSpec) -> TierRow {
+    let run = |backend: Backend, native: bool| {
+        let mut opts = CompileOptions::on_grid(grid).with_backend(backend);
+        opts.opt.native_kernels = native;
         let compiled = compile(src, &opts).expect("compiles");
         if backend == Backend::Vm {
             compiled.vm_program().expect("lowers");
@@ -83,24 +106,37 @@ pub fn backend_wallclock(src: &str, grid: &[i64], spec: &MachineSpec) -> (f64, f
         let once = || {
             let mut m = Machine::new(spec.clone(), ProcGrid::new(grid));
             let t0 = std::time::Instant::now();
-            let rep = compiled.run_on(&mut m).expect("runs");
-            (t0.elapsed().as_secs_f64(), rep.elapsed)
+            let (rep, trace) = compiled.run_on_traced(&mut m).expect("runs");
+            (
+                t0.elapsed().as_secs_f64(),
+                rep.elapsed,
+                trace.native_matched,
+                trace.native_fallback,
+            )
         };
         once();
-        (0..3).map(|_| once()).fold(
-            (f64::INFINITY, 0.0),
-            |acc, r| {
+        (0..3)
+            .map(|_| once())
+            .fold((f64::INFINITY, 0.0, 0, 0), |acc, r| {
                 if r.0 < acc.0 {
                     r
                 } else {
                     acc
                 }
-            },
-        )
+            })
     };
-    let (wt, vt) = run(Backend::TreeWalk);
-    let (wv, vv) = run(Backend::Vm);
-    (wt, wv, vt, vv)
+    let (wt, vt, _, _) = run(Backend::TreeWalk, false);
+    let (wv, vv, _, _) = run(Backend::Vm, false);
+    let (wn, vn, matched, fallback) = run(Backend::Vm, true);
+    TierRow {
+        wall_treewalk_s: wt,
+        wall_vm_s: wv,
+        wall_native_s: wn,
+        virt_s: vn,
+        virt_equal: vt.to_bits() == vv.to_bits() && vv.to_bits() == vn.to_bits(),
+        native_matched: matched,
+        native_fallback: fallback,
+    }
 }
 
 /// Hand-written GE time on `p` processors of `spec`.

@@ -132,6 +132,12 @@ pub struct CellResult {
     /// budget was exhausted when this cell leased). Informational —
     /// grants depend on which cells run concurrently — and never gated.
     pub workers: usize,
+    /// FORALL executions dispatched to a native-tier kernel (always 0
+    /// for tree-walk cells or under `repro --no-native`). Informational,
+    /// never gated — the tiers are bit-identical on every gated metric.
+    pub native_matched: u64,
+    /// FORALL executions that ran the bytecode element loop instead.
+    pub native_fallback: u64,
 }
 
 /// One full matrix run.
@@ -261,9 +267,17 @@ pub fn run_cell_with(cell: &Cell, sched_cache: bool) -> CellResult {
 /// this returns, normally or by panic, so a crashed cell can never leak
 /// budget. Virtual metrics are identical in either mode.
 pub fn run_cell_cfg(cell: &Cell, sched_cache: bool, exec: ExecMode) -> CellResult {
+    run_cell_native(cell, sched_cache, exec, true)
+}
+
+/// [`run_cell_cfg`] with the native kernel tier on or off (`repro
+/// --no-native`). Every gated metric is identical either way; only host
+/// wall clock and the informational `native_kernels` counters change.
+pub fn run_cell_native(cell: &Cell, sched_cache: bool, exec: ExecMode, native: bool) -> CellResult {
     let mut opts = CompileOptions::on_grid(&cell.grid).with_backend(cell.backend);
     opts.sched_cache = sched_cache;
     opts.exec_mode = Some(exec);
+    opts.opt.native_kernels = native;
     let compiled =
         compile(&cell.source(), &opts).unwrap_or_else(|e| panic!("{} compiles: {e}", cell.id()));
     let mut m = Machine::new(cell.spec(), ProcGrid::new(&cell.grid));
@@ -282,6 +296,8 @@ pub fn run_cell_cfg(cell: &Cell, sched_cache: bool, exec: ExecMode) -> CellResul
         sched_hits: trace.sched_hits,
         sched_misses: trace.sched_misses,
         workers: trace.workers,
+        native_matched: trace.native_matched,
+        native_fallback: trace.native_fallback,
     }
 }
 
@@ -303,6 +319,9 @@ pub struct MatrixConfig {
     /// per cell and degrade to sequential when the pot is empty, so
     /// `jobs × per-cell workers` never exceeds this total.
     pub budget: Option<usize>,
+    /// Native kernel tier on VM cells (`repro --no-native` turns it
+    /// off). Gated metrics are identical either way.
+    pub native: bool,
 }
 
 impl MatrixConfig {
@@ -314,6 +333,7 @@ impl MatrixConfig {
             sched_cache: true,
             exec: ExecMode::Sequential,
             budget: None,
+            native: true,
         }
     }
 }
@@ -428,7 +448,12 @@ pub fn run_matrix_cfg(cells: &[Cell], cfg: &MatrixConfig) -> MatrixReport {
             let slots = &slots;
             s.spawn(move || {
                 while let Some(i) = next_job(queues, w) {
-                    let _ = slots[i].set(run_cell_cfg(&cells[i], cfg.sched_cache, cfg.exec));
+                    let _ = slots[i].set(run_cell_native(
+                        &cells[i],
+                        cfg.sched_cache,
+                        cfg.exec,
+                        cfg.native,
+                    ));
                 }
             });
         }
@@ -521,6 +546,17 @@ pub fn report_json(rep: &MatrixReport) -> Json {
                 // Informational, never gated: grants depend on which
                 // cells happened to run concurrently.
                 ("workers".into(), Json::Num(c.workers as f64)),
+                // Native-tier coverage for this cell's FORALL
+                // executions. Informational, never gated: the tiers are
+                // bit-identical on every gated metric, this only shows
+                // how much of the corpus the kernels cover.
+                (
+                    "native_kernels".into(),
+                    Json::Obj(vec![
+                        ("matched".into(), Json::Num(c.native_matched as f64)),
+                        ("fallback".into(), Json::Num(c.native_fallback as f64)),
+                    ]),
+                ),
             ])
         })
         .collect();

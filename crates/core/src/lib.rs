@@ -100,6 +100,14 @@ pub struct RunTrace {
     /// budget was exhausted when the machine leased). Serve telemetry
     /// and `results.json` report this per request/cell.
     pub workers: usize,
+    /// FORALL executions dispatched to a native-tier kernel (VM backend
+    /// only; always 0 for the tree walker). Informational — the tiers
+    /// are bit-identical on every virtual metric.
+    pub native_matched: u64,
+    /// FORALL executions that ran the bytecode element loop instead: no
+    /// kernel was selected at lowering, a dispatch precondition failed,
+    /// or the overlap split-phase path ran.
+    pub native_fallback: u64,
 }
 
 impl Compiled {
@@ -134,6 +142,8 @@ impl Compiled {
                         sched_hits: ex.sched.hits(),
                         sched_misses: ex.sched.misses(),
                         workers: m.workers(),
+                        native_matched: 0,
+                        native_fallback: 0,
                     },
                 ))
             }
@@ -145,6 +155,7 @@ impl Compiled {
                 eng.overlap = self.options.opt.comm_compute_overlap;
                 eng.exec = self.options.exec_mode;
                 let rep = eng.run(m).map_err(|e| exec::ExecError(e.0))?;
+                let (native_matched, native_fallback) = eng.native_counts();
                 Ok((
                     ExecReport {
                         elapsed: rep.elapsed,
@@ -157,6 +168,8 @@ impl Compiled {
                         sched_hits: eng.sched.hits(),
                         sched_misses: eng.sched.misses(),
                         workers: m.workers(),
+                        native_matched,
+                        native_fallback,
                     },
                 ))
             }
@@ -172,7 +185,9 @@ impl Compiled {
     /// [`Compiled::vm_program`] that also reports whether the lookup was
     /// a cache hit.
     pub fn vm_program_traced(&self) -> Result<(Arc<VmProgram>, bool), String> {
-        vm_cache().get_or_lower_traced(self.vm_cache_key(), || vmlower::lower(&self.spmd))
+        vm_cache().get_or_lower_traced(self.vm_cache_key(), || {
+            vmlower::lower_with(&self.spmd, self.options.opt.native_kernels)
+        })
     }
 
     fn vm_cache_key(&self) -> u64 {
@@ -186,6 +201,7 @@ impl Compiled {
             hoist_invariant_comm,
             overlap_shift,
             comm_compute_overlap,
+            native_kernels,
         } = self.options.opt;
         let mut bytes = self.source_hash.to_le_bytes().to_vec();
         for flag in [
@@ -195,6 +211,7 @@ impl Compiled {
             hoist_invariant_comm,
             overlap_shift,
             comm_compute_overlap,
+            native_kernels,
         ] {
             bytes.push(flag as u8);
         }

@@ -30,6 +30,15 @@ pub struct OptFlags {
     /// modelled elapsed time) change, which is why this is off by default
     /// — `BENCH_baseline.json` pins the blocking virtual metrics.
     pub comm_compute_overlap: bool,
+    /// Native kernel tier (VM backend only): at lowering time, compile
+    /// straight-line affine REAL FORALL bodies into prebuilt
+    /// monomorphized closures (`f90d_vm::native`) that the engine
+    /// dispatches to instead of the bytecode element loop. Every virtual
+    /// metric, PRINT line, and array bit is identical to the bytecode
+    /// tier — only host wall clock improves — so this defaults on;
+    /// `repro --no-native` is the escape hatch and three-way proof
+    /// (`--exp vmcmp`).
+    pub native_kernels: bool,
 }
 
 impl Default for OptFlags {
@@ -41,6 +50,7 @@ impl Default for OptFlags {
             hoist_invariant_comm: true,
             overlap_shift: true,
             comm_compute_overlap: false,
+            native_kernels: true,
         }
     }
 }
@@ -55,6 +65,7 @@ impl OptFlags {
             hoist_invariant_comm: false,
             overlap_shift: false,
             comm_compute_overlap: false,
+            native_kernels: false,
         }
     }
 }

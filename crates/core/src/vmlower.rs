@@ -24,23 +24,51 @@ use crate::ir::*;
 
 type LResult<T> = Result<T, String>;
 
-/// Lower a compiled SPMD program to bytecode.
+/// Lower a compiled SPMD program to bytecode with the native kernel
+/// tier enabled (equivalent to [`lower_with`] with `native_kernels`
+/// true — the tiers are bit-identical, so this is always safe).
 pub fn lower(prog: &SProgram) -> LResult<VmProgram> {
+    lower_with(prog, true)
+}
+
+/// Lower a compiled SPMD program to bytecode.
+///
+/// When `native_kernels` is set, a post-pass runs
+/// [`f90d_vm::native::select`] over every lowered FORALL: straight-line
+/// REAL bodies with affine subscripts are monomorphized into prebuilt
+/// closures ([`f90d_vm::native::NativeKernel`]) that the engine
+/// dispatches to instead of the bytecode element loop, falling back per
+/// execution when a dispatch precondition fails. Selection never changes
+/// any virtual metric or array bit — it only removes per-instruction
+/// dispatch from the hot loops.
+pub fn lower_with(prog: &SProgram, native_kernels: bool) -> LResult<VmProgram> {
     let mut lw = Lowerer::new(prog);
     lw.lower_stmts(&prog.stmts)?;
+    let arrays: Vec<VmArrayDecl> = prog
+        .arrays
+        .iter()
+        .map(|a| VmArrayDecl {
+            name: a.name.clone(),
+            ty: a.ty,
+            dad: a.dad.clone(),
+            ghost: a.ghost,
+            is_temp: a.is_temp,
+        })
+        .collect();
+    let mut natives = Vec::new();
+    if native_kernels {
+        for f in &mut lw.foralls {
+            if let Some(kernel) =
+                f90d_vm::native::select(f, &arrays, &lw.scalars, &lw.consts, &lw.accessors)
+            {
+                f.native = Some(natives.len());
+                natives.push(kernel);
+            }
+        }
+    }
     Ok(VmProgram {
         grid_shape: prog.grid_shape.clone(),
-        arrays: prog
-            .arrays
-            .iter()
-            .map(|a| VmArrayDecl {
-                name: a.name.clone(),
-                ty: a.ty,
-                dad: a.dad.clone(),
-                ghost: a.ghost,
-                is_temp: a.is_temp,
-            })
-            .collect(),
+        arrays,
         scalars: lw.scalars,
         nvars: lw.nvars,
         consts: lw.consts,
@@ -50,6 +78,7 @@ pub fn lower(prog: &SProgram) -> LResult<VmProgram> {
         comms: lw.comms,
         rtcalls: lw.rtcalls,
         prints: lw.prints,
+        natives,
     })
 }
 
@@ -791,6 +820,7 @@ impl<'p> Lowerer<'p> {
             owner_filter,
             body,
             accs_used,
+            native: None, // the selection post-pass in `lower_with` fills this
         });
         Ok(id)
     }

@@ -1,12 +1,14 @@
 //! Differential property test for the execution backends: random FORALL
 //! programs (1-D and 2-D, random distributions, shifts, masks) must
 //! produce **bit-identical** arrays under `Backend::TreeWalk`,
-//! `Backend::Vm`, and the sequential reference interpreter, across grids
-//! `[1]`, `[2]`, and `[2,2]` — under a **sampled local-phase execution
-//! mode**: `ExecMode::Threaded` (persistent worker pool, cross-run
-//! schedule cache on as everywhere) must be indistinguishable from
-//! `ExecMode::Sequential` in arrays, virtual time, and elapsed parity
-//! between backends.
+//! `Backend::Vm` — with the native kernel tier both on (the default;
+//! unmasked BLOCK samples dispatch to the monomorphized closures) and
+//! explicitly off — and the sequential reference interpreter, across
+//! grids `[1]`, `[2]`, and `[2,2]` — under a **sampled local-phase
+//! execution mode**: `ExecMode::Threaded` (persistent worker pool,
+//! cross-run schedule cache on as everywhere) must be indistinguishable
+//! from `ExecMode::Sequential` in arrays, virtual time, and elapsed
+//! parity between backends.
 
 use std::collections::HashMap;
 
@@ -175,7 +177,7 @@ proptest! {
             .map(|a| ex.gather_array(&mut m, a).unwrap())
             .collect();
 
-        // Bytecode engine.
+        // Bytecode engine, native kernel tier on (the default).
         let compiled_vm = compile(&src, &opts.clone().with_backend(Backend::Vm)).unwrap();
         let prog = compiled_vm.vm_program().unwrap_or_else(|e| panic!("lowering failed: {e}\n{src}"));
         let mut m2 = Machine::with_mode(MachineSpec::ideal(), ProcGrid::new(&p.grid), p.exec);
@@ -199,6 +201,32 @@ proptest! {
         }
         // Virtual time parity between the distributed backends.
         prop_assert_eq!(m.elapsed(), m2.elapsed(), "virtual time differs\n{}", src);
+
+        // Bytecode engine with the native tier disabled: the pure
+        // bytecode element loop must be indistinguishable from the
+        // native-on run in arrays and virtual time, and must never
+        // report a native dispatch.
+        let mut opts_nonative = opts.clone().with_backend(Backend::Vm);
+        opts_nonative.opt.native_kernels = false;
+        let compiled_nn = compile(&src, &opts_nonative).unwrap();
+        let prog_nn = compiled_nn.vm_program().unwrap_or_else(|e| panic!("lowering failed: {e}\n{src}"));
+        prop_assert!(prog_nn.natives.is_empty(), "native off must select no kernels\n{}", src);
+        let mut m3 = Machine::with_mode(MachineSpec::ideal(), ProcGrid::new(&p.grid), p.exec);
+        let mut eng_nn = f90d_vm::Engine::new(prog_nn, &mut m3);
+        for (name, data) in &inits {
+            prop_assert!(eng_nn.seed_array(&mut m3, name, data));
+        }
+        eng_nn.run(&mut m3).unwrap_or_else(|e| panic!("vm (no native) failed: {e}\n{src}"));
+        prop_assert_eq!(eng_nn.native_counts().0, 0, "native off must never dispatch\n{}", src);
+        for name in &names {
+            let a = eng.gather_array(&mut m2, name).unwrap();
+            let b = eng_nn.gather_array(&mut m3, name).unwrap();
+            prop_assert_eq!(&a, &b, "array {} differs: native vs bytecode\n{}", name, src);
+        }
+        prop_assert_eq!(
+            m2.elapsed().to_bits(), m3.elapsed().to_bits(),
+            "virtual time must be tier-independent\n{}", src
+        );
 
         // Threaded samples additionally anchor against an explicitly
         // sequential tree-walk run: arrays AND virtual time must be

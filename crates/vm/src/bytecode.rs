@@ -267,6 +267,14 @@ pub struct VmForall {
     pub body: Vec<VmAssign>,
     /// Accessor ids the element loop references (for per-rank resolution).
     pub accs_used: Vec<u16>,
+    /// Native-tier kernel selected at lowering time
+    /// ([`VmProgram::natives`] index), or `None` when the bytecode
+    /// element loop is the only executor. Even with a kernel present the
+    /// engine re-checks dispatch preconditions per execution (live
+    /// descriptors, scalar value types, iteration-box bounds) and falls
+    /// back to bytecode — counted in `Engine::native_counts` — when any
+    /// fails.
+    pub native: Option<crate::native::KernelId>,
 }
 
 /// Reduction kinds (mirror of the IR's `ReduceKind`).
@@ -550,6 +558,9 @@ pub struct VmProgram {
     pub rtcalls: Vec<VmRt>,
     /// Print table.
     pub prints: Vec<Vec<VmPrintItem>>,
+    /// Native-tier kernel table ([`VmForall::native`] indexes into it).
+    /// Empty when lowering ran with `native_kernels` off.
+    pub natives: Vec<crate::native::NativeKernel>,
 }
 
 impl VmProgram {
@@ -601,9 +612,10 @@ impl VmProgram {
     /// One-line shape summary (diagnostics / logs).
     pub fn summary(&self) -> String {
         format!(
-            "{} insts, {} foralls, {} comms, {} rtcalls, {} arrays, {} accessors, {} expr ops",
+            "{} insts, {} foralls ({} native), {} comms, {} rtcalls, {} arrays, {} accessors, {} expr ops",
             self.code.len(),
             self.foralls.len(),
+            self.natives.len(),
             self.comms.len(),
             self.rtcalls.len(),
             self.arrays.len(),

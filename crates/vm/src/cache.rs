@@ -166,6 +166,7 @@ mod tests {
             comms: vec![],
             rtcalls: vec![],
             prints: vec![],
+            natives: vec![],
         }
     }
 

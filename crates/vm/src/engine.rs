@@ -27,6 +27,7 @@ use f90d_runtime::intrinsics as rt;
 use f90d_runtime::DistArray;
 
 use crate::bytecode::*;
+use crate::native::{ElemArgs, ElemFn, Lin, NativeKernel, ReadSite};
 use crate::ops;
 
 /// Execution error (runtime faults in the compiled program).
@@ -176,6 +177,12 @@ pub struct Engine {
     /// executing. `None` respects the machine as given. Virtual metrics
     /// are identical either way.
     pub exec: Option<f90d_machine::ExecMode>,
+    /// FORALL executions dispatched to a native-tier kernel.
+    native_matched: u64,
+    /// FORALL executions that ran the bytecode element loop instead (no
+    /// kernel selected, a dispatch precondition failed, or the overlap
+    /// split-phase path ran).
+    native_fallback: u64,
 }
 
 impl Engine {
@@ -227,7 +234,17 @@ impl Engine {
             sched: RunSchedules::new(),
             overlap: false,
             exec: None,
+            native_matched: 0,
+            native_fallback: 0,
         }
+    }
+
+    /// `(matched, fallback)` FORALL execution counts for this engine:
+    /// how many FORALL executions dispatched to a native-tier kernel vs
+    /// ran the bytecode element loop. Informational — the tiers are
+    /// bit-identical on every virtual metric.
+    pub fn native_counts(&self) -> (u64, u64) {
+        (self.native_matched, self.native_fallback)
     }
 
     /// Read a scalar by name (post-run inspection).
@@ -669,6 +686,9 @@ impl Engine {
         let prog = self.prog.clone();
         if self.overlap {
             if let Some(margins) = self.overlap_plan(f, &prog) {
+                // Split-phase boundary/interior execution always runs
+                // the bytecode element loop.
+                self.native_fallback += 1;
                 return self.exec_forall_overlap(f, m, &margins);
             }
         }
@@ -732,6 +752,16 @@ impl Engine {
         for g in &f.gathers {
             self.exec_gather(f, g, m, &iter_lists, &resolved)?;
         }
+        // Native tier: when lowering selected a kernel and every rank's
+        // dispatch preconditions hold, run the monomorphized closures
+        // instead of the bytecode element loop.
+        if let Some(kid) = f.native {
+            if let Some(bound) = self.bind_native(&prog.natives[kid], &iter_lists, &resolved) {
+                self.native_matched += 1;
+                return run_native_forall(&prog, f, m, &bound, &iter_lists);
+            }
+        }
+        self.native_fallback += 1;
         // Main loop: one local phase under the machine's ExecMode.
         let scatter = f.body.iter().find_map(|b| b.scatter);
         let max_regs = forall_max_regs(f);
@@ -1057,6 +1087,143 @@ impl Engine {
         }
     }
 
+    // ---- native tier dispatch ------------------------------------------
+
+    /// Bind a selected [`NativeKernel`] against this execution's per-rank
+    /// resolved accessors and iteration lists. Returns `None` — whole
+    /// FORALL falls back to bytecode — unless, on **every** active rank:
+    /// every used accessor dimension is affine (BLOCK / undistributed),
+    /// every read/write site stays inside the array extents and the
+    /// padded segment over the rank's whole iteration box (no mask means
+    /// every listed tuple executes, so corner analysis is exact and any
+    /// violation is exactly a bytecode runtime error), every INTEGER
+    /// scalar a subscript folds holds `Value::Int`, and every REAL
+    /// scalar the closures read holds `Value::Real`.
+    fn bind_native(
+        &self,
+        kernel: &NativeKernel,
+        iter_lists: &[Vec<Vec<i64>>],
+        resolved: &[Vec<Option<ResolvedAcc>>],
+    ) -> Option<Vec<Option<Vec<NatBody>>>> {
+        let nv = kernel.var_slots.len();
+        let mut out = Vec::with_capacity(iter_lists.len());
+        for (rank, lists) in iter_lists.iter().enumerate() {
+            if lists.iter().any(|l| l.is_empty()) {
+                out.push(None);
+                continue;
+            }
+            // Iteration lists are sorted ascending, so firsts/lasts are
+            // the per-variable box corners.
+            let lo: Vec<i64> = lists.iter().map(|l| l[0]).collect();
+            let hi: Vec<i64> = lists.iter().map(|l| *l.last().unwrap()).collect();
+            let table = &resolved[rank];
+            let mut bodies = Vec::with_capacity(kernel.bodies.len());
+            for b in &kernel.bodies {
+                let mut read_offs = Vec::with_capacity(b.reads.len());
+                let mut read_arrs = Vec::with_capacity(b.reads.len());
+                for site in &b.reads {
+                    let racc = table[site.acc as usize].as_ref()?;
+                    read_offs.push(self.bind_site(site, racc, kernel, nv, &lo, &hi)?);
+                    read_arrs.push(racc.target);
+                }
+                let lhs = table[b.lhs_acc as usize].as_ref()?;
+                let lhs_site = ReadSite {
+                    acc: b.lhs_acc,
+                    subs: b.lhs_subs.clone(),
+                };
+                let lhs_off = self.bind_site(&lhs_site, lhs, kernel, nv, &lo, &hi)?;
+                let mut lin_vals = Vec::with_capacity(b.lins.len());
+                for lin in &b.lins {
+                    lin_vals.push(self.bind_lin(lin, kernel, nv)?);
+                }
+                let mut scalars = Vec::with_capacity(b.scalar_slots.len());
+                for &slot in &b.scalar_slots {
+                    match self.scalars[slot as usize] {
+                        Value::Real(v) => scalars.push(v),
+                        _ => return None,
+                    }
+                }
+                bodies.push(NatBody {
+                    func: b.func.clone(),
+                    read_offs,
+                    read_arrs,
+                    lin_vals,
+                    scalars,
+                    lhs_off,
+                    cost: b.cost,
+                });
+            }
+            out.push(Some(bodies));
+        }
+        Some(out)
+    }
+
+    /// Fold a selection-time [`Lin`] into a per-rank affine form over the
+    /// FORALL variables: outer loop variables take their current values,
+    /// INTEGER scalar terms fold their current `Value::Int` (anything
+    /// else fails the bind).
+    fn bind_lin(&self, lin: &Lin, kernel: &NativeKernel, nv: usize) -> Option<NatAff> {
+        let mut aff = NatAff {
+            base: lin.base,
+            k: vec![0; nv],
+        };
+        for &(slot, c) in &lin.vterms {
+            match kernel.var_slots.iter().position(|&s| s == slot) {
+                Some(j) => aff.k[j] += c,
+                None => aff.base += c * self.vars[slot as usize],
+            }
+        }
+        for &(slot, c) in &lin.sterms {
+            match self.scalars[slot as usize] {
+                Value::Int(v) => aff.base += c * v,
+                _ => return None,
+            }
+        }
+        Some(aff)
+    }
+
+    /// Compose a site's affine subscripts through a resolved accessor
+    /// into a flat padded-offset affine form — the symbolic mirror of
+    /// [`ResolvedAcc::offset`], including the slab drop-dim skip and
+    /// both bounds checks (validated over the iteration box corners
+    /// instead of per element).
+    fn bind_site(
+        &self,
+        site: &ReadSite,
+        racc: &ResolvedAcc,
+        kernel: &NativeKernel,
+        nv: usize,
+        lo: &[i64],
+        hi: &[i64],
+    ) -> Option<NatAff> {
+        let mut off = NatAff {
+            base: 0,
+            k: vec![0; nv],
+        };
+        let mut k = 0usize;
+        for (d, sub) in site.subs.iter().enumerate() {
+            if Some(d) == racc.drop_dim {
+                continue;
+            }
+            let g = self.bind_lin(sub, kernel, nv)?;
+            let (gmin, gmax) = g.range(lo, hi);
+            if gmin < 0 || gmax >= racc.extents[k] {
+                return None;
+            }
+            let RDim::Affine { a, b } = racc.dims[k] else {
+                return None; // CYCLIC / BLOCK-CYCLIC: per-element ownership math
+            };
+            let l = g.scale_shift(a, b);
+            let (lmin, lmax) = l.range(lo, hi);
+            if lmin < 0 || lmax >= racc.padded[k] {
+                return None;
+            }
+            off.add_scaled(&l, racc.strides[k]);
+            k += 1;
+        }
+        Some(off)
+    }
+
     // ---- unstructured communication ------------------------------------
 
     fn exec_gather(
@@ -1291,6 +1458,152 @@ fn forall_max_regs(f: &VmForall) -> usize {
         }
     }
     n
+}
+
+/// One affine form bound to a rank: `base + Σ k[j]·iter_value[j]` over
+/// the FORALL variables, outer to inner.
+struct NatAff {
+    base: i64,
+    k: Vec<i64>,
+}
+
+impl NatAff {
+    #[inline]
+    fn at(&self, vals: &[i64]) -> i64 {
+        let mut v = self.base;
+        for (c, x) in self.k.iter().zip(vals) {
+            v += c * x;
+        }
+        v
+    }
+
+    /// Exact min/max over the box `[lo, hi]` per variable (attained at
+    /// corners, which are real iteration tuples).
+    fn range(&self, lo: &[i64], hi: &[i64]) -> (i64, i64) {
+        let (mut a, mut b) = (self.base, self.base);
+        for (j, &c) in self.k.iter().enumerate() {
+            if c >= 0 {
+                a += c * lo[j];
+                b += c * hi[j];
+            } else {
+                a += c * hi[j];
+                b += c * lo[j];
+            }
+        }
+        (a, b)
+    }
+
+    fn scale_shift(&self, a: i64, b: i64) -> NatAff {
+        NatAff {
+            base: a * self.base + b,
+            k: self.k.iter().map(|&c| a * c).collect(),
+        }
+    }
+
+    fn add_scaled(&mut self, other: &NatAff, s: i64) {
+        self.base += s * other.base;
+        for (c, o) in self.k.iter_mut().zip(&other.k) {
+            *c += s * o;
+        }
+    }
+}
+
+/// One kernel body bound to one rank: everything the element loop needs
+/// with no descriptor math, bounds checks, or `Value` boxing left.
+struct NatBody {
+    func: ElemFn,
+    /// Flat padded offset of each read site.
+    read_offs: Vec<NatAff>,
+    /// Target array of each read site (view lookup).
+    read_arrs: Vec<ArrId>,
+    /// Values for [`ElemArgs::lins`].
+    lin_vals: Vec<NatAff>,
+    /// Snapshot for [`ElemArgs::scalars`].
+    scalars: Vec<f64>,
+    /// Flat padded offset of the owned write.
+    lhs_off: NatAff,
+    /// Modelled cost per iteration (identical to the bytecode body's).
+    cost: i64,
+}
+
+/// Execute a bound native kernel: one local phase under the machine's
+/// `ExecMode`, same cost charging, staging, and commit order as the
+/// bytecode loop — only the per-element work is closure calls over raw
+/// `f64` slices.
+fn run_native_forall(
+    prog: &VmProgram,
+    f: &VmForall,
+    m: &mut Machine,
+    bound: &[Option<Vec<NatBody>>],
+    iter_lists: &[Vec<Vec<i64>>],
+) -> VmResult<()> {
+    let commit_name = &prog.arrays[f.body[0].arr].name;
+    m.local_phase(|rank, mem| {
+        let Some(bodies) = &bound[rank as usize] else {
+            return 0;
+        };
+        let lists = &iter_lists[rank as usize];
+        // Pre-borrow every read view as a raw f64 slice (selection
+        // admits REAL arrays only).
+        let mut view_base = Vec::with_capacity(bodies.len());
+        let mut views: Vec<&[f64]> = Vec::new();
+        for b in bodies {
+            view_base.push(views.len());
+            for &arr in &b.read_arrs {
+                views.push(mem.array(&prog.arrays[arr].name).data().as_real_slice());
+            }
+        }
+        let mut vals = vec![0i64; lists.len()];
+        let mut readbuf: Vec<f64> = Vec::new();
+        let mut linbuf: Vec<i64> = Vec::new();
+        let mut staged: Vec<(usize, f64)> = Vec::new();
+        let mut ops: i64 = 0;
+        let mut cursor = vec![0usize; lists.len()];
+        'iter: loop {
+            for (k, list) in lists.iter().enumerate() {
+                vals[k] = list[cursor[k]];
+            }
+            for (bi, b) in bodies.iter().enumerate() {
+                readbuf.clear();
+                for (ri, off) in b.read_offs.iter().enumerate() {
+                    readbuf.push(views[view_base[bi] + ri][off.at(&vals) as usize]);
+                }
+                linbuf.clear();
+                for l in &b.lin_vals {
+                    linbuf.push(l.at(&vals));
+                }
+                let v = (b.func)(&ElemArgs {
+                    reads: &readbuf,
+                    lins: &linbuf,
+                    scalars: &b.scalars,
+                });
+                ops += b.cost;
+                staged.push((b.lhs_off.at(&vals) as usize, v));
+            }
+            // advance cartesian cursor (last var fastest)
+            let mut d = lists.len();
+            loop {
+                if d == 0 {
+                    break 'iter;
+                }
+                d -= 1;
+                cursor[d] += 1;
+                if cursor[d] < lists[d].len() {
+                    break;
+                }
+                cursor[d] = 0;
+            }
+        }
+        drop(views);
+        // Commit staged owned writes (RHS-before-LHS within the rank),
+        // same single-target commit as the bytecode loop.
+        let out = mem.array_mut(commit_name).data_mut().as_real_slice_mut();
+        for (off, v) in staged {
+            out[off] = v;
+        }
+        ops
+    });
+    Ok(())
 }
 
 /// The per-rank element loop: flat fetch/decode over the mask and body

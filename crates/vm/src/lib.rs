@@ -19,6 +19,10 @@
 //! * [`bytecode`] — instruction set, expression code, program tables.
 //! * [`engine`] — the execution engine (mirrors the tree walker's
 //!   `Executor` API: seed, run, gather, scalar inspection).
+//! * [`native`] — the third tier: FORALL superinstructions selected at
+//!   lowering time and monomorphized into prebuilt Rust closures; the
+//!   engine dispatches to them per execution and falls back to bytecode
+//!   when a kernel's preconditions fail.
 //! * [`ops`] — value-level operator semantics, shared with the tree
 //!   walker so the two backends cannot diverge.
 //! * [`cache`] — keyed program cache so repeated runs skip lowering.
@@ -28,6 +32,7 @@
 pub mod bytecode;
 pub mod cache;
 pub mod engine;
+pub mod native;
 pub mod ops;
 
 pub use bytecode::VmProgram;

@@ -20,6 +20,7 @@ fn dummy(tag: usize) -> VmProgram {
         comms: vec![],
         rtcalls: vec![],
         prints: vec![],
+        natives: vec![],
     }
 }
 
