@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|overlap|abl-shift|abl-sched|abl-fuse|abl-overlap|matrix]
+//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|overlap|commplan|abl-shift|abl-sched|abl-fuse|abl-overlap|matrix]
 //!       [--n <matrix size>] [--quick] [--backend treewalk|vm]
 //!       [--jobs N] [--exec sequential|threaded] [--workers N]
 //!       [--out results.json] [--baseline results.json] [--wall-tol F]
@@ -49,6 +49,17 @@
 //! are bit-identical across all three, and **exits 1** if overlap does
 //! not strictly lower the modelled time — CI runs it as a smoke gate.
 //! `--out overlap.json` writes the rows as an `f90d-overlap/v1` document
+//! (schema in the README).
+//!
+//! `--exp commplan` reproduces the phase-level communication planning
+//! claim (`OptFlags::comm_plan`, PARTI-style message coalescing): for
+//! both machine models and both backends it runs the multi-array stencil
+//! and the multigrid V-cycle with per-statement vs phase-batched ghost
+//! exchanges, verifies arrays/PRINT/bytes are bit-identical, and **exits
+//! 1** unless the planner never loses and strictly wins (fewer messages,
+//! lower modelled time) on the multi-array stencil. `--gate <factor>`
+//! additionally requires that multi-stencil speedup on every machine ×
+//! backend; `--out commplan.json` writes an `f90d-commplan/v1` document
 //! (schema in the README).
 //!
 //! `--exec threaded` runs every cell's local phases on its machine's
@@ -237,8 +248,28 @@ fn main() {
         exp_vmcmp(quick, out, gate);
         return;
     }
+    if which == "commplan" {
+        // Fixed cells like overlap/vmcmp: both machine models, both
+        // backends, planner off vs on, at its own sizes.
+        if jobs.is_some()
+            || baseline.is_some()
+            || wall_tol.is_some()
+            || repeat > 1
+            || !sched_cache
+            || exec != ExecMode::Sequential
+            || workers.is_some()
+            || !native
+            || n_arg
+            || backend_arg
+        {
+            eprintln!("--exp commplan accepts only --quick, --out and --gate (it always runs both backends at its own sizes)");
+            std::process::exit(2);
+        }
+        exp_commplan(quick, out, gate);
+        return;
+    }
     if gate.is_some() {
-        eprintln!("--gate is the vmcmp native-speedup gate; it requires --exp vmcmp");
+        eprintln!("--gate is a claim gate; it requires --exp vmcmp (native speedup) or --exp commplan (planner speedup)");
         std::process::exit(2);
     }
     if matrix_flags && which == "all" {
@@ -313,6 +344,7 @@ fn main() {
         // the full suite still includes an ungated run.
         exp_vmcmp(quick, None, None);
         exp_overlap(quick, None);
+        exp_commplan(quick, None, None);
     }
     if all || which == "abl-shift" {
         exp_abl_shift();
@@ -706,6 +738,129 @@ fn exp_overlap(quick: bool, out: Option<String>) {
     }
     println!(
         "  overlap < temporary and overlap < blocking on every machine x backend, results bit-identical: yes"
+    );
+}
+
+/// The phase-level communication planning experiment: the multi-array
+/// stencil and the multigrid V-cycle under per-statement vs phase-batched
+/// coalesced ghost exchanges, per machine model and backend. Exits 1
+/// when any row changes a result bit or moves more traffic, or — with
+/// `--gate` — when the multi-stencil speedup falls below the factor on
+/// any machine × backend.
+fn exp_commplan(quick: bool, out: Option<String>, gate: Option<f64>) {
+    let (n, iters, p) = if quick { (48, 4, 4) } else { (128, 8, 4) };
+    let rows = exp::commplan_experiment(n, iters, p);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                r.machine.to_string(),
+                backend_name(r.backend).to_string(),
+                format!("{:.6}", r.t_per_stmt),
+                format!("{:.6}", r.t_plan),
+                format!("{:.2}x", r.speedup()),
+                format!("{}", r.msgs_per_stmt),
+                format!("{}", r.msgs_plan),
+                if r.arrays_identical && r.print_identical && r.bytes_equal {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]
+        })
+        .collect();
+    exp::print_table(
+        &format!(
+            "Comm phases — {n} elements, {iters} sweeps, {p} procs: per-statement vs batched coalesced ghost exchanges (modelled seconds)"
+        ),
+        &[
+            "workload",
+            "machine",
+            "backend",
+            "per-stmt",
+            "planned",
+            "speedup",
+            "msgs off",
+            "msgs on",
+            "bit-identical",
+        ],
+        &table,
+    );
+    if let Some(path) = &out {
+        use serde::json::Json;
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("f90d-commplan/v1".into())),
+            ("n".into(), Json::Num(n as f64)),
+            ("iters".into(), Json::Num(iters as f64)),
+            ("grid".into(), Json::Arr(vec![Json::Num(p as f64)])),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::Str(r.workload.into())),
+                                ("machine".into(), Json::Str(r.machine.into())),
+                                ("backend".into(), Json::Str(backend_name(r.backend).into())),
+                                ("t_per_stmt_s".into(), Json::Num(r.t_per_stmt)),
+                                ("t_plan_s".into(), Json::Num(r.t_plan)),
+                                ("msgs_per_stmt".into(), Json::Num(r.msgs_per_stmt as f64)),
+                                ("msgs_plan".into(), Json::Num(r.msgs_plan as f64)),
+                                ("bytes_equal".into(), Json::Bool(r.bytes_equal)),
+                                ("arrays_identical".into(), Json::Bool(r.arrays_identical)),
+                                ("print_identical".into(), Json::Bool(r.print_identical)),
+                                ("gated".into(), Json::Bool(r.gated)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("# wrote {path}");
+    }
+    let failed: Vec<String> = rows
+        .iter()
+        .filter(|r| !r.holds())
+        .map(|r| format!("{}/{}/{}", r.workload, r.machine, backend_name(r.backend)))
+        .collect();
+    if !failed.is_empty() {
+        eprintln!("# COMM-PLAN CLAIM VIOLATED on: {failed:?}");
+        std::process::exit(1);
+    }
+    if let Some(need) = gate {
+        let worst = rows
+            .iter()
+            .filter(|r| r.gated)
+            .map(|r| (r, r.speedup()))
+            .fold((None::<&exp::CommPlanRow>, f64::INFINITY), |acc, (r, s)| {
+                if s < acc.1 {
+                    (Some(r), s)
+                } else {
+                    acc
+                }
+            });
+        if worst.1 < need {
+            let r = worst.0.unwrap();
+            eprintln!(
+                "# COMM-PLAN GATE FAILED: multi-stencil speedup {:.2}x on {}/{} < {need}x",
+                worst.1,
+                r.machine,
+                backend_name(r.backend)
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "  comm-plan gate: worst multi-stencil speedup {:.2}x (>= {need}x required on every machine x backend): pass",
+            worst.1
+        );
+    }
+    println!(
+        "  planned <= per-statement everywhere, strict win on the multi-array stencil, results bit-identical: yes"
     );
 }
 

@@ -476,6 +476,144 @@ pub fn overlap_experiment(n: i64, iters: i64, p: i64) -> Vec<OverlapRow> {
     rows
 }
 
+/// One row of the phase-level communication planning experiment
+/// (`repro --exp commplan`): one workload × machine model × backend,
+/// with the planner off (per-statement ghost exchanges) and on
+/// (phase-batched, PARTI-style coalesced posts).
+#[derive(Debug, Clone)]
+pub struct CommPlanRow {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Machine model name (`ipsc860` / `ncube2`).
+    pub machine: &'static str,
+    /// Execution backend.
+    pub backend: Backend,
+    /// `OptFlags::comm_plan = false`: one ghost-exchange post per
+    /// statement per array per direction (the baseline configuration).
+    pub t_per_stmt: f64,
+    /// Planner on: consecutive eligible FORALLs share one batched post,
+    /// same-destination strips coalesce into one message.
+    pub t_plan: f64,
+    /// Wire messages with the planner off.
+    pub msgs_per_stmt: u64,
+    /// Wire messages with the planner on.
+    pub msgs_plan: u64,
+    /// Total bytes identical in both modes (coalescing repacks, never
+    /// re-sends).
+    pub bytes_equal: bool,
+    /// Arrays bit-identical in both modes.
+    pub arrays_identical: bool,
+    /// PRINT output identical in both modes.
+    pub print_identical: bool,
+    /// Whether the strict-improvement claim applies: the multi-array
+    /// stencil is the coalescing showcase; the V-cycle mixes groupable
+    /// statements with pinned write→read chains and is reported only.
+    pub gated: bool,
+}
+
+impl CommPlanRow {
+    /// Modelled-time improvement of the planner.
+    pub fn speedup(&self) -> f64 {
+        self.t_per_stmt / self.t_plan
+    }
+
+    /// The claim this experiment reproduces: phase-batched coalesced
+    /// posts never change a result bit or move more traffic, and on the
+    /// coalescing showcase they strictly remove messages and time.
+    pub fn holds(&self) -> bool {
+        self.arrays_identical
+            && self.print_identical
+            && self.bytes_equal
+            && self.t_plan <= self.t_per_stmt
+            && self.msgs_plan <= self.msgs_per_stmt
+            && (!self.gated
+                || (self.msgs_plan < self.msgs_per_stmt && self.t_plan < self.t_per_stmt))
+    }
+}
+
+/// Phase-level communication planning on the multi-array stencil and the
+/// multigrid V-cycle (`n` elements, `iters` sweeps, `p` processors): one
+/// row per workload × machine model × backend.
+pub fn commplan_experiment(n: i64, iters: i64, p: i64) -> Vec<CommPlanRow> {
+    use f90d_machine::ArrayData;
+    let grid = [p];
+    let cases: Vec<(&'static str, String, Vec<&'static str>, bool)> = vec![
+        (
+            "multi-stencil",
+            workloads::multi_stencil(n, iters),
+            vec!["A", "B", "C", "A2", "B2", "C2"],
+            true,
+        ),
+        (
+            "v-cycle",
+            workloads::vcycle(n, iters),
+            vec!["U", "R", "UC", "RC"],
+            false,
+        ),
+    ];
+    let run = |src: &str,
+               names: &[&str],
+               spec: &MachineSpec,
+               backend: Backend,
+               plan: bool|
+     -> (f64, u64, u64, Vec<String>, Vec<ArrayData>) {
+        let mut opts = CompileOptions::on_grid(&grid).with_backend(backend);
+        opts.opt.comm_plan = plan;
+        let compiled = compile(src, &opts).expect("workload compiles");
+        let mut m = Machine::new(spec.clone(), ProcGrid::new(&grid));
+        match backend {
+            Backend::TreeWalk => {
+                let mut ex = Executor::new(&compiled.spmd, &mut m);
+                ex.plan = plan;
+                let rep = ex.run(&mut m).expect("workload runs");
+                let arrays = names
+                    .iter()
+                    .map(|a| ex.gather_array(&mut m, a).unwrap())
+                    .collect();
+                (rep.elapsed, rep.messages, rep.bytes, rep.printed, arrays)
+            }
+            Backend::Vm => {
+                let prog = compiled.vm_program().expect("workload lowers");
+                let mut eng = f90d_vm::Engine::new(prog, &mut m);
+                eng.plan = plan;
+                let rep = eng.run(&mut m).expect("workload runs");
+                let arrays = names
+                    .iter()
+                    .map(|a| eng.gather_array(&mut m, a).unwrap())
+                    .collect();
+                (rep.elapsed, rep.messages, rep.bytes, rep.printed, arrays)
+            }
+        }
+    };
+    let mut rows = Vec::new();
+    for (workload, src, names, gated) in &cases {
+        for (machine, spec) in [
+            ("ipsc860", MachineSpec::ipsc860()),
+            ("ncube2", MachineSpec::ncube2()),
+        ] {
+            for backend in [Backend::TreeWalk, Backend::Vm] {
+                let (t_off, msg_off, by_off, pr_off, arr_off) =
+                    run(src, names, &spec, backend, false);
+                let (t_on, msg_on, by_on, pr_on, arr_on) = run(src, names, &spec, backend, true);
+                rows.push(CommPlanRow {
+                    workload,
+                    machine,
+                    backend,
+                    t_per_stmt: t_off,
+                    t_plan: t_on,
+                    msgs_per_stmt: msg_off,
+                    msgs_plan: msg_on,
+                    bytes_equal: by_on == by_off,
+                    arrays_identical: arr_on == arr_off,
+                    print_identical: pr_on == pr_off,
+                    gated: *gated,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// Portability demonstration (paper §8.1): the same compiled program runs
 /// under every machine model; returns `(machine, time)` rows.
 pub fn portability(n: i64, p: i64) -> Vec<(String, f64)> {

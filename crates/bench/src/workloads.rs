@@ -104,6 +104,78 @@ END
     )
 }
 
+/// Multi-array stencil: three co-aligned BLOCK arrays updated by three
+/// consecutive shift stencils per sweep. The comm-phase planner's
+/// showcase — per sweep the per-statement path posts one ghost exchange
+/// per array per direction (6 wire messages per neighbour pair), while a
+/// phase coalesces each direction's three strips into one message
+/// (2 per pair), saving `2·α` per neighbour per sweep.
+pub fn multi_stencil(n: i64, iters: i64) -> String {
+    format!(
+        "
+PROGRAM MSTEN
+INTEGER, PARAMETER :: N = {n}
+REAL A(N), B(N), C(N), A2(N), B2(N), C2(N)
+INTEGER IT
+C$ TEMPLATE T(N)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+C$ ALIGN C(I) WITH T(I)
+C$ ALIGN A2(I) WITH T(I)
+C$ ALIGN B2(I) WITH T(I)
+C$ ALIGN C2(I) WITH T(I)
+C$ DISTRIBUTE T(BLOCK)
+FORALL (I=1:N) A(I) = REAL(I)
+FORALL (I=1:N) B(I) = REAL(2*I)
+FORALL (I=1:N) C(I) = REAL(3*I)
+DO IT = 1, {iters}
+  FORALL (I=2:N-1) A2(I) = 0.5*(A(I-1) + A(I+1))
+  FORALL (I=2:N-1) B2(I) = 0.5*(B(I-1) + B(I+1))
+  FORALL (I=2:N-1) C2(I) = 0.5*(C(I-1) + C(I+1))
+  FORALL (I=2:N-1) A(I) = A2(I)
+  FORALL (I=2:N-1) B(I) = B2(I)
+  FORALL (I=2:N-1) C(I) = C2(I)
+END DO
+END
+"
+    )
+}
+
+/// Multigrid V-cycle flavoured workload (ROADMAP item: inter-grid
+/// traffic): restrict residual and solution onto co-aligned coarse work
+/// arrays, smooth there, prolongate back, correct. The two restriction
+/// stencils read different arrays and write different arrays, so the
+/// planner phases them (their four strips coalesce to two messages per
+/// neighbour); the smooth → prolongate → correct chain writes what the
+/// next statement reads, so those exchanges stay pinned per-statement —
+/// the workload exercises grouping and conflict fallback in one cycle.
+pub fn vcycle(n: i64, iters: i64) -> String {
+    format!(
+        "
+PROGRAM VCYCLE
+INTEGER, PARAMETER :: N = {n}
+REAL U(N), R(N), UC(N), RC(N)
+INTEGER IT
+C$ TEMPLATE T(N)
+C$ ALIGN U(I) WITH T(I)
+C$ ALIGN R(I) WITH T(I)
+C$ ALIGN UC(I) WITH T(I)
+C$ ALIGN RC(I) WITH T(I)
+C$ DISTRIBUTE T(BLOCK)
+FORALL (I=1:N) U(I) = REAL(I)*0.25
+FORALL (I=1:N) R(I) = REAL(N-I)*0.125
+DO IT = 1, {iters}
+  FORALL (I=2:N-1) RC(I) = 0.5*(R(I-1) + R(I+1))
+  FORALL (I=2:N-1) UC(I) = 0.25*(U(I-1) + 2.0*U(I) + U(I+1))
+  FORALL (I=2:N-1) RC(I) = 0.25*(UC(I-1) + 2.0*UC(I) + UC(I+1))
+  FORALL (I=2:N-1) R(I) = 0.5*(RC(I-1) + RC(I+1))
+  FORALL (I=2:N-1) U(I) = U(I) + 0.5*(R(I-1) + R(I+1))
+END DO
+END
+"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +188,8 @@ mod tests {
             (jacobi(12, 2), vec![2, 2]),
             (fft_butterfly(8, 2), vec![4]),
             (irregular(16), vec![4]),
+            (multi_stencil(24, 2), vec![4]),
+            (vcycle(24, 2), vec![4]),
         ] {
             compile(&src, &CompileOptions::on_grid(&grid)).unwrap_or_else(|e| panic!("{e}\n{src}"));
         }

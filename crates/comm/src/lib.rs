@@ -14,6 +14,10 @@
 //! (see [`op`]). The one-shot functions below are post-then-finish
 //! wrappers with the pre-redesign blocking virtual-time behaviour, and
 //! completion faults surface as [`CommError`]s rather than panics.
+//! Phase-level plans ([`plan`]) go one step further: the ghost exchanges
+//! of several consecutive FORALLs post together, with same-destination
+//! messages coalesced into one wire transfer (PARTI-style aggregation,
+//! paper §7 optimization 1 across statement boundaries).
 //!
 //! **Structured** primitives (paper §5.1) exploit the logical-grid
 //! relationship between sender and receiver, so they need no preprocessing:
@@ -56,6 +60,7 @@
 pub mod helpers;
 pub mod op;
 pub mod overlap;
+pub mod plan;
 pub mod redist;
 pub mod reduce;
 pub mod sched_cache;

@@ -49,12 +49,20 @@ impl Margins {
     }
 
     /// Record a shift by `c` read through variable `var`.
+    ///
+    /// Saturating on purpose: `-c` overflows for `c == i64::MIN`, and a
+    /// margin beyond `i64::MAX` is indistinguishable from one at it —
+    /// both empty the interior. The compiler rejects shift constants at
+    /// or past the array extent up front, but `Margins` is a public
+    /// geometry type and must stay total for adversarial magnitudes
+    /// (wrapping here would silently *grow* the interior and let
+    /// boundary tuples run before the ghost exchange completes).
     pub fn add(&mut self, var: usize, c: i64) {
         let e = &mut self.per_var[var];
         if c > 0 {
             e.1 = e.1.max(c);
         } else {
-            e.0 = e.0.max(-c);
+            e.0 = e.0.max(c.saturating_neg());
         }
     }
 
@@ -63,9 +71,12 @@ impl Margins {
         if lo == 0 && hi == 0 {
             return None;
         }
+        // Saturating for the same reason as [`Margins::add`]: an
+        // overflowed interior bound must clamp (emptying the interior),
+        // never wrap around into a range that swallows the boundary.
         list.first()
             .zip(list.last())
-            .map(|(&a, &b)| (a + lo, b - hi))
+            .map(|(&a, &b)| (a.saturating_add(lo), b.saturating_sub(hi)))
     }
 
     /// The interior sub-product of one rank's iteration lists: margined
@@ -204,5 +215,78 @@ mod tests {
         assert!(m.interior_lists(&lists)[0].is_empty());
         // The slab on var 1 contains the empty var-0 list and is dropped.
         assert!(m.boundary_slabs(&lists).is_empty());
+    }
+
+    #[test]
+    fn adversarial_magnitudes_saturate_to_all_boundary() {
+        // i64::MIN used to negate with overflow in `add`; i64::MAX used
+        // to wrap the interior bounds in `range_of`. Both must instead
+        // clamp: nothing is interior, the slabs still cover everything.
+        for c in [i64::MIN, i64::MIN + 1, i64::MAX] {
+            let mut m = Margins::new(1);
+            m.add(0, c);
+            let lists = vec![vec![5, 6, 7]];
+            assert!(m.interior_lists(&lists)[0].is_empty(), "c = {c}");
+            let slabs = m.boundary_slabs(&lists);
+            assert_eq!(slabs.len(), 1, "c = {c}");
+            assert_eq!(slabs[0][0], vec![5, 6, 7], "c = {c}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn product(lists: &[Vec<i64>]) -> BTreeSet<Vec<i64>> {
+        let mut out = BTreeSet::new();
+        crate::helpers::cartesian(lists, |idx| {
+            out.insert(idx.to_vec());
+        });
+        out
+    }
+
+    /// Shift constants across the whole `i64` domain, with the overflow
+    /// corners pinned so every run exercises them.
+    fn extreme() -> impl Strategy<Value = i64> {
+        prop_oneof![
+            any::<i64>(),
+            Just(i64::MIN),
+            Just(i64::MIN + 1),
+            Just(i64::MAX),
+            -4i64..=4,
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn margins_total_and_partition_under_extreme_constants(
+            cs in (extreme(), extreme(), extreme())
+        ) {
+            let (c1, c2, c3) = cs;
+            let mut m = Margins::new(2);
+            m.add(0, c1);
+            m.add(0, c2);
+            m.add(1, c3);
+            let lists = vec![
+                (0..8).collect::<Vec<i64>>(),
+                (10..14).collect::<Vec<i64>>(),
+            ];
+            // Totality: no panic, and interior + slabs exactly
+            // partition the product whatever the magnitudes.
+            let full = product(&lists);
+            let interior = product(&m.interior_lists(&lists));
+            let mut covered = interior.clone();
+            for slab in m.boundary_slabs(&lists) {
+                for t in product(&slab) {
+                    prop_assert!(covered.insert(t.clone()), "tuple visited twice");
+                }
+            }
+            prop_assert_eq!(covered, full);
+        }
     }
 }

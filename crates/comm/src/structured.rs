@@ -224,10 +224,28 @@ pub fn overlap_shift_post(
     periodic: bool,
 ) -> CommResult<ExchangeOp<'static>> {
     m.stats.record("overlap_shift");
+    let moves = overlap_shift_moves(m, arr, dad, dim, c, periodic);
+    let mut op = ExchangeOp::new(arr, arr, moves);
+    op.post(m)?;
+    Ok(op)
+}
+
+/// Plan the element moves of an [`overlap_shift`] without posting
+/// anything: the receiver-centric `(src_rank, dst_rank) → (src, dst)
+/// flat offsets` table of every ghost cell of `arr` filled for a shift
+/// by compile-time `c` along `dim`. Shared by the per-statement
+/// split-phase op above and the phase-level coalescing planner in
+/// [`crate::plan`], so both price and move exactly the same elements.
+pub fn overlap_shift_moves(
+    m: &Machine,
+    arr: &str,
+    dad: &Dad,
+    dim: usize,
+    c: i64,
+    periodic: bool,
+) -> PairMoves {
     if c == 0 {
-        let mut op = ExchangeOp::new(arr, arr, PairMoves::new());
-        op.post(m)?;
-        return Ok(op);
+        return PairMoves::new();
     }
     let dm = &dad.dims[dim];
     let axis = dm.grid_axis.expect("overlap_shift needs a distributed dim");
@@ -288,9 +306,7 @@ pub fn overlap_shift_post(
             entry.extend(pairs.into_iter().zip(dst_offsets));
         }
     }
-    let mut op = ExchangeOp::new(arr, arr, moves);
-    op.post(m)?;
-    Ok(op)
+    moves
 }
 
 /// `temporary_shift` (paper §5.1): shift by a (possibly runtime) amount

@@ -907,6 +907,7 @@ impl<'a> Codegen<'a> {
                 write: write_plan,
                 rhs: rhs_expr,
             }],
+            plan: None,
         })
     }
 
@@ -1057,6 +1058,20 @@ impl<'a> Codegen<'a> {
             match t {
                 DimTag::NoComm => {}
                 DimTag::OverlapShift(c) => {
+                    // Reject shift constants at or past the dimension
+                    // extent up front: every read would land outside the
+                    // array, and downstream ghost allocation would have
+                    // to widen to |c| (for adversarial magnitudes like
+                    // i64::MIN that arithmetic only stays total because
+                    // `Margins`/`assign_ghosts` saturate). A real code
+                    // never shifts a whole array width.
+                    if c.unsigned_abs() >= decl.dad.dims[d].extent as u64 {
+                        return cerr(format!(
+                            "shift constant {c} out of range for dimension {d} of extent {} \
+                             (|shift| must be < extent)",
+                            decl.dad.dims[d].extent
+                        ));
+                    }
                     if self.opts.opt.overlap_shift {
                         oshifts.push((d, *c))
                     } else {
@@ -1342,7 +1357,10 @@ impl<'a> Codegen<'a> {
 fn assign_ghosts(stmts: &[SStmt], arrays: &mut [ArrayDecl]) {
     fn comm(c: &CommStmt, arrays: &mut [ArrayDecl]) {
         if let CommStmt::OverlapShift { arr, c, .. } = c {
-            arrays[*arr].ghost = arrays[*arr].ghost.max(c.abs());
+            // Saturating: the compiler rejects |c| >= extent, but keep
+            // this total for IR built by hand (c == i64::MIN would
+            // panic under plain `abs`).
+            arrays[*arr].ghost = arrays[*arr].ghost.max(c.saturating_abs());
         }
     }
     fn walk(stmts: &[SStmt], arrays: &mut [ArrayDecl]) {

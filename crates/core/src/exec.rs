@@ -75,6 +75,12 @@ pub struct Executor<'p> {
     /// budget) before executing. `None` respects the machine as given.
     /// Virtual metrics are identical either way.
     pub exec: Option<f90d_machine::ExecMode>,
+    /// `OptFlags::comm_plan`: honour the phase planner's
+    /// [`ForallNode::plan`] annotations, batching each phase's ghost
+    /// exchanges through one coalesced `f90d_comm::plan::PhaseExchange`.
+    /// Off (the default) runs the per-statement schedule even on
+    /// annotated programs — the annotations are advisory.
+    pub plan: bool,
 }
 
 /// Loop-variable bindings (global Fortran-value semantics).
@@ -135,6 +141,7 @@ impl<'p> Executor<'p> {
             sched: RunSchedules::new(),
             overlap: false,
             exec: None,
+            plan: false,
         }
     }
 
@@ -173,6 +180,7 @@ impl<'p> Executor<'p> {
             sched: RunSchedules::new(),
             overlap: false,
             exec: None,
+            plan: false,
         }
     }
 
@@ -234,8 +242,69 @@ impl<'p> Executor<'p> {
     }
 
     fn exec_stmts(&mut self, stmts: &[SStmt], m: &mut Machine, env: &mut Env) -> EResult<()> {
+        let mut i = 0;
+        while i < stmts.len() {
+            if self.plan {
+                if let SStmt::Forall(f) = &stmts[i] {
+                    if let Some(PhaseRole::Lead { len }) = f.plan {
+                        let end = (i + len).min(stmts.len());
+                        self.exec_phase(&stmts[i..end], m, env)?;
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+            self.exec_stmt(&stmts[i], m, env)?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Execute one planner-formed comm phase: batch every member's ghost
+    /// exchanges (deduplicated, against the **live** descriptors) into a
+    /// single coalesced [`f90d_comm::plan::PhaseExchange`], then run the
+    /// members with their preludes skipped. If runtime planning refuses
+    /// the batch, fall back to bit-identical per-statement execution —
+    /// the annotations are advisory, the `pre` lists are still in place.
+    fn exec_phase(&mut self, stmts: &[SStmt], m: &mut Machine, env: &mut Env) -> EResult<()> {
+        use f90d_comm::plan::{GhostSpec, PhaseExchange};
+        let mut specs: Vec<GhostSpec> = Vec::new();
+        let mut seen: Vec<(ArrId, usize, i64)> = Vec::new();
         for s in stmts {
-            self.exec_stmt(s, m, env)?;
+            let SStmt::Forall(f) = s else {
+                return eerr("comm phase contains a non-FORALL statement");
+            };
+            for c in &f.pre {
+                let CommStmt::OverlapShift { arr, dim, c } = c else {
+                    return eerr("comm phase member has a non-overlap-shift prelude");
+                };
+                if seen.contains(&(*arr, *dim, *c)) {
+                    continue;
+                }
+                seen.push((*arr, *dim, *c));
+                specs.push(GhostSpec {
+                    arr: self.prog.arrays[*arr].name.clone(),
+                    dad: self.dads[*arr].clone(),
+                    dim: *dim,
+                    c: *c,
+                });
+            }
+        }
+        let mut op = match PhaseExchange::plan(m, specs) {
+            Ok(op) => op,
+            Err(_) => {
+                // Structured fallback: per-statement execution.
+                for s in stmts {
+                    self.exec_stmt(s, m, env)?;
+                }
+                return Ok(());
+            }
+        };
+        op.post(m)?;
+        op.finish(m)?;
+        for s in stmts {
+            let SStmt::Forall(f) = s else { unreachable!() };
+            self.exec_forall_inner(f, m, env, true)?;
         }
         Ok(())
     }
@@ -561,14 +630,30 @@ impl<'p> Executor<'p> {
     // ---- FORALL ------------------------------------------------------------
 
     fn exec_forall(&mut self, f: &ForallNode, m: &mut Machine, env: &mut Env) -> EResult<()> {
-        if self.overlap {
+        self.exec_forall_inner(f, m, env, false)
+    }
+
+    /// FORALL body with an optional prelude skip: a phase lead already
+    /// posted (and completed) this statement's ghost exchanges, so phase
+    /// members run with `skip_pre` — which also bypasses the split-phase
+    /// overlap path, whose post/finish would re-send the exchanges.
+    fn exec_forall_inner(
+        &mut self,
+        f: &ForallNode,
+        m: &mut Machine,
+        env: &mut Env,
+        skip_pre: bool,
+    ) -> EResult<()> {
+        if self.overlap && !skip_pre {
             if let Some(margins) = self.overlap_plan(f) {
                 return self.exec_forall_overlap(f, m, env, &margins);
             }
         }
         // Communication prelude.
-        for c in &f.pre {
-            self.exec_comm(c, m, env)?;
+        if !skip_pre {
+            for c in &f.pre {
+                self.exec_comm(c, m, env)?;
+            }
         }
         // Owner filter: which ranks participate.
         let mut active = vec![true; m.nranks() as usize];
@@ -1274,7 +1359,7 @@ impl<'p> Executor<'p> {
                         .get_flat(off))
                 }
                 ReadPlan::SlabTmp { tmp, fixed_dim } => {
-                    let g: Vec<i64> = subs
+                    let mut g: Vec<i64> = subs
                         .iter()
                         .enumerate()
                         .filter(|&(d, _)| d != *fixed_dim)
@@ -1283,6 +1368,11 @@ impl<'p> Executor<'p> {
                                 .map(|v| v.as_int())
                         })
                         .collect::<EResult<_>>()?;
+                    if g.is_empty() {
+                        // Rank-1 source: the slab is the single dummy
+                        // extent-1 dimension `slab_dad` padded in.
+                        g.push(0);
+                    }
                     let off = self.owned_offset(*tmp, m, rank, &g)?;
                     Ok(m.mems[rank as usize]
                         .array(&self.prog.arrays[*tmp].name)

@@ -357,6 +357,30 @@ pub struct ForallNode {
     pub owner_filter: Vec<(ArrId, usize, SExpr)>,
     /// Body assignments.
     pub body: Vec<ElemAssign>,
+    /// Comm-phase membership assigned by the phase planner
+    /// ([`crate::optimize`], gated by `OptFlags::comm_plan`). `None` for
+    /// every FORALL unless the planner grouped this statement: then the
+    /// first member of the group is the `Lead` and the rest are
+    /// `Member`s, and executors post the whole group's ghost exchanges
+    /// as one coalesced batch before running any member's loop. Purely
+    /// an annotation — the `pre` lists stay in place, so any executor
+    /// that ignores the plan still runs the per-statement schedule.
+    pub plan: Option<PhaseRole>,
+}
+
+/// Role of a FORALL inside a planner-formed comm phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseRole {
+    /// First statement of a phase of `len` consecutive FORALLs
+    /// (including itself). The lead's executor batches the ghost
+    /// exchanges of all `len` members.
+    Lead {
+        /// Number of FORALLs in the phase, `>= 1`.
+        len: usize,
+    },
+    /// Non-lead member: its ghost exchanges were posted by the lead, so
+    /// its own prelude is skipped when the plan is honoured.
+    Member,
 }
 
 /// Runtime-library whole-statement calls (array-valued intrinsics and

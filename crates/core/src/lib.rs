@@ -133,6 +133,7 @@ impl Compiled {
                 ex.sched.reuse = self.options.opt.schedule_reuse;
                 ex.sched.use_global = self.options.sched_cache;
                 ex.overlap = self.options.opt.comm_compute_overlap;
+                ex.plan = self.options.opt.comm_plan;
                 ex.exec = self.options.exec_mode;
                 let rep = ex.run(m)?;
                 Ok((
@@ -153,6 +154,7 @@ impl Compiled {
                 eng.sched.reuse = self.options.opt.schedule_reuse;
                 eng.sched.use_global = self.options.sched_cache;
                 eng.overlap = self.options.opt.comm_compute_overlap;
+                eng.plan = self.options.opt.comm_plan;
                 eng.exec = self.options.exec_mode;
                 let rep = eng.run(m).map_err(|e| exec::ExecError(e.0))?;
                 let (native_matched, native_fallback) = eng.native_counts();
@@ -201,6 +203,7 @@ impl Compiled {
             hoist_invariant_comm,
             overlap_shift,
             comm_compute_overlap,
+            comm_plan,
             native_kernels,
         } = self.options.opt;
         let mut bytes = self.source_hash.to_le_bytes().to_vec();
@@ -211,6 +214,7 @@ impl Compiled {
             hoist_invariant_comm,
             overlap_shift,
             comm_compute_overlap,
+            comm_plan,
             native_kernels,
         ] {
             bytes.push(flag as u8);

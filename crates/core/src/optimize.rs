@@ -11,6 +11,20 @@
 //!   variable and whose source is not written in the loop move out of the
 //!   loop (definition-use code motion).
 //!
+//! * **Phase-level communication planning** ([`OptFlags::comm_plan`],
+//!   PARTI-style aggregation extending §7 optimization 1 across statement
+//!   boundaries): consecutive FORALLs whose preludes are pure
+//!   `overlap_shift` and whose writes do not touch any exchanged array
+//!   are grouped into a *comm phase*. The pass only annotates
+//!   ([`ForallNode::plan`] — `Lead { len }` on the first member, `Member`
+//!   on the rest); the per-statement `pre` lists stay in place, so an
+//!   executor that ignores the annotation (or hits a runtime planning
+//!   error) falls back to the bit-identical per-statement schedule. The
+//!   executors batch a phase's ghost exchanges through
+//!   `f90d_comm::plan::PhaseExchange`, which coalesces same-destination
+//!   strips into one wire message (one α charge per neighbour instead of
+//!   one per statement).
+//!
 //! (§7 optimization 1, message vectorization, is inherent in the
 //! collective primitives; §7 optimization 3, schedule reuse, lives in the
 //! executor's schedule cache; the §5.1/§7 communication–computation
@@ -20,7 +34,7 @@
 //! complete → boundary phases at run time, so this pass leaves the
 //! statement tree untouched for it.)
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::ir::*;
 use crate::options::OptFlags;
@@ -35,6 +49,124 @@ pub fn optimize(prog: &mut SProgram, flags: &OptFlags) {
         hoist_stmts(&mut stmts, prog);
         prog.stmts = stmts;
     }
+    if flags.comm_plan {
+        let mut stmts = std::mem::take(&mut prog.stmts);
+        plan_comm_phases(&mut stmts, prog);
+        prog.stmts = stmts;
+    }
+}
+
+// ---- phase-level communication planning ----------------------------------
+
+/// Annotate maximal runs of consecutive phase-eligible FORALLs with
+/// [`PhaseRole`]s. Works on every statement list (top level and inside
+/// `DO`/`IF` bodies); grouping never crosses a non-FORALL statement, so a
+/// `REDISTRIBUTE`, scalar assignment or `PRINT` between two stencils
+/// always breaks the phase.
+fn plan_comm_phases(stmts: &mut [SStmt], prog: &SProgram) {
+    for s in stmts.iter_mut() {
+        match s {
+            SStmt::DoSeq { body, .. } => plan_comm_phases(body, prog),
+            SStmt::If { then, else_, .. } => {
+                plan_comm_phases(then, prog);
+                plan_comm_phases(else_, prog);
+            }
+            _ => {}
+        }
+    }
+    let mut i = 0;
+    while i < stmts.len() {
+        let Some(mut specs) = phase_member(&stmts[i]) else {
+            i += 1;
+            continue;
+        };
+        let mut written: HashSet<ArrId> = member_writes(&stmts[i]);
+        let mut end = i + 1;
+        while end < stmts.len() {
+            let Some(next) = phase_member(&stmts[end]) else {
+                break;
+            };
+            // Soundness: a phase posts every member's ghost exchange
+            // before any member's loop runs, so no member may write an
+            // array any member exchanges (in per-statement order a later
+            // exchange would observe that write; batched it would not).
+            let w = member_writes(&stmts[end]);
+            let exchanged_all = || specs.iter().chain(next.iter()).map(|s| s.0);
+            if exchanged_all().any(|a| written.contains(&a) || w.contains(&a)) {
+                break;
+            }
+            // Coalesced payloads are packed per destination, so every
+            // exchanged array in a phase must share one element type.
+            let ty_of = |a: ArrId| prog.arrays[a].ty;
+            let tys: BTreeSet<_> = exchanged_all().map(ty_of).collect();
+            if tys.len() > 1 {
+                break;
+            }
+            specs.extend(next);
+            written.extend(w);
+            end += 1;
+        }
+        let len = end - i;
+        // Profitable when batching actually merges wire traffic: a
+        // duplicate (arr, dim, c) exchange collapses, or two strips
+        // travel to the same neighbour ((dim, sign) bucket ≥ 2). A
+        // multi-array single FORALL can profit alone (len == 1).
+        let uniform_ty = specs
+            .iter()
+            .map(|s| prog.arrays[s.0].ty)
+            .collect::<BTreeSet<_>>()
+            .len()
+            <= 1;
+        if uniform_ty && profitable(&specs) {
+            for (off, s) in stmts[i..end].iter_mut().enumerate() {
+                if let SStmt::Forall(f) = s {
+                    f.plan = Some(if off == 0 {
+                        PhaseRole::Lead { len }
+                    } else {
+                        PhaseRole::Member
+                    });
+                }
+            }
+        }
+        i = end;
+    }
+}
+
+/// `Some(exchange specs)` when this statement can join a comm phase: a
+/// FORALL whose prelude is non-empty pure `overlap_shift`, with no
+/// unstructured gathers and no owner filter.
+fn phase_member(s: &SStmt) -> Option<Vec<(ArrId, usize, i64)>> {
+    let SStmt::Forall(f) = s else { return None };
+    if f.pre.is_empty() || !f.gathers.is_empty() || !f.owner_filter.is_empty() {
+        return None;
+    }
+    let mut specs = Vec::new();
+    for c in &f.pre {
+        let CommStmt::OverlapShift { arr, dim, c } = c else {
+            return None;
+        };
+        specs.push((*arr, *dim, *c));
+    }
+    Some(specs)
+}
+
+fn member_writes(s: &SStmt) -> HashSet<ArrId> {
+    let SStmt::Forall(f) = s else {
+        return HashSet::new();
+    };
+    f.body.iter().map(|b| b.arr).collect()
+}
+
+fn profitable(specs: &[(ArrId, usize, i64)]) -> bool {
+    let dedup: BTreeSet<_> = specs.iter().copied().collect();
+    if dedup.len() < specs.len() {
+        return true;
+    }
+    let mut buckets: HashMap<(usize, bool), usize> = HashMap::new();
+    for &(_, dim, c) in &dedup {
+        *buckets.entry((dim, c > 0)).or_insert(0) += 1;
+    }
+    buckets.values().any(|&n| n >= 2)
 }
 
 // ---- duplicate-communication elimination --------------------------------
@@ -227,14 +359,16 @@ fn hoist_stmts(stmts: &mut Vec<SStmt>, prog: &SProgram) {
         }
         if let SStmt::DoSeq { var, body, .. } = &mut stmts[k] {
             let written = written_arrays(body);
-            let var = var.clone();
+            let mut wscalars = written_scalars(body);
+            // The DO variable itself is (re)defined every iteration.
+            wscalars.insert(var.clone());
             let mut hoisted: Vec<SStmt> = Vec::new();
             let mut hoisted_tmps: HashSet<ArrId> = HashSet::new();
             for st in body.iter_mut() {
                 if let SStmt::Forall(f) = st {
                     let mut keep = Vec::new();
                     for c in f.pre.drain(..) {
-                        if comm_invariant(&c, &var, &written, &hoisted_tmps, prog) {
+                        if comm_invariant(&c, &wscalars, &written, &hoisted_tmps, prog) {
                             if let Some(t) = comm_tmp(&c) {
                                 hoisted_tmps.insert(t);
                             }
@@ -247,10 +381,16 @@ fn hoist_stmts(stmts: &mut Vec<SStmt>, prog: &SProgram) {
                 }
             }
             if !hoisted.is_empty() {
+                // Insert the hoisted calls (in drain order) just before
+                // the loop. `k` advances past them so the loop itself is
+                // processed exactly once; advancing it inside the insert
+                // loop as well used to skip ahead of the vector's length
+                // and panic once three or more calls hoisted together.
+                let n = hoisted.len();
                 for (off, h) in hoisted.into_iter().enumerate() {
                     stmts.insert(k + off, h);
-                    k += 1;
                 }
+                k += n;
             }
         }
         k += 1;
@@ -259,7 +399,7 @@ fn hoist_stmts(stmts: &mut Vec<SStmt>, prog: &SProgram) {
 
 fn comm_invariant(
     c: &CommStmt,
-    do_var: &str,
+    wscalars: &HashSet<String>,
     written: &HashSet<ArrId>,
     hoisted_tmps: &HashSet<ArrId>,
     prog: &SProgram,
@@ -267,31 +407,92 @@ fn comm_invariant(
     let src_ok = |id: ArrId| {
         !written.contains(&id) && (!prog.arrays[id].is_temp || hoisted_tmps.contains(&id))
     };
+    // An argument expression varies across iterations when it mentions
+    // any scalar (re)defined in the loop — the DO variable, a scalar
+    // assignment, or a reduction target — or reads an array the loop
+    // writes. `uses_var` with only the DO variable used to miss the
+    // latter two, hoisting e.g. a pivot-row multicast whose row index is
+    // recomputed every iteration.
+    let arg_ok = |e: &SExpr| !expr_varies(e, wscalars, written);
     let args_invariant: bool = match c {
-        CommStmt::Multicast { src, src_g, .. } => src_ok(*src) && !uses_var(src_g, do_var),
+        CommStmt::Multicast { src, src_g, .. } => src_ok(*src) && arg_ok(src_g),
         CommStmt::Transfer {
-            src, src_g, dst_g, ..
-        } => src_ok(*src) && !uses_var(src_g, do_var) && !uses_var(dst_g, do_var),
+            src,
+            src_g,
+            dst_g,
+            dst_arr,
+            ..
+        } => {
+            // `dst_arr` supplies the destination placement: a loop that
+            // writes it is fine (only its dad matters), but one that
+            // REDISTRIBUTEs it changes where the transfer must land, so
+            // the transfer is pinned. `written` includes redistributed
+            // arrays; checking it is conservative but sound.
+            src_ok(*src) && !written.contains(dst_arr) && arg_ok(src_g) && arg_ok(dst_g)
+        }
         CommStmt::OverlapShift { arr, .. } => src_ok(*arr),
-        CommStmt::TempShift { src, amount, .. } => src_ok(*src) && !uses_var(amount, do_var),
+        CommStmt::TempShift { src, amount, .. } => src_ok(*src) && arg_ok(amount),
         CommStmt::MulticastShift {
             src, src_g, amount, ..
-        } => src_ok(*src) && !uses_var(src_g, do_var) && !uses_var(amount, do_var),
+        } => src_ok(*src) && arg_ok(src_g) && arg_ok(amount),
         CommStmt::Concat { src, .. } => src_ok(*src),
         CommStmt::BroadcastElem { .. } | CommStmt::ReduceScalar { .. } => false,
     };
     args_invariant
 }
 
-fn uses_var(e: &SExpr, var: &str) -> bool {
+fn expr_varies(e: &SExpr, wscalars: &HashSet<String>, written: &HashSet<ArrId>) -> bool {
     match e {
-        SExpr::LoopVar(n) | SExpr::Scalar(n) => n == var,
-        SExpr::Bin(_, l, r) => uses_var(l, var) || uses_var(r, var),
-        SExpr::Un(_, x) => uses_var(x, var),
-        SExpr::Elemental(_, args) => args.iter().any(|a| uses_var(a, var)),
-        SExpr::Read { subs, .. } => subs.iter().any(|s| uses_var(s, var)),
+        SExpr::LoopVar(n) | SExpr::Scalar(n) => wscalars.contains(n),
+        SExpr::Bin(_, l, r) => {
+            expr_varies(l, wscalars, written) || expr_varies(r, wscalars, written)
+        }
+        SExpr::Un(_, x) => expr_varies(x, wscalars, written),
+        SExpr::Elemental(_, args) => args.iter().any(|a| expr_varies(a, wscalars, written)),
+        SExpr::Read { arr, subs, .. } => {
+            written.contains(arr) || subs.iter().any(|s| expr_varies(s, wscalars, written))
+        }
         SExpr::Const(_) => false,
     }
+}
+
+/// Scalars (re)defined anywhere in `stmts`: scalar assignments, element
+/// broadcasts and scalar-reduction targets, plus inner DO variables.
+fn written_scalars(stmts: &[SStmt]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    fn walk(stmts: &[SStmt], out: &mut HashSet<String>) {
+        for s in stmts {
+            match s {
+                SStmt::ScalarAssign { name, .. } => {
+                    out.insert(name.clone());
+                }
+                SStmt::Comm(CommStmt::BroadcastElem { target, .. })
+                | SStmt::Comm(CommStmt::ReduceScalar { target, .. }) => {
+                    out.insert(target.clone());
+                }
+                SStmt::Forall(f) => {
+                    for c in &f.pre {
+                        if let CommStmt::BroadcastElem { target, .. }
+                        | CommStmt::ReduceScalar { target, .. } = c
+                        {
+                            out.insert(target.clone());
+                        }
+                    }
+                }
+                SStmt::DoSeq { var, body, .. } => {
+                    out.insert(var.clone());
+                    walk(body, out);
+                }
+                SStmt::If { then, else_, .. } => {
+                    walk(then, out);
+                    walk(else_, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(stmts, &mut out);
+    out
 }
 
 fn written_arrays(stmts: &[SStmt]) -> HashSet<ArrId> {

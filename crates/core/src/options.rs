@@ -30,6 +30,18 @@ pub struct OptFlags {
     /// modelled elapsed time) change, which is why this is off by default
     /// — `BENCH_baseline.json` pins the blocking virtual metrics.
     pub comm_compute_overlap: bool,
+    /// Phase-level communication planning (PARTI-style aggregation
+    /// across statement boundaries, extending paper §7 optimization 1):
+    /// group consecutive eligible stencil FORALLs into a *comm phase*
+    /// whose ghost exchanges post together, with same-destination
+    /// messages coalesced into a single wire transfer — one α charge
+    /// per destination pair instead of one per statement. Array results
+    /// and PRINT output are bit-identical to per-statement execution;
+    /// only the virtual clocks (and the modelled elapsed time) change,
+    /// which is why this is off by default — `BENCH_baseline.json` pins
+    /// the per-statement virtual metrics. `repro --exp commplan` is the
+    /// on/off ablation.
+    pub comm_plan: bool,
     /// Native kernel tier (VM backend only): at lowering time, compile
     /// straight-line affine REAL FORALL bodies into prebuilt
     /// monomorphized closures (`f90d_vm::native`) that the engine
@@ -50,6 +62,7 @@ impl Default for OptFlags {
             hoist_invariant_comm: true,
             overlap_shift: true,
             comm_compute_overlap: false,
+            comm_plan: false,
             native_kernels: true,
         }
     }
@@ -65,6 +78,7 @@ impl OptFlags {
             hoist_invariant_comm: false,
             overlap_shift: false,
             comm_compute_overlap: false,
+            comm_plan: false,
             native_kernels: false,
         }
     }

@@ -22,6 +22,10 @@ use f90d_vm::ops::Intrin;
 
 use crate::ir::*;
 
+/// Stand-in subscript for the dummy dimension of a rank-0 slab (see the
+/// `SlabTmp` lowering below).
+static ZERO_SUB: SExpr = SExpr::Const(Value::Int(0));
+
 type LResult<T> = Result<T, String>;
 
 /// Lower a compiled SPMD program to bytecode with the native kernel
@@ -350,12 +354,23 @@ impl<'p> Lowerer<'p> {
                             fixed_dim: *fixed_dim,
                         },
                         // The fixed dimension's subscript is dropped
-                        // before evaluation, exactly like the tree walker.
-                        subs.iter()
-                            .enumerate()
-                            .filter(|&(d, _)| d != *fixed_dim)
-                            .map(|(_, s)| s)
-                            .collect(),
+                        // before evaluation, exactly like the tree
+                        // walker. A rank-1 source leaves no subscripts;
+                        // index the dummy extent-1 dimension `slab_dad`
+                        // padded in instead.
+                        {
+                            let kept: Vec<&SExpr> = subs
+                                .iter()
+                                .enumerate()
+                                .filter(|&(d, _)| d != *fixed_dim)
+                                .map(|(_, s)| s)
+                                .collect();
+                            if kept.is_empty() {
+                                vec![&ZERO_SUB]
+                            } else {
+                                kept
+                            }
+                        },
                     ),
                     ReadPlan::SameTmp { tmp } => {
                         (AccPlan::Same { tmp: *tmp }, subs.iter().collect())
@@ -821,6 +836,10 @@ impl<'p> Lowerer<'p> {
             body,
             accs_used,
             native: None, // the selection post-pass in `lower_with` fills this
+            plan: f.plan.map(|p| match p {
+                PhaseRole::Lead { len } => f90d_vm::bytecode::VmPhase::Lead { len: len as u16 },
+                PhaseRole::Member => f90d_vm::bytecode::VmPhase::Member,
+            }),
         });
         Ok(id)
     }

@@ -450,6 +450,16 @@ impl<'a> Parser<'a> {
     // ---- statements ----------------------------------------------------
 
     fn statement(&mut self) -> PResult<Stmt> {
+        // Executable directives (REDISTRIBUTE) are statements and may
+        // appear inside DO/IF bodies; mapping directives may not.
+        if matches!(self.peek(), TokenKind::DirectiveStart) {
+            self.bump();
+            let mut dirs = Directives::default();
+            return match self.directive(&mut dirs)? {
+                Some(stmt) => Ok(stmt),
+                None => self.err("only REDISTRIBUTE may appear in executable position"),
+            };
+        }
         match self.peek_ident() {
             Some("FORALL") => self.forall_stmt(),
             Some("WHERE") => self.where_stmt(),

@@ -77,7 +77,8 @@ pub enum TransportError {
         in_flight: usize,
         /// Number of posted-but-never-completed receives.
         open_recvs: usize,
-        /// `(from, to, tag)` of one leaked message, for diagnostics.
+        /// `(from, to, tag)` of one leaked message (or, when nothing is
+        /// in flight, one never-completed receive), for diagnostics.
         example: Option<(i64, i64, Tag)>,
     },
 }
@@ -225,6 +226,11 @@ pub struct MailboxTransport {
     epoch: u64,
     /// Receives posted in the current epoch and not yet completed.
     open_recvs: u64,
+    /// `(from, to, tag) → count` of those open receives, so the
+    /// quiescence report can *name* a leaked handle even when nothing
+    /// is left in flight — the signature of a batched finish that
+    /// failed mid-way (see `f90d_comm::plan`).
+    open_set: HashMap<(i64, i64, Tag), u64>,
 }
 
 impl MailboxTransport {
@@ -240,6 +246,7 @@ impl MailboxTransport {
             bytes: 0,
             epoch: 0,
             open_recvs: 0,
+            open_set: HashMap::new(),
         }
     }
 
@@ -300,6 +307,7 @@ impl MailboxTransport {
         self.bytes = 0;
         self.epoch += 1;
         self.open_recvs = 0;
+        self.open_set.clear();
     }
 
     /// `true` when no message is still in flight.
@@ -335,6 +343,7 @@ impl Transport for MailboxTransport {
 
     fn post_recv(&mut self, to: i64, from: i64, tag: Tag) -> RecvHandle {
         self.open_recvs += 1;
+        *self.open_set.entry((from, to, tag)).or_default() += 1;
         RecvHandle::new(to, from, tag, self.epoch)
     }
 
@@ -359,6 +368,12 @@ impl Transport for MailboxTransport {
         // failed one never delivered, so it must keep counting against
         // the quiescence check.
         self.open_recvs = self.open_recvs.saturating_sub(1);
+        if let Some(n) = self.open_set.get_mut(&(h.from, h.to, h.tag)) {
+            *n -= 1;
+            if *n == 0 {
+                self.open_set.remove(&(h.from, h.to, h.tag));
+            }
+        }
         let c = &mut self.clocks[h.to as usize];
         *c = c.max(arrival);
         Ok(payload)
@@ -369,11 +384,16 @@ impl Transport for MailboxTransport {
         if in_flight == 0 && self.open_recvs == 0 {
             return Ok(());
         }
+        // Name one leak: an in-flight message if any, otherwise an open
+        // receive (deterministically the smallest key) — the latter is
+        // what a phase plan whose batched finish failed mid-way leaves
+        // behind, and used to be reported as a bare count.
         let example = self
             .boxes
             .iter()
             .find(|(_, q)| !q.is_empty())
-            .map(|(&k, _)| k);
+            .map(|(&k, _)| k)
+            .or_else(|| self.open_set.keys().min().copied());
         Err(TransportError::NotQuiescent {
             in_flight,
             open_recvs: self.open_recvs as usize,

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Element type of a Fortran 90D array or scalar.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ElemType {
     /// `INTEGER`
     Int,

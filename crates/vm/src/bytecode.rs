@@ -275,6 +275,24 @@ pub struct VmForall {
     /// back to bytecode — counted in `Engine::native_counts` — when any
     /// fails.
     pub native: Option<crate::native::KernelId>,
+    /// Comm-phase membership copied from the IR planner annotation
+    /// (`ForallNode::plan`). The engine batches the ghost exchanges of a
+    /// `Lead` and its following `len - 1` members into one coalesced
+    /// exchange when `Engine::plan` is on; otherwise (or on a runtime
+    /// planning refusal) the per-statement `pre` lists run as usual.
+    pub plan: Option<VmPhase>,
+}
+
+/// Mirror of the IR's `PhaseRole` for lowered FORALLs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmPhase {
+    /// First member of a phase of `len` consecutive FORALL instructions.
+    Lead {
+        /// Phase length including the lead.
+        len: u16,
+    },
+    /// Non-lead member (prelude posted by the lead).
+    Member,
 }
 
 /// Reduction kinds (mirror of the IR's `ReduceKind`).

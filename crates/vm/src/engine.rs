@@ -177,6 +177,11 @@ pub struct Engine {
     /// executing. `None` respects the machine as given. Virtual metrics
     /// are identical either way.
     pub exec: Option<f90d_machine::ExecMode>,
+    /// `OptFlags::comm_plan`: honour [`VmPhase`] annotations, batching
+    /// each phase's ghost exchanges into one coalesced
+    /// `f90d_comm::plan::PhaseExchange`. Off (the default) runs the
+    /// per-statement schedule even on annotated programs.
+    pub plan: bool,
     /// FORALL executions dispatched to a native-tier kernel.
     native_matched: u64,
     /// FORALL executions that ran the bytecode element loop instead (no
@@ -234,6 +239,7 @@ impl Engine {
             sched: RunSchedules::new(),
             overlap: false,
             exec: None,
+            plan: false,
             native_matched: 0,
             native_fallback: 0,
         }
@@ -326,6 +332,31 @@ impl Engine {
                     pc += 1;
                 }
                 PInst::Forall(i) => {
+                    if self.plan {
+                        if let Some(VmPhase::Lead { len }) = prog.foralls[*i as usize].plan {
+                            // Collect the phase: `len` consecutive FORALL
+                            // instructions starting here (the planner only
+                            // groups adjacent FORALLs, which lower to
+                            // adjacent instructions).
+                            let mut ids = Vec::with_capacity(len as usize);
+                            let mut j = pc;
+                            while ids.len() < len as usize && j < prog.code.len() {
+                                let PInst::Forall(k) = &prog.code[j] else {
+                                    break;
+                                };
+                                ids.push(*k);
+                                j += 1;
+                            }
+                            if ids.len() == len as usize {
+                                self.exec_phase(&ids, m)?;
+                                pc = j;
+                                continue;
+                            }
+                            // A truncated phase means the annotation and
+                            // the instruction stream disagree; run the
+                            // always-correct per-statement schedule.
+                        }
+                    }
                     self.exec_forall(&prog.foralls[*i as usize], m)?;
                     pc += 1;
                 }
@@ -683,8 +714,62 @@ impl Engine {
     // ---- FORALL --------------------------------------------------------
 
     fn exec_forall(&mut self, f: &VmForall, m: &mut Machine) -> VmResult<()> {
+        self.exec_forall_inner(f, m, false)
+    }
+
+    /// Execute one planner-formed comm phase (`ids` are forall-table
+    /// indices): batch every member's ghost exchanges (deduplicated,
+    /// against the live descriptors) into one coalesced
+    /// `f90d_comm::plan::PhaseExchange`, then run the members with their
+    /// preludes skipped. A runtime planning refusal falls back to the
+    /// bit-identical per-statement path — the annotations are advisory.
+    fn exec_phase(&mut self, ids: &[u16], m: &mut Machine) -> VmResult<()> {
+        use f90d_comm::plan::{GhostSpec, PhaseExchange};
         let prog = self.prog.clone();
-        if self.overlap {
+        let mut specs: Vec<GhostSpec> = Vec::new();
+        let mut seen: Vec<(ArrId, usize, i64)> = Vec::new();
+        for &id in ids {
+            for &ci in &prog.foralls[id as usize].pre {
+                let VmComm::OverlapShift { arr, dim, c } = &prog.comms[ci as usize] else {
+                    return verr("comm phase member has a non-overlap-shift prelude");
+                };
+                if seen.contains(&(*arr, *dim, *c)) {
+                    continue;
+                }
+                seen.push((*arr, *dim, *c));
+                specs.push(GhostSpec {
+                    arr: prog.arrays[*arr].name.clone(),
+                    dad: self.dads[*arr].clone(),
+                    dim: *dim,
+                    c: *c,
+                });
+            }
+        }
+        let mut op = match PhaseExchange::plan(m, specs) {
+            Ok(op) => op,
+            Err(_) => {
+                for &id in ids {
+                    self.exec_forall(&prog.foralls[id as usize], m)?;
+                }
+                return Ok(());
+            }
+        };
+        op.post(m)?;
+        op.finish(m)?;
+        for &id in ids {
+            self.exec_forall_inner(&prog.foralls[id as usize], m, true)?;
+        }
+        Ok(())
+    }
+
+    /// FORALL body with an optional prelude skip: a phase lead already
+    /// posted (and completed) this statement's ghost exchanges, so phase
+    /// members run with `skip_pre` — which also bypasses the split-phase
+    /// overlap path, whose post/finish would re-send the exchanges. The
+    /// native tier still binds as usual.
+    fn exec_forall_inner(&mut self, f: &VmForall, m: &mut Machine, skip_pre: bool) -> VmResult<()> {
+        let prog = self.prog.clone();
+        if self.overlap && !skip_pre {
             if let Some(margins) = self.overlap_plan(f, &prog) {
                 // Split-phase boundary/interior execution always runs
                 // the bytecode element loop.
@@ -694,8 +779,10 @@ impl Engine {
         }
         let mut regs: Vec<Value> = Vec::new();
         // Communication prelude.
-        for &c in &f.pre {
-            self.exec_comm(&prog.comms[c as usize], m, &mut regs)?;
+        if !skip_pre {
+            for &c in &f.pre {
+                self.exec_comm(&prog.comms[c as usize], m, &mut regs)?;
+            }
         }
         let nranks = m.nranks() as usize;
         // Owner filter: which ranks participate.
