@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|overlap|commplan|abl-shift|abl-sched|abl-fuse|abl-overlap|matrix]
+//! repro [--exp all|t1|t2|t3|fig5|table4|fig6|port|vmcmp|overlap|commplan|scaling|abl-shift|abl-sched|abl-fuse|abl-overlap|matrix]
 //!       [--n <matrix size>] [--quick] [--backend treewalk|vm]
 //!       [--jobs N] [--exec sequential|threaded] [--workers N]
 //!       [--out results.json] [--baseline results.json] [--wall-tol F]
@@ -62,6 +62,17 @@
 //! backend; `--out commplan.json` writes an `f90d-commplan/v1` document
 //! (schema in the README).
 //!
+//! `--exp scaling` runs the thousand-rank weak-scaling sweep
+//! (`f90d_bench::scaling`): jacobi and gaussian at P ∈ {16 … 4096} on
+//! hypercube vs torus vs fat tree, each cell with the per-link
+//! contention model off and on. It **exits 1** unless contention never
+//! improves a modelled time, every contention-off curve is monotone in
+//! P, and jacobi's weak-scaling efficiency at P = 256 stays above the
+//! committed floor. `--quick` caps gaussian at P ≤ 256 (jacobi still
+//! covers 4096 — the CI proof that a 4096-rank machine fits); `--out
+//! scaling.json` writes an `f90d-scaling/v1` document (schema in the
+//! README).
+//!
 //! `--exec threaded` runs every cell's local phases on its machine's
 //! persistent worker pool; `--workers N` sets the process-wide worker
 //! budget the cells lease pool workers from (default: host
@@ -84,6 +95,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use f90d_bench::experiments as exp;
+use f90d_bench::scaling;
 use f90d_bench::workloads;
 use f90d_core::detect::{classify_pair, classify_subscript, DimAlign};
 use f90d_core::{compile, Backend, CompileOptions};
@@ -266,6 +278,29 @@ fn main() {
             std::process::exit(2);
         }
         exp_commplan(quick, out, gate);
+        return;
+    }
+    if which == "scaling" {
+        // Fixed sweep (workloads × topologies × P, contention off/on)
+        // with committed gates — no tunable flags beyond --quick/--out.
+        if jobs.is_some()
+            || baseline.is_some()
+            || wall_tol.is_some()
+            || repeat > 1
+            || !sched_cache
+            || exec != ExecMode::Sequential
+            || workers.is_some()
+            || !native
+            || n_arg
+            || backend_arg
+            || gate.is_some()
+        {
+            eprintln!(
+                "--exp scaling accepts only --quick and --out (its gates are committed constants)"
+            );
+            std::process::exit(2);
+        }
+        exp_scaling(quick, out);
         return;
     }
     if gate.is_some() {
@@ -865,6 +900,135 @@ fn exp_commplan(quick: bool, out: Option<String>, gate: Option<f64>) {
 }
 
 /// Table 1: structured communication detection.
+/// The thousand-rank weak-scaling sweep (`f90d_bench::scaling`): prints
+/// the speedup-vs-P table, optionally writes the `f90d-scaling/v1`
+/// document, and exits 1 when any committed gate fails (contention-on
+/// improving a time, a non-monotone curve, or the jacobi P=256
+/// efficiency floor).
+fn exp_scaling(quick: bool, out: Option<String>) {
+    let t0 = Instant::now();
+    let report = scaling::scaling_experiment(quick);
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                r.topology.to_string(),
+                r.nranks.to_string(),
+                r.n.to_string(),
+                format!("{:.6}", r.time_off),
+                format!("{:.6}", r.time_on),
+                format!(
+                    "{:.2}x",
+                    if r.time_off > 0.0 {
+                        r.time_on / r.time_off
+                    } else {
+                        1.0
+                    }
+                ),
+                r.messages.to_string(),
+                r.links_used.to_string(),
+                format!("{:.3}", r.efficiency),
+            ]
+        })
+        .collect();
+    exp::print_table(
+        &format!(
+            "Weak scaling — jacobi + gaussian, P in {:?}, contention off/on{}",
+            scaling::RANKS,
+            if quick {
+                " (quick: gaussian capped at P<=256)"
+            } else {
+                ""
+            }
+        ),
+        &[
+            "workload",
+            "topology",
+            "P",
+            "N",
+            "t_off",
+            "t_on",
+            "slowdown",
+            "messages",
+            "links",
+            "efficiency",
+        ],
+        &table,
+    );
+    eprintln!(
+        "# scaling sweep wall-clock {:.1} s ({} cells)",
+        t0.elapsed().as_secs_f64(),
+        report.rows.len()
+    );
+    if let Some(path) = &out {
+        use serde::json::Json;
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("f90d-scaling/v1".into())),
+            ("quick".into(), Json::Bool(quick)),
+            ("base_spec".into(), Json::Str("iPSC/860 constants".into())),
+            (
+                "jacobi_eff_floor_p256".into(),
+                Json::Num(scaling::JACOBI_EFF_FLOOR_P256),
+            ),
+            (
+                "gates".into(),
+                Json::Obj(vec![
+                    (
+                        "contention_never_improves".into(),
+                        Json::Bool(report.contention_never_improves),
+                    ),
+                    ("monotone_in_p".into(), Json::Bool(report.monotone_in_p)),
+                    (
+                        "efficiency_floor_holds".into(),
+                        Json::Bool(report.efficiency_floor_holds),
+                    ),
+                    ("pass".into(), Json::Bool(report.holds())),
+                ]),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(
+                    report
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::Str(r.workload.into())),
+                                ("topology".into(), Json::Str(r.topology.into())),
+                                ("nranks".into(), Json::Num(r.nranks as f64)),
+                                ("n".into(), Json::Num(r.n as f64)),
+                                ("t_off_s".into(), Json::Num(r.time_off)),
+                                ("t_on_s".into(), Json::Num(r.time_on)),
+                                ("messages".into(), Json::Num(r.messages as f64)),
+                                ("links_used".into(), Json::Num(r.links_used as f64)),
+                                ("efficiency".into(), Json::Num(r.efficiency)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("# wrote {path}");
+    }
+    if !report.holds() {
+        eprintln!(
+            "# SCALING CLAIM VIOLATED: contention_never_improves={} monotone_in_p={} efficiency_floor_holds={}",
+            report.contention_never_improves, report.monotone_in_p, report.efficiency_floor_holds
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "  contention never improves, curves monotone in P, jacobi efficiency(P=256) >= {:.2} on every topology: yes",
+        scaling::JACOBI_EFF_FLOOR_P256
+    );
+}
+
 fn exp_t1() {
     let vars = vec!["I".to_string()];
     let params = HashMap::new();

@@ -625,7 +625,7 @@ pub fn portability_backend(n: i64, p: i64, backend: Backend) -> Vec<(String, f64
     [
         MachineSpec::ipsc860(),
         MachineSpec::ncube2(),
-        MachineSpec::paragon(4, 4),
+        MachineSpec::paragon(4, 4).expect("4x4 mesh is valid"),
     ]
     .into_iter()
     .map(|spec| {

@@ -10,6 +10,10 @@
 //!   elimination baseline of Table 4, written directly against the
 //!   run-time system;
 //! * [`experiments`] — runners producing each table/figure's series;
+//! * [`scaling`] — the thousand-rank weak-scaling experiment
+//!   (`repro --exp scaling`): jacobi and gaussian at 16–4096 ranks on
+//!   hypercube vs torus vs fat tree, with the per-link contention model
+//!   off and on;
 //! * [`harness`] — the parallel (work-stealing) experiment-matrix
 //!   harness behind `repro --jobs N`, with `results.json` emission and
 //!   the `--baseline` CI perf gate.
@@ -20,4 +24,5 @@
 pub mod experiments;
 pub mod handwritten;
 pub mod harness;
+pub mod scaling;
 pub mod workloads;

@@ -1,0 +1,76 @@
+//! Tree-collective depth at thousand-rank machine sizes: on an
+//! alpha-only machine (α = 1, β = τ = copy = elem-op = 0, crossbar) the
+//! virtual clock counts exactly one unit per tree round, so elapsed time
+//! *is* the collective's depth. `allreduce` must complete in
+//! `2·⌈log2 P⌉` rounds (binomial combine up + binomial broadcast down)
+//! and `multicast` in `⌈log2 P⌉`, at P = 1024 and P = 4096 — the sizes
+//! the weak-scaling experiment (`repro --exp scaling`) leans on. Message
+//! counts pin the tree shape: exactly `P − 1` edges per sweep.
+
+use f90d_comm::reduce::{allreduce_scalar, ReduceOp};
+use f90d_comm::structured::{alloc_slab_tmp, multicast};
+use f90d_distrib::{DadBuilder, DistKind, ProcGrid};
+use f90d_machine::{ElemType, LocalArray, Machine, MachineSpec, Value};
+
+/// α = 1 and every other cost zero: elapsed == critical-path rounds.
+fn alpha_only() -> MachineSpec {
+    let mut spec = MachineSpec::ideal();
+    spec.alpha = 1.0;
+    spec.time_elem_op = 0.0;
+    spec
+}
+
+#[test]
+fn allreduce_depth_is_two_log2_p_at_thousand_ranks() {
+    for p in [1024i64, 4096] {
+        let log2p = (63 - p.leading_zeros() as i64) as f64;
+        let mut m = Machine::new(alpha_only(), ProcGrid::new(&[p]));
+        let total = allreduce_scalar(&mut m, ReduceOp::Sum, vec![1.0; p as usize]).unwrap();
+        assert_eq!(total, p as f64);
+        assert_eq!(
+            m.elapsed(),
+            2.0 * log2p,
+            "allreduce over {p} ranks must finish in 2·log2 P rounds"
+        );
+        assert_eq!(
+            m.transport.messages,
+            2 * (p as u64 - 1),
+            "binomial up + down trees send exactly 2(P-1) messages"
+        );
+    }
+}
+
+#[test]
+fn multicast_depth_is_log2_p_at_thousand_ranks() {
+    for p in [1024i64, 4096] {
+        let log2p = (63 - p.leading_zeros() as i64) as f64;
+        let grid = ProcGrid::new(&[p]);
+        let mut m = Machine::new(alpha_only(), grid.clone());
+        let dad = DadBuilder::new("B", &[p])
+            .distribute(&[DistKind::Block])
+            .grid(grid)
+            .build()
+            .unwrap();
+        for rank in 0..p {
+            let mut la = LocalArray::zeros(ElemType::Real, &dad.local_shape());
+            la.set(&[0], Value::Real(rank as f64));
+            m.mems[rank as usize].insert_array("B", la);
+        }
+        alloc_slab_tmp(&mut m, "TMP", &dad, 0, ElemType::Real);
+        // Broadcast element 3 (owned by rank 3) to all P ranks.
+        multicast(&mut m, "B", &dad, "TMP", 0, 3).unwrap();
+        for rank in 0..p {
+            assert_eq!(
+                m.mems[rank as usize].array("TMP").get(&[0]),
+                Value::Real(3.0),
+                "rank {rank} missed the multicast"
+            );
+        }
+        assert_eq!(
+            m.elapsed(),
+            log2p,
+            "multicast over {p} ranks must finish in log2 P rounds"
+        );
+        assert_eq!(m.transport.messages, p as u64 - 1);
+    }
+}

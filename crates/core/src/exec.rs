@@ -125,7 +125,7 @@ impl<'p> Executor<'p> {
             for mem in &mut m.mems {
                 mem.insert_array(
                     decl.name.clone(),
-                    LocalArray::with_ghost(decl.ty, &shape, &g, &g),
+                    LocalArray::with_ghost_lazy(decl.ty, &shape, &g, &g),
                 );
             }
         }
@@ -163,7 +163,7 @@ impl<'p> Executor<'p> {
                 for mem in &mut m.mems {
                     mem.insert_array(
                         decl.name.clone(),
-                        LocalArray::with_ghost(decl.ty, &shape, &g, &g),
+                        LocalArray::with_ghost_lazy(decl.ty, &shape, &g, &g),
                     );
                 }
             }

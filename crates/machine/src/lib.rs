@@ -20,6 +20,10 @@
 //!   wrappers. The collective library in `f90d-comm` is built **only** on
 //!   this interface, reproducing the paper's portability layering (§5,
 //!   reason 3).
+//! * [`net`] — the interconnect subsystem: deterministic minimal-path
+//!   routing over every [`spec::Topology`] (messages become sequences of
+//!   directed links) and the per-link [`net::LinkClocks`] congestion
+//!   model behind the transport's default-off contention toggle.
 //! * [`machine`] — ties spec + grid + memories + clocks + statistics into
 //!   the [`machine::Machine`] SPMD substrate, and provides the loosely
 //!   synchronous local-phase executors (sequential and threaded).
@@ -46,6 +50,7 @@ pub mod budget;
 pub mod machine;
 pub mod memory;
 pub mod mpool;
+pub mod net;
 pub mod pool;
 pub mod spec;
 pub mod transport;
@@ -55,7 +60,8 @@ pub use budget::{WorkerBudget, WorkerLease};
 pub use machine::{ExecMode, Machine, MachineStats};
 pub use memory::{LocalArray, NodeMemory};
 pub use mpool::MachinePool;
+pub use net::{LinkClocks, LinkId};
 pub use pool::WorkerPool;
-pub use spec::{MachineSpec, Topology};
+pub use spec::{MachineSpec, SpecError, Topology};
 pub use transport::{MailboxTransport, RecvHandle, Transport, TransportError};
 pub use value::{ArrayData, ElemType, Value};

@@ -196,6 +196,27 @@ impl Machine {
         self.transport.elapsed()
     }
 
+    /// Publish one read-only constant table to every rank: each
+    /// [`NodeMemory`] holds an `Arc` clone of the same map, so a
+    /// 4096-rank machine stores program constants once instead of 4096
+    /// times. Per-rank [`NodeMemory::set_scalar`] writes shadow the
+    /// shared values locally; [`Machine::reset`] drops the table.
+    pub fn share_consts(&mut self, consts: HashMap<String, crate::value::Value>) {
+        let consts = std::sync::Arc::new(consts);
+        for mem in &mut self.mems {
+            mem.install_consts(std::sync::Arc::clone(&consts));
+        }
+    }
+
+    /// Toggle per-link contention modelling (see
+    /// [`MailboxTransport::set_contention`]). Off by default, and
+    /// switched off again by [`Machine::reset`] — runs on a pooled
+    /// machine start from the paper's distance-only cost model unless
+    /// they opt in.
+    pub fn set_contention(&mut self, on: bool) {
+        self.transport.set_contention(on);
+    }
+
     /// Reset clocks, mailboxes and statistics; keep memories.
     pub fn reset_time(&mut self) {
         self.transport.reset();
@@ -368,6 +389,19 @@ mod tests {
         assert_eq!(m.elapsed(), 100.0);
         m.barrier();
         assert_eq!(m.transport.clock(1), 100.0);
+    }
+
+    #[test]
+    fn share_consts_reaches_every_rank_and_reset_drops_them() {
+        let mut m = machine(4, ExecMode::Sequential);
+        m.share_consts([("N".to_string(), Value::Int(4096))].into_iter().collect());
+        for mem in &m.mems {
+            assert_eq!(mem.scalar("N"), Value::Int(4096));
+        }
+        m.reset();
+        for mem in &m.mems {
+            assert_eq!(mem.scalar_opt("N"), None);
+        }
     }
 
     #[test]

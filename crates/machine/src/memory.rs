@@ -1,5 +1,5 @@
 //! Per-node memories: local array segments with overlap (ghost) areas,
-//! plus replicated scalars.
+//! plus replicated scalars and shared read-only constants.
 //!
 //! A distributed array's node-local segment is stored row-major over the
 //! *padded* extents `ghost_lo[d] + shape[d] + ghost_hi[d]`. Interior local
@@ -7,13 +7,30 @@
 //! `-ghost_lo[d]..0` and `shape[d]..shape[d]+ghost_hi[d]` — exactly the
 //! "overlap areas" that `overlap_shift` (paper §5.1) fills so that stencil
 //! loops can read `A(i±c)` without copying.
+//!
+//! # Lean node state for thousand-rank machines
+//!
+//! Two facilities keep a 1024–4096-rank machine CI-sized:
+//!
+//! * **Lazy segments** ([`LocalArray::with_ghost_lazy`]): the padded
+//!   buffer is not allocated until the first write (or explicit
+//!   [`LocalArray::materialize`]). Reads of an unmaterialized segment
+//!   return the element type's zero — observationally identical to the
+//!   eager zero-filled allocation, so executors can allocate every
+//!   declared array on every rank without touching memory for ranks
+//!   that own nothing (a `(*, BLOCK)` array at large P leaves most
+//!   ranks' segments empty or untouched).
+//! * **Shared constants** ([`NodeMemory::install_consts`]): one
+//!   reference-counted read-only table visible through every rank's
+//!   scalar lookups, instead of P copies of the same values.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::value::{ArrayData, ElemType, Value};
 
 /// One node-local array segment.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LocalArray {
     /// Interior extents (the owned segment shape).
     pub shape: Vec<i64>,
@@ -21,6 +38,13 @@ pub struct LocalArray {
     pub ghost_lo: Vec<i64>,
     /// Ghost cells above each dimension.
     pub ghost_hi: Vec<i64>,
+    ty: ElemType,
+    /// Padded element count the segment represents (allocated or not).
+    padded_len: usize,
+    /// Backing storage. Empty (`len == 0`) while a lazily-constructed
+    /// segment is still all-zero and unwritten; [`LocalArray::offset`]
+    /// math is against `padded_len`, so flat offsets are identical
+    /// before and after materialization.
     data: ArrayData,
 }
 
@@ -32,6 +56,21 @@ impl LocalArray {
 
     /// Allocate a zero-filled segment with the given ghost widths.
     pub fn with_ghost(ty: ElemType, shape: &[i64], ghost_lo: &[i64], ghost_hi: &[i64]) -> Self {
+        let mut a = Self::with_ghost_lazy(ty, shape, ghost_lo, ghost_hi);
+        a.materialize();
+        a
+    }
+
+    /// Like [`LocalArray::with_ghost`] but defers the padded-buffer
+    /// allocation to the first write. Reads before that see zeros — the
+    /// same values the eager constructor fills in — so the two
+    /// constructors are observationally interchangeable.
+    pub fn with_ghost_lazy(
+        ty: ElemType,
+        shape: &[i64],
+        ghost_lo: &[i64],
+        ghost_hi: &[i64],
+    ) -> Self {
         assert_eq!(shape.len(), ghost_lo.len());
         assert_eq!(shape.len(), ghost_hi.len());
         assert!(shape.iter().all(|&e| e >= 0));
@@ -45,13 +84,30 @@ impl LocalArray {
             shape: shape.to_vec(),
             ghost_lo: ghost_lo.to_vec(),
             ghost_hi: ghost_hi.to_vec(),
-            data: ArrayData::zeros(ty, padded.max(0) as usize),
+            ty,
+            padded_len: padded.max(0) as usize,
+            data: ArrayData::zeros(ty, 0),
+        }
+    }
+
+    /// `true` once the padded buffer is allocated (an empty segment
+    /// counts as materialized — there is nothing to allocate).
+    pub fn is_materialized(&self) -> bool {
+        self.data.len() == self.padded_len
+    }
+
+    /// Allocate the padded zero buffer now. Idempotent; called
+    /// automatically by every write path, and explicitly by hot loops
+    /// that need a raw [`LocalArray::data`] slice view.
+    pub fn materialize(&mut self) {
+        if !self.is_materialized() {
+            self.data = ArrayData::zeros(self.ty, self.padded_len);
         }
     }
 
     /// Element type.
     pub fn elem_type(&self) -> ElemType {
-        self.data.elem_type()
+        self.ty
     }
 
     /// Rank.
@@ -92,35 +148,47 @@ impl LocalArray {
     /// Read the element at local index `idx` (ghost indices allowed).
     #[inline]
     pub fn get(&self, idx: &[i64]) -> Value {
-        self.data.get(self.offset(idx))
+        self.get_flat(self.offset(idx))
     }
 
     /// Write the element at local index `idx` (ghost indices allowed).
     #[inline]
     pub fn set(&mut self, idx: &[i64], v: Value) {
         let off = self.offset(idx);
-        self.data.set(off, v);
+        self.set_flat(off, v);
     }
 
     /// Read by flat padded offset (hot paths that precompute offsets).
     #[inline]
     pub fn get_flat(&self, off: usize) -> Value {
-        self.data.get(off)
+        if self.is_materialized() {
+            self.data.get(off)
+        } else {
+            debug_assert!(off < self.padded_len, "flat offset {off} out of range");
+            self.ty.zero()
+        }
     }
 
     /// Write by flat padded offset.
     #[inline]
     pub fn set_flat(&mut self, off: usize, v: Value) {
+        self.materialize();
         self.data.set(off, v);
     }
 
     /// Borrow the raw storage.
+    ///
+    /// An unmaterialized lazy segment exposes an **empty** buffer here
+    /// (there is nothing allocated to borrow); raw-slice consumers must
+    /// call [`LocalArray::materialize`] first. The `get`/`set` accessors
+    /// need no such care.
     pub fn data(&self) -> &ArrayData {
         &self.data
     }
 
-    /// Mutably borrow the raw storage.
+    /// Mutably borrow the raw storage (materializing it first).
     pub fn data_mut(&mut self) -> &mut ArrayData {
+        self.materialize();
         &mut self.data
     }
 
@@ -149,11 +217,36 @@ impl LocalArray {
     }
 }
 
-/// A node's memory: named array segments and named scalars.
+/// Observational equality: two segments are equal when every padded
+/// element reads the same, whether or not either buffer is allocated —
+/// a lazily-constructed all-zero segment equals its eager twin.
+impl PartialEq for LocalArray {
+    fn eq(&self, other: &Self) -> bool {
+        if self.shape != other.shape
+            || self.ghost_lo != other.ghost_lo
+            || self.ghost_hi != other.ghost_hi
+            || self.ty != other.ty
+        {
+            return false;
+        }
+        if self.is_materialized() && other.is_materialized() {
+            return self.data == other.data;
+        }
+        (0..self.padded_len).all(|i| self.get_flat(i) == other.get_flat(i))
+    }
+}
+
+/// A node's memory: named array segments, named scalars, and an
+/// optional shared read-only constant table.
 #[derive(Debug, Clone, Default)]
 pub struct NodeMemory {
     arrays: HashMap<String, LocalArray>,
     scalars: HashMap<String, Value>,
+    /// Program constants shared (by reference) across every rank of a
+    /// machine — one table, not P copies. Read through
+    /// [`NodeMemory::scalar`]; local [`NodeMemory::set_scalar`] writes
+    /// shadow it without mutating the shared table.
+    consts: Option<Arc<HashMap<String, Value>>>,
 }
 
 impl NodeMemory {
@@ -208,22 +301,32 @@ impl NodeMemory {
         )
     }
 
-    /// Set scalar `name`.
+    /// Set scalar `name` (a node-local write; shadows any shared
+    /// constant of the same name on this rank only).
     pub fn set_scalar(&mut self, name: impl Into<String>, v: Value) {
         self.scalars.insert(name.into(), v);
     }
 
-    /// Read scalar `name`.
+    /// Install the shared read-only constant table (see
+    /// [`Machine::share_consts`](crate::Machine::share_consts), which
+    /// installs one `Arc` clone per rank).
+    pub fn install_consts(&mut self, consts: Arc<HashMap<String, Value>>) {
+        self.consts = Some(consts);
+    }
+
+    /// Read scalar `name` — node-local scalars first, then the shared
+    /// constant table.
     pub fn scalar(&self, name: &str) -> Value {
-        *self
-            .scalars
-            .get(name)
+        self.scalar_opt(name)
             .unwrap_or_else(|| panic!("scalar `{name}` not defined on this node"))
     }
 
-    /// Read scalar `name` if defined.
+    /// Read scalar `name` if defined here or in the shared constants.
     pub fn scalar_opt(&self, name: &str) -> Option<Value> {
-        self.scalars.get(name).copied()
+        self.scalars
+            .get(name)
+            .or_else(|| self.consts.as_ref().and_then(|c| c.get(name)))
+            .copied()
     }
 
     /// Names of all arrays on this node (unordered).
@@ -231,13 +334,15 @@ impl NodeMemory {
         self.arrays.keys().map(|s| s.as_str())
     }
 
-    /// Drop every array and scalar, keeping the map allocations — the
+    /// Drop every array, scalar and shared-constant reference, keeping
+    /// the map allocations — the
     /// [`Machine::reset`](crate::Machine::reset) path for machine reuse,
     /// so a recycled node memory starts exactly like a fresh one without
     /// rebuilding the `HashMap`s.
     pub fn clear(&mut self) {
         self.arrays.clear();
         self.scalars.clear();
+        self.consts = None;
     }
 }
 
@@ -317,5 +422,82 @@ mod tests {
         m.set_scalar("N", Value::Int(100));
         assert_eq!(m.scalar("N"), Value::Int(100));
         assert_eq!(m.scalar_opt("M"), None);
+    }
+
+    #[test]
+    fn lazy_segment_reads_zero_until_first_write() {
+        let mut a = LocalArray::with_ghost_lazy(ElemType::Real, &[4], &[1], &[1]);
+        assert!(!a.is_materialized());
+        assert_eq!(a.data().len(), 0, "no buffer before the first write");
+        // Reads (interior and ghost) see zeros without allocating.
+        assert_eq!(a.get(&[-1]), Value::Real(0.0));
+        assert_eq!(a.get(&[3]), Value::Real(0.0));
+        assert_eq!(a.get_flat(5), Value::Real(0.0));
+        assert!(!a.is_materialized());
+        // First write allocates the full padded buffer; offsets agree
+        // with the eager layout.
+        a.set(&[2], Value::Real(7.0));
+        assert!(a.is_materialized());
+        assert_eq!(a.data().len(), 6);
+        assert_eq!(a.get(&[2]), Value::Real(7.0));
+        assert_eq!(a.get(&[-1]), Value::Real(0.0));
+    }
+
+    #[test]
+    fn lazy_and_eager_segments_are_observationally_equal() {
+        let lazy = LocalArray::with_ghost_lazy(ElemType::Int, &[3, 3], &[1, 0], &[0, 1]);
+        let eager = LocalArray::with_ghost(ElemType::Int, &[3, 3], &[1, 0], &[0, 1]);
+        assert_eq!(lazy, eager);
+        assert_eq!(eager, lazy);
+        // A written element breaks equality in either direction.
+        let mut written = lazy.clone();
+        written.set(&[0, 0], Value::Int(1));
+        assert_ne!(written, eager);
+        assert_ne!(eager, written);
+        // …and writing the same value through the eager twin restores it.
+        let mut eager = eager;
+        eager.set(&[0, 0], Value::Int(1));
+        assert_eq!(written, eager);
+    }
+
+    #[test]
+    fn data_mut_materializes_for_raw_views() {
+        let mut a = LocalArray::with_ghost_lazy(ElemType::Real, &[2], &[0], &[0]);
+        assert_eq!(a.data().len(), 0);
+        assert_eq!(a.data_mut().len(), 2);
+        assert!(a.is_materialized());
+        // Explicit materialize is idempotent and keeps contents.
+        a.set(&[1], Value::Real(3.0));
+        a.materialize();
+        assert_eq!(a.get(&[1]), Value::Real(3.0));
+    }
+
+    #[test]
+    fn empty_segment_counts_as_materialized() {
+        // A rank that owns nothing of a distributed array allocates
+        // nothing either way.
+        let a = LocalArray::with_ghost_lazy(ElemType::Real, &[0, 4], &[0, 0], &[0, 0]);
+        assert!(a.is_materialized());
+        assert_eq!(a.interior_len(), 0);
+    }
+
+    #[test]
+    fn shared_consts_visible_through_scalar_reads() {
+        use std::sync::Arc;
+        let table: HashMap<String, Value> =
+            [("N".to_string(), Value::Int(1024))].into_iter().collect();
+        let table = Arc::new(table);
+        let mut m = NodeMemory::new();
+        m.install_consts(Arc::clone(&table));
+        assert_eq!(m.scalar("N"), Value::Int(1024));
+        assert_eq!(m.scalar_opt("N"), Some(Value::Int(1024)));
+        // Local writes shadow the shared value without mutating it.
+        m.set_scalar("N", Value::Int(7));
+        assert_eq!(m.scalar("N"), Value::Int(7));
+        assert_eq!(table["N"], Value::Int(1024));
+        // clear() drops the shared reference too.
+        m.clear();
+        assert_eq!(m.scalar_opt("N"), None);
+        assert_eq!(Arc::strong_count(&table), 1);
     }
 }

@@ -1,0 +1,30 @@
+//! The interconnect subsystem: link-level routing and a per-link
+//! contention model for the virtual-time transport.
+//!
+//! The paper's cost model (§8) prices a message purely by distance —
+//! `α + β·bytes + τ·hops` — so concurrent traffic over the same wire is
+//! free. That is fine at the paper's 16 nodes but says nothing honest
+//! about machines two orders of magnitude larger. This module adds the
+//! missing layer between the transport and the cost model:
+//!
+//! * [`route`] — deterministic minimal-path routing: a message becomes a
+//!   sequence of **directed links** ([`LinkId`]), not just a hop count
+//!   (dimension-order on hypercube/mesh/torus, up/down on the fat tree).
+//! * [`clock`] — [`LinkClocks`], a per-link busy-until table in virtual
+//!   time. With contention enabled, a message's head must serialize
+//!   behind every earlier transfer on each link of its route, so
+//!   concurrent same-link transfers genuinely collide.
+//!
+//! The model is cut-through (wormhole-like): the header pays τ per link
+//! (plus any queueing), the payload then streams at β·bytes once, and
+//! the whole path stays busy until the tail clears. With **no**
+//! contention the arrival time degenerates to exactly the α/β/τ formula
+//! — which is why the default-off contention toggle keeps every
+//! committed baseline bit-exact (the off path never even consults this
+//! module).
+
+pub mod clock;
+pub mod route;
+
+pub use clock::LinkClocks;
+pub use route::LinkId;

@@ -7,9 +7,10 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Physical interconnect shape, used for hop counting and for choosing the
-/// natural collective trees.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Physical interconnect shape, used for hop counting, for link-level
+/// routing ([`Topology::route`](crate::net) in `f90d_machine::net`) and
+/// for choosing the natural collective trees.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Topology {
     /// Binary hypercube of `2^dim` nodes (iPSC/860, nCUBE/2). Hop distance
     /// is the Hamming distance of node addresses.
@@ -25,6 +26,23 @@ pub enum Topology {
     /// Fully connected crossbar: every pair one hop (workstation LAN or an
     /// idealized switch).
     Crossbar,
+    /// k-ary torus: a mesh with wraparound links in every dimension.
+    /// Ranks are row-major over `dims` (last dimension fastest); hop
+    /// distance is the sum of per-dimension *circular* distances.
+    Torus {
+        /// Extent of each torus dimension (all ≥ 1).
+        dims: Vec<i64>,
+    },
+    /// Fat tree of `arity^levels` leaves (CM-5-style): compute nodes are
+    /// the leaves, switches form a complete `arity`-ary tree above them.
+    /// Hop distance is `2·l` where `l` is the level of the lowest common
+    /// ancestor switch (up `l` links, down `l` links).
+    FatTree {
+        /// Children per switch (≥ 2).
+        arity: i64,
+        /// Switch levels above the leaves (≥ 1).
+        levels: i64,
+    },
 }
 
 impl Topology {
@@ -41,9 +59,79 @@ impl Topology {
                 (ar - br).abs() + (ac - bc).abs()
             }
             Topology::Crossbar => 1,
+            Topology::Torus { dims } => {
+                let ca = Self::torus_coords(dims, a);
+                let cb = Self::torus_coords(dims, b);
+                ca.iter()
+                    .zip(&cb)
+                    .zip(dims)
+                    .map(|((&x, &y), &ext)| {
+                        let d = (x - y).abs();
+                        d.min(ext - d)
+                    })
+                    .sum()
+            }
+            Topology::FatTree { arity, levels } => 2 * Self::fat_tree_lca(*arity, *levels, a, b),
+        }
+    }
+
+    /// Decompose rank `r` into row-major torus coordinates (last
+    /// dimension fastest, matching [`Topology::Mesh2D`]).
+    pub(crate) fn torus_coords(dims: &[i64], r: i64) -> Vec<i64> {
+        let mut c = vec![0; dims.len()];
+        let mut rest = r;
+        for (d, &ext) in dims.iter().enumerate().rev() {
+            c[d] = rest % ext;
+            rest /= ext;
+        }
+        c
+    }
+
+    /// Level of the lowest common ancestor switch of leaves `a` and `b`
+    /// in a complete `arity`-ary tree (0 = same leaf).
+    pub(crate) fn fat_tree_lca(arity: i64, levels: i64, a: i64, b: i64) -> i64 {
+        let (mut ga, mut gb) = (a, b);
+        for l in 1..=levels {
+            ga /= arity;
+            gb /= arity;
+            if ga == gb {
+                return l;
+            }
+        }
+        // Distinct ranks must meet by the root; reaching here means a
+        // rank was outside the `arity^levels` leaf set.
+        panic!("ranks {a}/{b} outside a {arity}-ary {levels}-level fat tree")
+    }
+}
+
+/// Structured constructor failure: a machine was requested with a
+/// nonsense topology shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A topology dimension (mesh rows/cols, a torus extent, fat-tree
+    /// arity or levels) was zero or negative.
+    NonPositiveDim {
+        /// Which parameter was bad, e.g. `"rows"` or `"dims[1]"`.
+        what: &'static str,
+        /// The offending value.
+        got: i64,
+    },
+    /// A torus was requested with no dimensions at all.
+    EmptyTorus,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NonPositiveDim { what, got } => {
+                write!(f, "topology dimension `{what}` must be positive, got {got}")
+            }
+            SpecError::EmptyTorus => write!(f, "torus needs at least one dimension"),
         }
     }
 }
+
+impl std::error::Error for SpecError {}
 
 /// The cost model for one machine: communication constants, computation
 /// throughput and topology.
@@ -106,8 +194,23 @@ impl MachineSpec {
 
     /// A Paragon-like mesh machine (extension; not in the paper's
     /// evaluation, used by portability tests to show a third target).
-    pub fn paragon(rows: i64, cols: i64) -> Self {
-        MachineSpec {
+    ///
+    /// Returns [`SpecError::NonPositiveDim`] when either mesh extent is
+    /// zero or negative.
+    pub fn paragon(rows: i64, cols: i64) -> Result<Self, SpecError> {
+        if rows <= 0 {
+            return Err(SpecError::NonPositiveDim {
+                what: "rows",
+                got: rows,
+            });
+        }
+        if cols <= 0 {
+            return Err(SpecError::NonPositiveDim {
+                what: "cols",
+                got: cols,
+            });
+        }
+        Ok(MachineSpec {
             name: "Paragon-like mesh".into(),
             alpha: 50e-6,
             beta: 0.012e-6,
@@ -115,7 +218,57 @@ impl MachineSpec {
             time_elem_op: 0.45e-6,
             time_copy_byte: 0.03e-6,
             topology: Topology::Mesh2D { rows, cols },
+        })
+    }
+
+    /// The iPSC/860 cost constants on a k-ary torus interconnect — the
+    /// machine the weak-scaling experiment extrapolates to. Validates
+    /// every extent.
+    pub fn torus(dims: &[i64]) -> Result<Self, SpecError> {
+        if dims.is_empty() {
+            return Err(SpecError::EmptyTorus);
         }
+        for (i, &d) in dims.iter().enumerate() {
+            if d <= 0 {
+                // Leak-free static names for the handful of dims a torus
+                // can realistically have; the index matters more than
+                // allocating a fresh string for it.
+                const NAMES: [&str; 4] = ["dims[0]", "dims[1]", "dims[2]", "dims[3+]"];
+                return Err(SpecError::NonPositiveDim {
+                    what: NAMES[i.min(3)],
+                    got: d,
+                });
+            }
+        }
+        Ok(MachineSpec {
+            topology: Topology::Torus {
+                dims: dims.to_vec(),
+            },
+            name: "torus".into(),
+            ..Self::ipsc860()
+        })
+    }
+
+    /// The iPSC/860 cost constants under a fat-tree interconnect of
+    /// `arity^levels` leaves. Validates both shape parameters.
+    pub fn fat_tree(arity: i64, levels: i64) -> Result<Self, SpecError> {
+        if arity < 2 {
+            return Err(SpecError::NonPositiveDim {
+                what: "arity",
+                got: arity,
+            });
+        }
+        if levels <= 0 {
+            return Err(SpecError::NonPositiveDim {
+                what: "levels",
+                got: levels,
+            });
+        }
+        Ok(MachineSpec {
+            topology: Topology::FatTree { arity, levels },
+            name: "fat-tree".into(),
+            ..Self::ipsc860()
+        })
     }
 
     /// Zero-latency, infinite-bandwidth machine with unit element cost —
@@ -166,6 +319,80 @@ mod tests {
         let t = Topology::Mesh2D { rows: 4, cols: 4 };
         assert_eq!(t.hops(0, 5), 2); // (0,0) -> (1,1)
         assert_eq!(t.hops(3, 12), 6); // (0,3) -> (3,0)
+    }
+
+    #[test]
+    fn torus_hops_are_circular_manhattan() {
+        let t = Topology::Torus { dims: vec![4, 4] };
+        // (0,0) -> (0,3): wraps in one hop, not three.
+        assert_eq!(t.hops(0, 3), 1);
+        // (0,0) -> (3,3): one wrap per dimension.
+        assert_eq!(t.hops(0, 15), 2);
+        // (0,1) -> (2,2): 2 rows + 1 col, no wrap shorter.
+        assert_eq!(t.hops(1, 10), 3);
+        // 1-D ring of 5: max distance is floor(5/2).
+        let ring = Topology::Torus { dims: vec![5] };
+        assert_eq!(ring.hops(0, 2), 2);
+        assert_eq!(ring.hops(0, 3), 2);
+    }
+
+    #[test]
+    fn fat_tree_hops_are_twice_lca_level() {
+        let t = Topology::FatTree {
+            arity: 4,
+            levels: 3,
+        };
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 1), 2); // siblings under one level-1 switch
+        assert_eq!(t.hops(0, 5), 4); // meet at level 2
+        assert_eq!(t.hops(0, 63), 6); // opposite corners: through the root
+        assert_eq!(t.hops(63, 0), 6);
+    }
+
+    #[test]
+    fn constructors_reject_nonsense_shapes() {
+        assert!(MachineSpec::paragon(4, 4).is_ok());
+        assert_eq!(
+            MachineSpec::paragon(0, 4),
+            Err(SpecError::NonPositiveDim {
+                what: "rows",
+                got: 0
+            })
+        );
+        assert_eq!(
+            MachineSpec::paragon(4, -1),
+            Err(SpecError::NonPositiveDim {
+                what: "cols",
+                got: -1
+            })
+        );
+        assert!(MachineSpec::torus(&[8, 8]).is_ok());
+        assert_eq!(MachineSpec::torus(&[]), Err(SpecError::EmptyTorus));
+        assert_eq!(
+            MachineSpec::torus(&[4, 0]),
+            Err(SpecError::NonPositiveDim {
+                what: "dims[1]",
+                got: 0
+            })
+        );
+        assert!(MachineSpec::fat_tree(4, 3).is_ok());
+        assert_eq!(
+            MachineSpec::fat_tree(1, 3),
+            Err(SpecError::NonPositiveDim {
+                what: "arity",
+                got: 1
+            })
+        );
+        assert_eq!(
+            MachineSpec::fat_tree(4, 0),
+            Err(SpecError::NonPositiveDim {
+                what: "levels",
+                got: 0
+            })
+        );
+        // The error is printable and carries the offending value.
+        let msg = MachineSpec::torus(&[-2]).unwrap_err().to_string();
+        assert!(msg.contains("dims[0]") && msg.contains("-2"), "{msg}");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::net::LinkClocks;
 use crate::spec::MachineSpec;
 use crate::value::ArrayData;
 
@@ -231,6 +232,12 @@ pub struct MailboxTransport {
     /// is left in flight — the signature of a batched finish that
     /// failed mid-way (see `f90d_comm::plan`).
     open_set: HashMap<(i64, i64, Tag), u64>,
+    /// Per-link congestion state ([`crate::net`]): `Some` routes every
+    /// wire message over the topology's links and serializes transfers
+    /// that share one; `None` (the default, and the state after
+    /// [`MailboxTransport::reset`]) keeps the paper's distance-only
+    /// formula bit-exact.
+    contention: Option<LinkClocks>,
 }
 
 impl MailboxTransport {
@@ -247,12 +254,34 @@ impl MailboxTransport {
             epoch: 0,
             open_recvs: 0,
             open_set: HashMap::new(),
+            contention: None,
         }
     }
 
     /// The machine spec backing the cost model.
     pub fn spec(&self) -> &MachineSpec {
         &self.spec
+    }
+
+    /// Enable or disable per-link contention modelling
+    /// ([`crate::net::LinkClocks`]). Off (the default), message arrival
+    /// is the paper's `α + β·bytes + τ·hops`; on, each message routes
+    /// over the topology's directed links and queues behind earlier
+    /// transfers on every link it shares. Switching on starts from an
+    /// idle network; switching off forgets all link state.
+    pub fn set_contention(&mut self, on: bool) {
+        self.contention = on.then(LinkClocks::new);
+    }
+
+    /// `true` when per-link contention modelling is enabled.
+    pub fn contention(&self) -> bool {
+        self.contention.is_some()
+    }
+
+    /// Directed links that have carried traffic so far (0 with
+    /// contention off — link state exists only under the model).
+    pub fn links_used(&self) -> usize {
+        self.contention.as_ref().map_or(0, LinkClocks::links_used)
     }
 
     /// Charge `seconds` of local computation to node `rank`.
@@ -300,6 +329,13 @@ impl MailboxTransport {
     /// reset is invalidated and completes as
     /// [`TransportError::StaleHandle`] instead of dangling into the next
     /// run's mailboxes.
+    ///
+    /// Also returns the transport to its constructed contention state —
+    /// **off**, link clocks dropped — which is what lets the
+    /// [`MachinePool`](crate::mpool::MachinePool) promise that a
+    /// recycled machine is observationally identical to a fresh one.
+    /// Experiments that model contention re-enable it per run with
+    /// [`MailboxTransport::set_contention`].
     pub fn reset(&mut self) {
         self.clocks.iter_mut().for_each(|c| *c = 0.0);
         self.boxes.clear();
@@ -308,6 +344,7 @@ impl MailboxTransport {
         self.epoch += 1;
         self.open_recvs = 0;
         self.open_set.clear();
+        self.contention = None;
     }
 
     /// `true` when no message is still in flight.
@@ -325,16 +362,26 @@ impl Transport for MailboxTransport {
         let bytes = payload.len() as i64 * payload.elem_type().bytes();
         let start = self.clocks[from as usize];
         let wire = self.spec.msg_time(from, to, bytes);
-        if from != to {
+        let arrival = if from != to {
             // Sender is busy for the startup portion; the payload arrives
-            // at start + full wire time.
+            // at start + full wire time — or later, when the contention
+            // model is on and the route's links are still draining
+            // earlier transfers.
             self.clocks[from as usize] = start + self.spec.alpha;
             self.messages += 1;
             self.bytes += bytes as u64;
+            match &mut self.contention {
+                Some(links) => {
+                    let route = self.spec.topology.route(from, to);
+                    links.transfer(&self.spec, &route, start, bytes)
+                }
+                None => start + wire,
+            }
         } else {
+            // Self-messages are local copies: no wire, no link state.
             self.clocks[from as usize] = start + wire;
-        }
-        let arrival = start + wire;
+            start + wire
+        };
         self.boxes
             .entry((from, to, tag))
             .or_default()
@@ -543,6 +590,68 @@ mod tests {
         let h2 = t.post_recv(1, 0, 5);
         assert!(t.complete(h2).is_ok());
         assert!(t.quiescent_check().is_ok());
+    }
+
+    #[test]
+    fn contention_off_matches_distance_formula_bit_exactly() {
+        // Two transports, one with the toggle flipped on and back off:
+        // every arrival must be bit-identical to the plain formula.
+        let mut a = MailboxTransport::new(MachineSpec::ipsc860(), 8);
+        let mut b = MailboxTransport::new(MachineSpec::ipsc860(), 8);
+        b.set_contention(true);
+        b.set_contention(false);
+        for (from, to) in [(0, 7), (1, 2), (3, 3), (6, 0)] {
+            a.send(from, to, 0, payload(100));
+            b.send(from, to, 0, payload(100));
+            a.recv(to, from, 0);
+            b.recv(to, from, 0);
+        }
+        assert_eq!(a.clocks, b.clocks);
+        assert_eq!(b.links_used(), 0);
+    }
+
+    #[test]
+    fn contention_serializes_same_link_senders() {
+        // On a 5-ring the minimal route 2->0 is [2->1, 1->0], sharing
+        // its last link with the route 1->0.
+        let spec = MachineSpec {
+            topology: crate::spec::Topology::Torus { dims: vec![5] },
+            ..MachineSpec::ipsc860()
+        };
+        let mut off = MailboxTransport::new(spec.clone(), 5);
+        let mut on = MailboxTransport::new(spec, 5);
+        on.set_contention(true);
+        for t in [&mut off, &mut on] {
+            t.send(1, 0, 0, payload(1000)); // route [1->0]
+            t.send(2, 0, 1, payload(1000)); // route [2->1, 1->0]: collides
+            t.recv(0, 1, 0);
+            t.recv(0, 2, 1);
+        }
+        assert!(
+            on.clock(0) > off.clock(0),
+            "shared link must delay the receiver: {} vs {}",
+            on.clock(0),
+            off.clock(0)
+        );
+        assert!(on.links_used() >= 2);
+        // Reset returns to the constructed (off) state and idle links.
+        on.reset();
+        assert!(!on.contention());
+        assert_eq!(on.links_used(), 0);
+    }
+
+    #[test]
+    fn contention_on_idle_network_changes_nothing_observable() {
+        // A single message on an idle network arrives at the same time
+        // (up to fp association) with the model on or off.
+        let mut off = MailboxTransport::new(MachineSpec::ipsc860(), 8);
+        let mut on = MailboxTransport::new(MachineSpec::ipsc860(), 8);
+        on.set_contention(true);
+        off.send(0, 5, 0, payload(500));
+        on.send(0, 5, 0, payload(500));
+        off.recv(5, 0, 0);
+        on.recv(5, 0, 0);
+        assert!((on.clock(5) - off.clock(5)).abs() < 1e-15);
     }
 
     #[test]

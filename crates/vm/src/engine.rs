@@ -202,7 +202,7 @@ impl Engine {
             for mem in &mut m.mems {
                 mem.insert_array(
                     decl.name.clone(),
-                    LocalArray::with_ghost(decl.ty, &shape, &ghost, &ghost),
+                    LocalArray::with_ghost_lazy(decl.ty, &shape, &ghost, &ghost),
                 );
             }
         }
@@ -218,7 +218,7 @@ impl Engine {
                 for mem in &mut m.mems {
                     mem.insert_array(
                         decl.name.clone(),
-                        LocalArray::with_ghost(decl.ty, &shape, &ghost, &ghost),
+                        LocalArray::with_ghost_lazy(decl.ty, &shape, &ghost, &ghost),
                     );
                 }
             }
@@ -1630,6 +1630,14 @@ fn run_native_forall(
             return 0;
         };
         let lists = &iter_lists[rank as usize];
+        // Lazily-allocated segments expose no raw slice until their
+        // buffer exists (`LocalArray::data`); force every array this
+        // phase will view before taking shared borrows.
+        for b in bodies {
+            for &arr in &b.read_arrs {
+                mem.array_mut(&prog.arrays[arr].name).materialize();
+            }
+        }
         // Pre-borrow every read view as a raw f64 slice (selection
         // admits REAL arrays only).
         let mut view_base = Vec::with_capacity(bodies.len());
