@@ -138,6 +138,13 @@ pub struct CellResult {
     pub native_matched: u64,
     /// FORALL executions that ran the bytecode element loop instead.
     pub native_fallback: u64,
+    /// Comm phases the shared driver posted as one batched, coalesced
+    /// ghost exchange (nonzero only with `comm_plan` on — e.g. the
+    /// `--exp commplan` ablation). Informational, never gated.
+    pub comm_groups: u64,
+    /// Comm phases the driver refused and re-ran statement-by-statement
+    /// (planning failed — e.g. mixed element types). Informational.
+    pub comm_fallbacks: u64,
 }
 
 /// One full matrix run.
@@ -298,6 +305,8 @@ pub fn run_cell_native(cell: &Cell, sched_cache: bool, exec: ExecMode, native: b
         workers: trace.workers,
         native_matched: trace.native_matched,
         native_fallback: trace.native_fallback,
+        comm_groups: trace.comm_groups,
+        comm_fallbacks: trace.comm_fallbacks,
     }
 }
 
@@ -555,6 +564,17 @@ pub fn report_json(rep: &MatrixReport) -> Json {
                     Json::Obj(vec![
                         ("matched".into(), Json::Num(c.native_matched as f64)),
                         ("fallback".into(), Json::Num(c.native_fallback as f64)),
+                    ]),
+                ),
+                // Shared comm driver phase outcomes for this cell.
+                // Informational, never gated: the driver's fallback
+                // contract keeps every gated metric bit-identical, this
+                // only shows how many phases actually batched.
+                (
+                    "comm_plan".into(),
+                    Json::Obj(vec![
+                        ("groups".into(), Json::Num(c.comm_groups as f64)),
+                        ("fallbacks".into(), Json::Num(c.comm_fallbacks as f64)),
                     ]),
                 ),
             ])

@@ -54,9 +54,17 @@
 //!
 //! [`redist`] implements the block↔cyclic redistribution primitives used
 //! at subroutine boundaries (paper §6).
+//!
+//! The [`driver`] module sits on top of all of the above: it is the
+//! single backend-agnostic sequencer of the FORALL communication
+//! lifecycle (per-statement ghost exchanges, split-phase overlap via a
+//! [`driver::ComputeSink`], phase batching with per-statement fallback,
+//! schedule selection, and end-of-run quiescence). Both executors drive
+//! it; neither re-implements it.
 
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod helpers;
 pub mod op;
 pub mod overlap;
@@ -67,6 +75,7 @@ pub mod sched_cache;
 pub mod schedule;
 pub mod structured;
 
+pub use driver::{CommDriver, ComputeSink, PhaseOutcome};
 pub use op::{CommError, CommOp, CommResult};
 pub use reduce::ReduceOp;
 pub use sched_cache::{RunSchedules, SchedCache, SchedKey};

@@ -1,0 +1,42 @@
+//! Dual-site guard: the FORALL communication lifecycle is sequenced in
+//! exactly one place — `f90d_comm::driver`. PR 8's bugfix battery showed
+//! what happens otherwise: the rank-1 multicast slab-temp bug had to be
+//! fixed twice, once per backend. This test fails the build if either
+//! backend grows a direct reference to the batching planner, the raw
+//! overlap move builder, or the raw transport post call, so the
+//! fix-it-twice bug class cannot quietly return.
+
+use std::fs;
+use std::path::Path;
+
+/// Raw-orchestration identifiers the backends must not mention. Doc
+/// comments count too: a comment pointing readers at the raw layer is
+/// the first step toward someone calling it.
+const FORBIDDEN: &[&str] = &["PhaseExchange", "overlap_shift_moves", "post_send"];
+
+fn check(rel: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("guard test cannot read {}: {e}", path.display()));
+    for needle in FORBIDDEN {
+        for (lineno, line) in src.lines().enumerate() {
+            assert!(
+                !line.contains(needle),
+                "{rel}:{} references `{needle}` directly; FORALL comm \
+                 orchestration must go through f90d_comm::driver\n  {}",
+                lineno + 1,
+                line.trim()
+            );
+        }
+    }
+}
+
+#[test]
+fn executor_uses_driver_only() {
+    check("../core/src/exec.rs");
+}
+
+#[test]
+fn engine_uses_driver_only() {
+    check("../vm/src/engine.rs");
+}

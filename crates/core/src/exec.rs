@@ -4,14 +4,16 @@
 
 use std::collections::HashMap;
 
-use f90d_comm::op::{CommError, CommOp};
-use f90d_comm::overlap::{dims_overlap_compatible, Margins};
+use f90d_comm::driver::{self, CommDriver, ComputeSink, PhaseOutcome};
+use f90d_comm::op::CommError;
+use f90d_comm::overlap::Margins;
+use f90d_comm::plan::GhostSpec;
 use f90d_comm::sched_cache::RunSchedules;
-use f90d_comm::schedule::{self, ElementReq, ScheduleKind};
+use f90d_comm::schedule::{self, ElementReq};
 use f90d_comm::structured;
-use f90d_distrib::{set_bound, Dad, DistKind};
+use f90d_distrib::{set_bound, ArrayDimMap, Dad, DistKind};
 use f90d_frontend::ast::{BinOp, UnOp};
-use f90d_machine::{ElemType, LocalArray, Machine, Transport, Value};
+use f90d_machine::{ElemType, LocalArray, Machine, Value};
 use f90d_runtime::intrinsics as rt;
 use f90d_runtime::DistArray;
 
@@ -77,10 +79,15 @@ pub struct Executor<'p> {
     pub exec: Option<f90d_machine::ExecMode>,
     /// `OptFlags::comm_plan`: honour the phase planner's
     /// [`ForallNode::plan`] annotations, batching each phase's ghost
-    /// exchanges through one coalesced `f90d_comm::plan::PhaseExchange`.
-    /// Off (the default) runs the per-statement schedule even on
-    /// annotated programs — the annotations are advisory.
+    /// exchanges through one coalesced exchange sequenced by the shared
+    /// [`CommDriver`]. Off (the default) runs the per-statement schedule
+    /// even on annotated programs — the annotations are advisory.
     pub plan: bool,
+    /// The shared FORALL communication driver (`f90d_comm::driver`):
+    /// sequences phase batching, split-phase overlap, and quiescence,
+    /// and carries the `comm_plan {groups, fallbacks}` counters the run
+    /// trace surfaces.
+    pub comm: CommDriver,
 }
 
 /// Loop-variable bindings (global Fortran-value semantics).
@@ -142,6 +149,7 @@ impl<'p> Executor<'p> {
             overlap: false,
             exec: None,
             plan: false,
+            comm: CommDriver::new(),
         }
     }
 
@@ -181,6 +189,7 @@ impl<'p> Executor<'p> {
             overlap: false,
             exec: None,
             plan: false,
+            comm: CommDriver::new(),
         }
     }
 
@@ -194,9 +203,7 @@ impl<'p> Executor<'p> {
         let stmts = &self.prog.stmts;
         let mut env = Env::default();
         self.exec_stmts(stmts, m, &mut env)?;
-        m.transport
-            .quiescent_check()
-            .map_err(|e| ExecError(e.to_string()))?;
+        driver::quiesce(m)?;
         Ok(ExecReport {
             elapsed: m.elapsed(),
             messages: m.transport.messages,
@@ -260,16 +267,15 @@ impl<'p> Executor<'p> {
         Ok(())
     }
 
-    /// Execute one planner-formed comm phase: batch every member's ghost
-    /// exchanges (deduplicated, against the **live** descriptors) into a
-    /// single coalesced [`f90d_comm::plan::PhaseExchange`], then run the
-    /// members with their preludes skipped. If runtime planning refuses
-    /// the batch, fall back to bit-identical per-statement execution —
-    /// the annotations are advisory, the `pre` lists are still in place.
+    /// Execute one planner-formed comm phase: hand every member's ghost
+    /// exchanges (against the **live** descriptors) to the shared driver,
+    /// which deduplicates and batches them into one coalesced exchange,
+    /// then run the members with their preludes skipped. If runtime
+    /// planning refuses the batch, fall back to bit-identical
+    /// per-statement execution — the annotations are advisory, the `pre`
+    /// lists are still in place.
     fn exec_phase(&mut self, stmts: &[SStmt], m: &mut Machine, env: &mut Env) -> EResult<()> {
-        use f90d_comm::plan::{GhostSpec, PhaseExchange};
         let mut specs: Vec<GhostSpec> = Vec::new();
-        let mut seen: Vec<(ArrId, usize, i64)> = Vec::new();
         for s in stmts {
             let SStmt::Forall(f) = s else {
                 return eerr("comm phase contains a non-FORALL statement");
@@ -278,10 +284,6 @@ impl<'p> Executor<'p> {
                 let CommStmt::OverlapShift { arr, dim, c } = c else {
                     return eerr("comm phase member has a non-overlap-shift prelude");
                 };
-                if seen.contains(&(*arr, *dim, *c)) {
-                    continue;
-                }
-                seen.push((*arr, *dim, *c));
                 specs.push(GhostSpec {
                     arr: self.prog.arrays[*arr].name.clone(),
                     dad: self.dads[*arr].clone(),
@@ -290,21 +292,19 @@ impl<'p> Executor<'p> {
                 });
             }
         }
-        let mut op = match PhaseExchange::plan(m, specs) {
-            Ok(op) => op,
-            Err(_) => {
+        match self.comm.phase_exchange(m, specs)? {
+            PhaseOutcome::Refused => {
                 // Structured fallback: per-statement execution.
                 for s in stmts {
                     self.exec_stmt(s, m, env)?;
                 }
-                return Ok(());
             }
-        };
-        op.post(m)?;
-        op.finish(m)?;
-        for s in stmts {
-            let SStmt::Forall(f) = s else { unreachable!() };
-            self.exec_forall_inner(f, m, env, true)?;
+            PhaseOutcome::Exchanged => {
+                for s in stmts {
+                    let SStmt::Forall(f) = s else { unreachable!() };
+                    self.exec_forall_inner(f, m, env, true)?;
+                }
+            }
         }
         Ok(())
     }
@@ -513,7 +513,7 @@ impl<'p> Executor<'p> {
             }
             CommStmt::OverlapShift { arr, dim, c } => {
                 let dad = self.dads[*arr].clone();
-                structured::overlap_shift(m, &self.prog.arrays[*arr].name, &dad, *dim, *c, false)?;
+                driver::ghost_exchange(m, &self.prog.arrays[*arr].name, &dad, *dim, *c)?;
                 Ok(())
             }
             CommStmt::TempShift {
@@ -692,73 +692,21 @@ impl<'p> Executor<'p> {
             WritePlan::Owned => None,
         });
         let mut scatter_out: Vec<Vec<(Vec<i64>, Value)>> = vec![Vec::new(); m.nranks() as usize];
-        let var_names: Vec<String> = f.vars.iter().map(|v| v.var.clone()).collect();
-        let mask_ops = f.mask.as_ref().map_or(0, |m| m.op_count_cse(&var_names));
-        let body_ops: Vec<i64> = f
-            .body
-            .iter()
-            .map(|b| b.rhs.op_count_cse(&var_names) + 2)
-            .collect();
         for rank in 0..m.nranks() {
             let lists = &iter_lists[rank as usize];
             if lists.iter().any(|l| l.is_empty()) {
                 continue;
             }
             let mut staged: Vec<(usize, Value)> = Vec::new();
-            let mut seq_counters = vec![0usize; f.gathers.len()];
-            let mut ops: i64 = 0;
-            let mut cursor = vec![0usize; lists.len()];
-            'iter: loop {
-                for (spec, (&c, list)) in f.vars.iter().zip(cursor.iter().zip(lists)) {
-                    env.push(&spec.var, list[c]);
-                }
-                let mut run = true;
-                if let Some(mask) = &f.mask {
-                    ops += mask_ops;
-                    run = self
-                        .eval_elem(mask, m, rank, env, &mut seq_counters)?
-                        .as_bool();
-                }
-                if run {
-                    for (bi, b) in f.body.iter().enumerate() {
-                        let v = self.eval_elem(&b.rhs, m, rank, env, &mut seq_counters)?;
-                        ops += body_ops[bi];
-                        let g: Vec<i64> = b
-                            .subs
-                            .iter()
-                            .map(|e| {
-                                self.eval_elem(e, m, rank, env, &mut seq_counters)
-                                    .map(|x| x.as_int())
-                            })
-                            .collect::<EResult<_>>()?;
-                        match &b.write {
-                            WritePlan::Owned => {
-                                let off = self.owned_offset(b.arr, m, rank, &g)?;
-                                staged.push((off, v));
-                            }
-                            WritePlan::ScatterSeq { .. } => {
-                                scatter_out[rank as usize].push((g, v));
-                            }
-                        }
-                    }
-                }
-                for _ in 0..f.vars.len() {
-                    env.pop();
-                }
-                // advance cartesian cursor (last var fastest)
-                let mut d = lists.len();
-                loop {
-                    if d == 0 {
-                        break 'iter;
-                    }
-                    d -= 1;
-                    cursor[d] += 1;
-                    if cursor[d] < lists[d].len() {
-                        break;
-                    }
-                    cursor[d] = 0;
-                }
-            }
+            let ops = self.forall_rank_run(
+                f,
+                m,
+                rank,
+                env,
+                lists,
+                &mut staged,
+                &mut scatter_out[rank as usize],
+            )?;
             // Commit staged owned writes (FORALL RHS-before-LHS semantics
             // within the rank).
             if !staged.is_empty() {
@@ -785,11 +733,10 @@ impl<'p> Executor<'p> {
     /// canonical BLOCK stencil case the paper's §5.1 overlap areas serve),
     /// no unstructured gathers, no owner filter, owned writes only, and
     /// every shifted dimension maps onto a stride-1 `OwnerDim` loop
-    /// variable whose LHS dimension is
-    /// [`dims_overlap_compatible`] with the shifted array's — that
-    /// identity is what makes "iteration value within the owned block
-    /// interior" imply "every shifted read stays owned". Anything else
-    /// falls back to the blocking path (correct for every program;
+    /// variable per the shared [`driver::stencil_margins`] geometry —
+    /// that identity is what makes "iteration value within the owned
+    /// block interior" imply "every shifted read stays owned". Anything
+    /// else falls back to the blocking path (correct for every program;
     /// overlap is a pure virtual-time optimization).
     fn overlap_plan(&self, f: &ForallNode) -> Option<Margins> {
         if f.pre.is_empty() || !f.gathers.is_empty() || !f.owner_filter.is_empty() {
@@ -798,7 +745,20 @@ impl<'p> Executor<'p> {
         if !f.body.iter().all(|b| matches!(b.write, WritePlan::Owned)) {
             return None;
         }
-        let mut margins = Margins::new(f.vars.len());
+        let loop_dims: Vec<Option<&ArrayDimMap>> = f
+            .vars
+            .iter()
+            .map(|spec| match &spec.part {
+                Partition::OwnerDim {
+                    arr: la,
+                    dim: ld,
+                    a: 1,
+                    ..
+                } => Some(&self.dads[*la].dims[*ld]),
+                _ => None,
+            })
+            .collect();
+        let mut shifts = Vec::with_capacity(f.pre.len());
         for c in &f.pre {
             let CommStmt::OverlapShift {
                 arr,
@@ -808,29 +768,17 @@ impl<'p> Executor<'p> {
             else {
                 return None;
             };
-            let sdm = &self.dads[*arr].dims[*dim];
-            let var = f.vars.iter().position(|spec| match &spec.part {
-                Partition::OwnerDim {
-                    arr: la,
-                    dim: ld,
-                    a: 1,
-                    ..
-                } => dims_overlap_compatible(&self.dads[*la].dims[*ld], sdm),
-                _ => false,
-            })?;
-            margins.add(var, *amount);
+            shifts.push((&self.dads[*arr].dims[*dim], *amount));
         }
-        Some(margins)
+        driver::stencil_margins(&loop_dims, &shifts)
     }
 
-    /// Split-phase stencil execution (paper §5.1/§7 latency hiding):
-    /// post the ghost exchanges, compute the interior iterations (whose
-    /// shifted reads never leave the owned block) while the strips are on
-    /// the wire, complete the exchanges, then compute the boundary
-    /// iterations that read the freshly filled ghost cells. Writes from
-    /// both phases are staged and committed together, so array results
-    /// are bit-identical to the blocking path — only the virtual clocks
-    /// differ.
+    /// Split-phase stencil execution (paper §5.1/§7 latency hiding),
+    /// sequenced by the shared [`driver::run_overlap`]: the driver posts
+    /// the ghost exchanges, runs this backend's interior tree walk while
+    /// the strips are on the wire, completes the exchanges, runs the
+    /// boundary slabs, and commits — array results are bit-identical to
+    /// the blocking path, only the virtual clocks differ.
     fn exec_forall_overlap(
         &mut self,
         f: &ForallNode,
@@ -838,8 +786,7 @@ impl<'p> Executor<'p> {
         env: &mut Env,
         margins: &Margins,
     ) -> EResult<()> {
-        // 1. Post every ghost exchange: senders pay pack + α and are free.
-        let mut posted = Vec::with_capacity(f.pre.len());
+        let mut shifts = Vec::with_capacity(f.pre.len());
         for c in &f.pre {
             let CommStmt::OverlapShift {
                 arr,
@@ -849,77 +796,41 @@ impl<'p> Executor<'p> {
             else {
                 unreachable!("overlap_plan admitted a non-shift prelude")
             };
-            let dad = self.dads[*arr].clone();
-            posted.push(structured::overlap_shift_post(
-                m,
-                &self.prog.arrays[*arr].name,
-                &dad,
-                *dim,
-                *amount,
-                false,
-            )?);
+            shifts.push(GhostSpec {
+                arr: self.prog.arrays[*arr].name.clone(),
+                dad: self.dads[*arr].clone(),
+                dim: *dim,
+                c: *amount,
+            });
         }
-        // 2. Per-rank iteration lists (no owner filter by eligibility),
-        // split once into the interior sub-product and the boundary
-        // slabs by the shared `f90d_comm::overlap` geometry.
+        // Per-rank iteration lists (no owner filter by eligibility); the
+        // driver splits them into interior/boundary via the shared
+        // `f90d_comm::overlap` geometry.
         let nranks = m.nranks() as usize;
-        let mut interior: Vec<Vec<Vec<i64>>> = Vec::with_capacity(nranks);
-        let mut boundary: Vec<Vec<Vec<Vec<i64>>>> = Vec::with_capacity(nranks);
+        let mut iter_lists: Vec<Vec<Vec<i64>>> = Vec::with_capacity(nranks);
         for rank in 0..m.nranks() {
             let mut lists = Vec::with_capacity(f.vars.len());
             for spec in &f.vars {
                 lists.push(self.iterations_for(spec, m, rank, env)?);
             }
-            interior.push(margins.interior_lists(&lists));
-            boundary.push(margins.boundary_slabs(&lists));
+            iter_lists.push(lists);
         }
-        // 3. Interior compute, charged before the completions below so it
-        // genuinely hides the wire time.
-        let mut staged: Vec<Vec<(usize, Value)>> = vec![Vec::new(); nranks];
-        for rank in 0..m.nranks() {
-            let ops = self.forall_rank_run(
-                f,
-                m,
-                rank,
-                env,
-                &interior[rank as usize],
-                &mut staged[rank as usize],
-            )?;
-            m.transport.charge_elem_ops(rank, ops);
-        }
-        // 4. Complete the ghost exchanges: each receiver's clock advances
-        // to max(its post-interior clock, strip arrival).
-        for op in posted {
-            op.finish(m)?;
-        }
-        // 5. Boundary compute: only the shell tuples whose reads touch
-        // ghost cells, charged as one lump per rank (the VM engine sums
-        // identically, keeping backend virtual time bit-equal).
-        for rank in 0..m.nranks() {
-            let mut ops = 0;
-            for slab in &boundary[rank as usize] {
-                ops += self.forall_rank_run(f, m, rank, env, slab, &mut staged[rank as usize])?;
-            }
-            m.transport.charge_elem_ops(rank, ops);
-        }
-        // 6. Commit both phases' staged writes (FORALL RHS-before-LHS).
-        for (rank, writes) in staged.into_iter().enumerate() {
-            if writes.is_empty() {
-                continue;
-            }
-            let name = &self.prog.arrays[f.body[0].arr].name;
-            let arr = m.mems[rank].array_mut(name);
-            for (off, v) in writes {
-                arr.set_flat(off, v);
-            }
-        }
-        Ok(())
+        let mut sink = TreeSink {
+            ex: self,
+            f,
+            env,
+            staged: vec![Vec::new(); nranks],
+        };
+        driver::run_overlap(m, &shifts, margins, &iter_lists, &mut sink)
     }
 
     /// One rank's element loop over the plain cartesian product of
-    /// `lists` (an interior sub-product or one boundary slab). Writes are
-    /// staged into `staged` (committed by the caller after both phases);
-    /// returns the modelled element-operation cost.
+    /// `lists` (the full owned iteration space, an interior sub-product,
+    /// or one boundary slab). Owned writes are staged into `staged`
+    /// (committed by the caller — after both phases under overlap);
+    /// scatter writes accumulate into `scatter_out` for the post-loop
+    /// executor. Returns the modelled element-operation cost.
+    #[allow(clippy::too_many_arguments)]
     fn forall_rank_run(
         &self,
         f: &ForallNode,
@@ -928,6 +839,7 @@ impl<'p> Executor<'p> {
         env: &mut Env,
         lists: &[Vec<i64>],
         staged: &mut Vec<(usize, Value)>,
+        scatter_out: &mut Vec<(Vec<i64>, Value)>,
     ) -> EResult<i64> {
         if lists.iter().any(|l| l.is_empty()) {
             return Ok(0);
@@ -939,9 +851,7 @@ impl<'p> Executor<'p> {
             .iter()
             .map(|b| b.rhs.op_count_cse(&var_names) + 2)
             .collect();
-        // Overlap-eligible FORALLs have no gathers; a dummy counter slice
-        // keeps eval_elem's signature uniform.
-        let mut seq_counters: Vec<usize> = Vec::new();
+        let mut seq_counters = vec![0usize; f.gathers.len()];
         let mut ops: i64 = 0;
         let mut cursor = vec![0usize; lists.len()];
         'iter: loop {
@@ -973,7 +883,7 @@ impl<'p> Executor<'p> {
                             staged.push((off, v));
                         }
                         WritePlan::ScatterSeq { .. } => {
-                            unreachable!("overlap_plan admitted a scatter write")
+                            scatter_out.push((g, v));
                         }
                     }
                 }
@@ -1150,13 +1060,9 @@ impl<'p> Executor<'p> {
             let n = counts[rank as usize].max(1) as i64;
             m.mems[rank as usize].insert_array(tmp_name.clone(), LocalArray::zeros(ty, &[n]));
         }
-        // Schedule (per-run §7(3) reuse + cross-run cache).
-        let kind = if g.local_only {
-            ScheduleKind::LocalOnly
-        } else {
-            ScheduleKind::FanInRequests
-        };
-        let sched = self.sched.schedule(m, kind, &reqs, false)?;
+        // Schedule (per-run §7(3) reuse + cross-run cache); the driver
+        // maps (fast_path, read) onto the schedule kind.
+        let sched = driver::schedule(m, &mut self.sched, &reqs, g.local_only, false)?;
         schedule::execute_read(m, &sched, &src_name, &tmp_name)?;
         Ok(())
     }
@@ -1201,12 +1107,7 @@ impl<'p> Executor<'p> {
                 }
             }
         }
-        let kind = if invertible {
-            ScheduleKind::LocalOnly
-        } else {
-            ScheduleKind::SenderDriven
-        };
-        let sched = self.sched.schedule(m, kind, &reqs, true)?;
+        let sched = driver::schedule(m, &mut self.sched, &reqs, invertible, true)?;
         schedule::execute_write(m, &sched, &buf_name, &dst_name)?;
         Ok(())
     }
@@ -1359,20 +1260,19 @@ impl<'p> Executor<'p> {
                         .get_flat(off))
                 }
                 ReadPlan::SlabTmp { tmp, fixed_dim } => {
-                    let mut g: Vec<i64> = subs
-                        .iter()
-                        .enumerate()
-                        .filter(|&(d, _)| d != *fixed_dim)
-                        .map(|(_, s)| {
-                            self.eval_elem(s, m, rank, env, seq_counters)
-                                .map(|v| v.as_int())
-                        })
-                        .collect::<EResult<_>>()?;
-                    if g.is_empty() {
-                        // Rank-1 source: the slab is the single dummy
-                        // extent-1 dimension `slab_dad` padded in.
-                        g.push(0);
-                    }
+                    // Shared rank-1 slab-temp contract: `None` means the
+                    // slab is the single dummy extent-1 dimension
+                    // `slab_dad` padded in, read at zero.
+                    let g: Vec<i64> = match driver::slab_kept_dims(subs.len(), *fixed_dim) {
+                        Some(kept) => kept
+                            .into_iter()
+                            .map(|d| {
+                                self.eval_elem(&subs[d], m, rank, env, seq_counters)
+                                    .map(|v| v.as_int())
+                            })
+                            .collect::<EResult<_>>()?,
+                        None => vec![0],
+                    };
                     let off = self.owned_offset(*tmp, m, rank, &g)?;
                     Ok(m.mems[rank as usize]
                         .array(&self.prog.arrays[*tmp].name)
@@ -1400,6 +1300,76 @@ impl<'p> Executor<'p> {
                 }
             },
         }
+    }
+}
+
+/// The tree walker's [`ComputeSink`]: the shared driver decides *when*
+/// ghost exchanges post, complete, and commit; this sink supplies *how*
+/// the interior/boundary element loops evaluate (the plain tree walk of
+/// [`Executor::forall_rank_run`]) and how their cost is charged —
+/// interior per rank as usual, each rank's boundary slabs as one lump
+/// (the VM engine sums identically, keeping backend virtual time
+/// bit-equal).
+struct TreeSink<'a, 'p> {
+    ex: &'a Executor<'p>,
+    f: &'a ForallNode,
+    env: &'a mut Env,
+    staged: Vec<Vec<(usize, Value)>>,
+}
+
+impl ComputeSink for TreeSink<'_, '_> {
+    type Error = ExecError;
+
+    fn interior(&mut self, m: &mut Machine, lists: &[Vec<Vec<i64>>]) -> EResult<()> {
+        for rank in 0..m.nranks() {
+            // Overlap-eligible FORALLs have owned writes only.
+            let mut no_scatter = Vec::new();
+            let ops = self.ex.forall_rank_run(
+                self.f,
+                m,
+                rank,
+                self.env,
+                &lists[rank as usize],
+                &mut self.staged[rank as usize],
+                &mut no_scatter,
+            )?;
+            m.transport.charge_elem_ops(rank, ops);
+        }
+        Ok(())
+    }
+
+    fn boundary(&mut self, m: &mut Machine, slabs: &[Vec<Vec<Vec<i64>>>]) -> EResult<()> {
+        for rank in 0..m.nranks() {
+            let mut no_scatter = Vec::new();
+            let mut ops = 0;
+            for slab in &slabs[rank as usize] {
+                ops += self.ex.forall_rank_run(
+                    self.f,
+                    m,
+                    rank,
+                    self.env,
+                    slab,
+                    &mut self.staged[rank as usize],
+                    &mut no_scatter,
+                )?;
+            }
+            m.transport.charge_elem_ops(rank, ops);
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, m: &mut Machine) -> EResult<()> {
+        let name = &self.ex.prog.arrays[self.f.body[0].arr].name;
+        for (rank, writes) in std::mem::take(&mut self.staged).into_iter().enumerate() {
+            if writes.is_empty() {
+                continue;
+            }
+            let arr = m.mems[rank].array_mut(name);
+            for (off, v) in writes {
+                arr.set_flat(off, v);
+            }
+        }
+        Ok(())
     }
 }
 

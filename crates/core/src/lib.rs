@@ -108,6 +108,13 @@ pub struct RunTrace {
     /// kernel was selected at lowering, a dispatch precondition failed,
     /// or the overlap split-phase path ran.
     pub native_fallback: u64,
+    /// Comm phases the shared driver posted as one batched, coalesced
+    /// ghost exchange (`comm_plan` on; both backends). Informational —
+    /// the driver's fallback contract keeps results bit-identical.
+    pub comm_groups: u64,
+    /// Comm phases the driver refused (planning failed — e.g. mixed
+    /// element types) and re-ran statement-by-statement instead.
+    pub comm_fallbacks: u64,
 }
 
 impl Compiled {
@@ -136,6 +143,7 @@ impl Compiled {
                 ex.plan = self.options.opt.comm_plan;
                 ex.exec = self.options.exec_mode;
                 let rep = ex.run(m)?;
+                let (comm_groups, comm_fallbacks) = ex.comm.counts();
                 Ok((
                     rep,
                     RunTrace {
@@ -145,6 +153,8 @@ impl Compiled {
                         workers: m.workers(),
                         native_matched: 0,
                         native_fallback: 0,
+                        comm_groups,
+                        comm_fallbacks,
                     },
                 ))
             }
@@ -158,6 +168,7 @@ impl Compiled {
                 eng.exec = self.options.exec_mode;
                 let rep = eng.run(m).map_err(|e| exec::ExecError(e.0))?;
                 let (native_matched, native_fallback) = eng.native_counts();
+                let (comm_groups, comm_fallbacks) = eng.comm.counts();
                 Ok((
                     ExecReport {
                         elapsed: rep.elapsed,
@@ -172,6 +183,8 @@ impl Compiled {
                         workers: m.workers(),
                         native_matched,
                         native_fallback,
+                        comm_groups,
+                        comm_fallbacks,
                     },
                 ))
             }

@@ -35,7 +35,10 @@ pub struct OptFlags {
     /// group consecutive eligible stencil FORALLs into a *comm phase*
     /// whose ghost exchanges post together, with same-destination
     /// messages coalesced into a single wire transfer — one α charge
-    /// per destination pair instead of one per statement. Array results
+    /// per destination pair instead of one per statement. Both backends
+    /// sequence phases through the shared [`f90d_comm::driver`], whose
+    /// per-cell group/fallback counters surface in
+    /// [`RunTrace`](crate::RunTrace). Array results
     /// and PRINT output are bit-identical to per-statement execution;
     /// only the virtual clocks (and the modelled elapsed time) change,
     /// which is why this is off by default — `BENCH_baseline.json` pins

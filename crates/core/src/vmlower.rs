@@ -22,10 +22,6 @@ use f90d_vm::ops::Intrin;
 
 use crate::ir::*;
 
-/// Stand-in subscript for the dummy dimension of a rank-0 slab (see the
-/// `SlabTmp` lowering below).
-static ZERO_SUB: SExpr = SExpr::Const(Value::Int(0));
-
 type LResult<T> = Result<T, String>;
 
 /// Lower a compiled SPMD program to bytecode with the native kernel
@@ -344,6 +340,7 @@ impl<'p> Lowerer<'p> {
                 });
             }
             SExpr::Read { arr, plan, subs } => {
+                let zero_sub = SExpr::Const(Value::Int(0));
                 let (acc_plan, emit_subs): (AccPlan, Vec<&SExpr>) = match plan {
                     ReadPlan::Owned | ReadPlan::Replicated => {
                         (AccPlan::Owned { arr: *arr }, subs.iter().collect())
@@ -353,23 +350,13 @@ impl<'p> Lowerer<'p> {
                             tmp: *tmp,
                             fixed_dim: *fixed_dim,
                         },
-                        // The fixed dimension's subscript is dropped
-                        // before evaluation, exactly like the tree
-                        // walker. A rank-1 source leaves no subscripts;
-                        // index the dummy extent-1 dimension `slab_dad`
-                        // padded in instead.
-                        {
-                            let kept: Vec<&SExpr> = subs
-                                .iter()
-                                .enumerate()
-                                .filter(|&(d, _)| d != *fixed_dim)
-                                .map(|(_, s)| s)
-                                .collect();
-                            if kept.is_empty() {
-                                vec![&ZERO_SUB]
-                            } else {
-                                kept
-                            }
+                        // The surviving-subscript contract lives in the
+                        // shared comm driver, same as the tree walker's
+                        // read path: `None` means a rank-1 source whose
+                        // dummy extent-1 dimension is indexed at zero.
+                        match f90d_comm::driver::slab_kept_dims(subs.len(), *fixed_dim) {
+                            Some(kept) => kept.into_iter().map(|d| &subs[d]).collect(),
+                            None => vec![&zero_sub],
                         },
                     ),
                     ReadPlan::SameTmp { tmp } => {

@@ -101,6 +101,55 @@ fn jacobi_dispatches_native_and_tiers_agree() {
     assert_eq!(nat_out, vm_out);
 }
 
+/// The reduction-accumulate FORALLs feeding a SUM-into-scalar reduction
+/// (`S = S + A` and `S = S + W*B`) dispatch on the fused
+/// `reduce_accumulate` template instead of composed generic closures,
+/// and the three tiers agree on every observable including the reduced
+/// PRINT value.
+#[test]
+fn sum_accumulate_dispatches_native() {
+    let src = "
+PROGRAM ACCUM
+INTEGER, PARAMETER :: N = 16
+REAL A(N), B(N), S(N)
+REAL W, SS
+INTEGER IT
+C$ TEMPLATE T(N)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+C$ ALIGN S(I) WITH T(I)
+C$ DISTRIBUTE T(BLOCK)
+W = 0.5
+FORALL (I=1:N) A(I) = REAL(I)
+FORALL (I=1:N) B(I) = REAL(N-I)
+FORALL (I=1:N) S(I) = 0.0
+DO IT = 1, 3
+  FORALL (I=1:N) S(I) = S(I) + A(I)
+  FORALL (I=1:N) S(I) = S(I) + W*B(I)
+END DO
+SS = SUM(S)
+PRINT *, 'ACC', SS
+END
+";
+    let arrays = ["S"];
+    let (nat, nat_t, nat_msg, nat_b, nat_out, nat_tr) = run_vm(src, &[4], &arrays, true);
+    // 3 inits + 3 sweeps x 2 accumulates, all native; no fallbacks.
+    assert_eq!(
+        (nat_tr.native_matched, nat_tr.native_fallback),
+        (9, 0),
+        "accumulate FORALLs should all dispatch native"
+    );
+    let (vm, vm_t, vm_msg, vm_b, vm_out, vm_tr) = run_vm(src, &[4], &arrays, false);
+    assert_eq!((vm_tr.native_matched, vm_tr.native_fallback), (0, 9));
+    let (tw, tw_t, tw_msg, tw_b) = run_treewalk(src, &[4], &arrays);
+    assert_eq!(nat, vm, "native vs bytecode array images");
+    assert_eq!(nat, tw, "native vs tree-walk array images");
+    assert_eq!((nat_t, nat_msg, nat_b), (vm_t, vm_msg, vm_b));
+    assert_eq!((nat_t, nat_msg, nat_b), (tw_t, tw_msg, tw_b));
+    assert_eq!(nat_out, vm_out);
+    assert!(nat_out.iter().any(|l| l.contains("ACC")), "PRINT ran");
+}
+
 /// A WHERE-masked FORALL never selects a kernel: masks change which
 /// iterations execute (and charge mask cost), which the closures do not
 /// model. The trace counter proves bytecode ran it.

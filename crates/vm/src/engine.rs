@@ -16,13 +16,15 @@
 
 use std::sync::Arc;
 
-use f90d_comm::op::{CommError, CommOp};
-use f90d_comm::overlap::{dims_overlap_compatible, Margins};
+use f90d_comm::driver::{self, CommDriver, ComputeSink, PhaseOutcome};
+use f90d_comm::op::CommError;
+use f90d_comm::overlap::Margins;
+use f90d_comm::plan::GhostSpec;
 use f90d_comm::sched_cache::RunSchedules;
-use f90d_comm::schedule::{self, ElementReq, Schedule, ScheduleKind};
+use f90d_comm::schedule::{self, ElementReq};
 use f90d_comm::structured;
 use f90d_distrib::{set_bound, ArrayDimMap, Dad, DistKind};
-use f90d_machine::{ArrayData, LocalArray, Machine, NodeMemory, Transport, Value};
+use f90d_machine::{ArrayData, LocalArray, Machine, NodeMemory, Value};
 use f90d_runtime::intrinsics as rt;
 use f90d_runtime::DistArray;
 
@@ -178,10 +180,15 @@ pub struct Engine {
     /// are identical either way.
     pub exec: Option<f90d_machine::ExecMode>,
     /// `OptFlags::comm_plan`: honour [`VmPhase`] annotations, batching
-    /// each phase's ghost exchanges into one coalesced
-    /// `f90d_comm::plan::PhaseExchange`. Off (the default) runs the
-    /// per-statement schedule even on annotated programs.
+    /// each phase's ghost exchanges into one coalesced exchange
+    /// sequenced by the shared [`CommDriver`]. Off (the default) runs
+    /// the per-statement schedule even on annotated programs.
     pub plan: bool,
+    /// The shared FORALL communication driver (`f90d_comm::driver`):
+    /// sequences phase batching, split-phase overlap, and quiescence,
+    /// and carries the `comm_plan {groups, fallbacks}` counters the run
+    /// trace surfaces.
+    pub comm: CommDriver,
     /// FORALL executions dispatched to a native-tier kernel.
     native_matched: u64,
     /// FORALL executions that ran the bytecode element loop instead (no
@@ -240,6 +247,7 @@ impl Engine {
             overlap: false,
             exec: None,
             plan: false,
+            comm: CommDriver::new(),
             native_matched: 0,
             native_fallback: 0,
         }
@@ -426,9 +434,7 @@ impl Engine {
                 }
             }
         }
-        m.transport
-            .quiescent_check()
-            .map_err(|e| VmError(e.to_string()))?;
+        driver::quiesce(m)?;
         Ok(RunReport {
             elapsed: m.elapsed(),
             messages: m.transport.messages,
@@ -534,7 +540,7 @@ impl Engine {
             }
             VmComm::OverlapShift { arr, dim, c } => {
                 let dad = self.dads[*arr].clone();
-                structured::overlap_shift(m, &prog.arrays[*arr].name, &dad, *dim, *c, false)?;
+                driver::ghost_exchange(m, &prog.arrays[*arr].name, &dad, *dim, *c)?;
                 Ok(())
             }
             VmComm::TempShift {
@@ -718,25 +724,19 @@ impl Engine {
     }
 
     /// Execute one planner-formed comm phase (`ids` are forall-table
-    /// indices): batch every member's ghost exchanges (deduplicated,
-    /// against the live descriptors) into one coalesced
-    /// `f90d_comm::plan::PhaseExchange`, then run the members with their
+    /// indices): hand every member's ghost exchanges (against the live
+    /// descriptors) to the shared driver, which deduplicates and batches
+    /// them into one coalesced exchange, then run the members with their
     /// preludes skipped. A runtime planning refusal falls back to the
     /// bit-identical per-statement path — the annotations are advisory.
     fn exec_phase(&mut self, ids: &[u16], m: &mut Machine) -> VmResult<()> {
-        use f90d_comm::plan::{GhostSpec, PhaseExchange};
         let prog = self.prog.clone();
         let mut specs: Vec<GhostSpec> = Vec::new();
-        let mut seen: Vec<(ArrId, usize, i64)> = Vec::new();
         for &id in ids {
             for &ci in &prog.foralls[id as usize].pre {
                 let VmComm::OverlapShift { arr, dim, c } = &prog.comms[ci as usize] else {
                     return verr("comm phase member has a non-overlap-shift prelude");
                 };
-                if seen.contains(&(*arr, *dim, *c)) {
-                    continue;
-                }
-                seen.push((*arr, *dim, *c));
                 specs.push(GhostSpec {
                     arr: prog.arrays[*arr].name.clone(),
                     dad: self.dads[*arr].clone(),
@@ -745,19 +745,17 @@ impl Engine {
                 });
             }
         }
-        let mut op = match PhaseExchange::plan(m, specs) {
-            Ok(op) => op,
-            Err(_) => {
+        match self.comm.phase_exchange(m, specs)? {
+            PhaseOutcome::Refused => {
                 for &id in ids {
                     self.exec_forall(&prog.foralls[id as usize], m)?;
                 }
-                return Ok(());
             }
-        };
-        op.post(m)?;
-        op.finish(m)?;
-        for &id in ids {
-            self.exec_forall_inner(&prog.foralls[id as usize], m, true)?;
+            PhaseOutcome::Exchanged => {
+                for &id in ids {
+                    self.exec_forall_inner(&prog.foralls[id as usize], m, true)?;
+                }
+            }
         }
         Ok(())
     }
@@ -883,12 +881,12 @@ impl Engine {
     /// Mirror of the tree walker's overlap eligibility test: the prelude
     /// is pure `overlap_shift`, no gathers, no owner filter, owned writes
     /// only, and every shifted dimension maps onto a stride-1 `OwnerDim`
-    /// loop variable whose LHS dimension is
-    /// [`dims_overlap_compatible`] with the shifted array's. Returns the
-    /// per-variable ghost margins, or `None` to fall back to blocking
-    /// execution. The margin arithmetic and the interior/boundary split
-    /// live in `f90d_comm::overlap`, shared with the tree walker, so the
-    /// backends cannot drift on which tuples count as interior.
+    /// loop variable per the shared [`driver::stencil_margins`] geometry.
+    /// Returns the per-variable ghost margins, or `None` to fall back to
+    /// blocking execution. The margin arithmetic, the eligibility core,
+    /// and the interior/boundary split all live in `f90d_comm`, shared
+    /// with the tree walker, so the backends cannot drift on which
+    /// FORALLs overlap or which tuples count as interior.
     fn overlap_plan(&self, f: &VmForall, prog: &VmProgram) -> Option<Margins> {
         if f.pre.is_empty() || !f.gathers.is_empty() || !f.owner_filter.is_empty() {
             return None;
@@ -896,7 +894,20 @@ impl Engine {
         if !f.body.iter().all(|b| b.scatter.is_none()) {
             return None;
         }
-        let mut margins = Margins::new(f.vars.len());
+        let loop_dims: Vec<Option<&ArrayDimMap>> = f
+            .vars
+            .iter()
+            .map(|spec| match &spec.part {
+                VmPartition::OwnerDim {
+                    arr: la,
+                    dim: ld,
+                    a: 1,
+                    ..
+                } => Some(&self.dads[*la].dims[*ld]),
+                _ => None,
+            })
+            .collect();
+        let mut shifts = Vec::with_capacity(f.pre.len());
         for &ci in &f.pre {
             let VmComm::OverlapShift {
                 arr,
@@ -906,28 +917,18 @@ impl Engine {
             else {
                 return None;
             };
-            let sdm = &self.dads[*arr].dims[*dim];
-            let var = f.vars.iter().position(|spec| match &spec.part {
-                VmPartition::OwnerDim {
-                    arr: la,
-                    dim: ld,
-                    a: 1,
-                    ..
-                } => dims_overlap_compatible(&self.dads[*la].dims[*ld], sdm),
-                _ => false,
-            })?;
-            margins.add(var, *amount);
+            shifts.push((&self.dads[*arr].dims[*dim], *amount));
         }
-        Some(margins)
+        driver::stencil_margins(&loop_dims, &shifts)
     }
 
-    /// Split-phase stencil execution (paper §5.1/§7 latency hiding):
-    /// post the ghost exchanges, run the interior iterations under the
-    /// machine's [`f90d_machine::ExecMode`] while the strips are on the
-    /// wire, complete the exchanges, then run the boundary iterations
-    /// that read the freshly filled ghost cells. Writes from both phases
-    /// are staged and committed together — array results bit-identical
-    /// to blocking execution, only virtual clocks differ.
+    /// Split-phase stencil execution (paper §5.1/§7 latency hiding),
+    /// sequenced by the shared [`driver::run_overlap`]: the driver posts
+    /// the ghost exchanges, runs this backend's interior element loop
+    /// under the machine's [`f90d_machine::ExecMode`] while the strips
+    /// are on the wire, completes the exchanges, runs the boundary
+    /// slabs, and commits — array results bit-identical to blocking
+    /// execution, only virtual clocks differ.
     fn exec_forall_overlap(
         &mut self,
         f: &VmForall,
@@ -936,24 +937,21 @@ impl Engine {
     ) -> VmResult<()> {
         let prog = self.prog.clone();
         let mut regs: Vec<Value> = Vec::new();
-        // 1. Post every ghost exchange.
-        let mut posted = Vec::with_capacity(f.pre.len());
+        let mut shifts = Vec::with_capacity(f.pre.len());
         for &ci in &f.pre {
             let VmComm::OverlapShift { arr, dim, c } = &prog.comms[ci as usize] else {
                 unreachable!("overlap_plan admitted a non-shift prelude")
             };
-            let dad = self.dads[*arr].clone();
-            posted.push(structured::overlap_shift_post(
-                m,
-                &prog.arrays[*arr].name,
-                &dad,
-                *dim,
-                *c,
-                false,
-            )?);
+            shifts.push(GhostSpec {
+                arr: prog.arrays[*arr].name.clone(),
+                dad: self.dads[*arr].clone(),
+                dim: *dim,
+                c: *c,
+            });
         }
-        // 2. Bounds, per-rank iteration lists (no owner filter), and the
-        // interior/boundary split from the shared geometry.
+        // Bounds and per-rank iteration lists (no owner filter by
+        // eligibility); the driver splits them into interior/boundary
+        // via the shared `f90d_comm::overlap` geometry.
         let nranks = m.nranks() as usize;
         let mut bounds = Vec::with_capacity(f.vars.len());
         for spec in &f.vars {
@@ -965,17 +963,15 @@ impl Engine {
             }
             bounds.push((lb, ub, st));
         }
-        let mut interior: Vec<Vec<Vec<i64>>> = Vec::with_capacity(nranks);
-        let mut boundary: Vec<Vec<Vec<Vec<i64>>>> = Vec::with_capacity(nranks);
+        let mut iter_lists: Vec<Vec<Vec<i64>>> = Vec::with_capacity(nranks);
         for rank in 0..nranks {
-            let lists: Vec<Vec<i64>> = f
-                .vars
-                .iter()
-                .zip(&bounds)
-                .map(|(spec, &b)| self.iterations_for(spec, b, m, rank as i64))
-                .collect();
-            interior.push(margins.interior_lists(&lists));
-            boundary.push(margins.boundary_slabs(&lists));
+            iter_lists.push(
+                f.vars
+                    .iter()
+                    .zip(&bounds)
+                    .map(|(spec, &b)| self.iterations_for(spec, b, m, rank as i64))
+                    .collect(),
+            );
         }
         let resolved: Vec<Vec<Option<ResolvedAcc>>> = (0..nranks)
             .map(|rank| {
@@ -988,76 +984,16 @@ impl Engine {
                 table
             })
             .collect();
-        let max_regs = forall_max_regs(f);
-        // 3. Interior compute (charged by local_phase_map before the
-        // completions below, so it genuinely hides the wire time).
-        let results: Vec<Result<StagedWrites, String>> = m.local_phase_map(|rank, mem| {
-            match run_forall_rank(
-                &prog,
-                f,
-                rank,
-                mem,
-                &interior[rank as usize],
-                &resolved[rank as usize],
-                &self.vars,
-                &self.scalars,
-                max_regs,
-                false,
-            ) {
-                Ok((_, staged, ops)) => (Ok(staged), ops),
-                Err(e) => (Err(e), 0),
-            }
-        });
-        let mut staged_all: Vec<StagedWrites> = Vec::with_capacity(nranks);
-        for r in results {
-            staged_all.push(r.map_err(VmError)?);
-        }
-        // 4. Complete the ghost exchanges.
-        for op in posted {
-            op.finish(m)?;
-        }
-        // 5. Boundary compute: only the shell slabs, their costs summed
-        // into one charge per rank (the tree walker charges identically,
-        // keeping backend virtual time bit-equal).
-        let results: Vec<Result<StagedWrites, String>> = m.local_phase_map(|rank, mem| {
-            let mut staged = StagedWrites::new();
-            let mut ops = 0i64;
-            for slab in &boundary[rank as usize] {
-                match run_forall_rank(
-                    &prog,
-                    f,
-                    rank,
-                    mem,
-                    slab,
-                    &resolved[rank as usize],
-                    &self.vars,
-                    &self.scalars,
-                    max_regs,
-                    false,
-                ) {
-                    Ok((_, st, o)) => {
-                        staged.extend(st);
-                        ops += o;
-                    }
-                    Err(e) => return (Err(e), 0),
-                }
-            }
-            (Ok(staged), ops)
-        });
-        for (rank, r) in results.into_iter().enumerate() {
-            staged_all[rank].extend(r.map_err(VmError)?);
-        }
-        // 6. Commit both phases' staged writes (RHS-before-LHS).
-        for (rank, writes) in staged_all.into_iter().enumerate() {
-            if writes.is_empty() {
-                continue;
-            }
-            let arr = m.mems[rank].array_mut(&prog.arrays[f.body[0].arr].name);
-            for (off, v) in writes {
-                arr.set_flat(off, v);
-            }
-        }
-        Ok(())
+        let mut sink = VmSink {
+            prog: &prog,
+            f,
+            resolved: &resolved,
+            vars: &self.vars,
+            scalars: &self.scalars,
+            max_regs: forall_max_regs(f),
+            staged: vec![StagedWrites::new(); nranks],
+        };
+        driver::run_overlap(m, &shifts, margins, &iter_lists, &mut sink)
     }
 
     /// The iterations of `spec` assigned to `rank` (`set_BOUND`),
@@ -1432,8 +1368,9 @@ impl Engine {
         for (rank, &n) in counts.iter().enumerate() {
             m.mems[rank].insert_array(tmp_name.clone(), LocalArray::zeros(ty, &[n.max(1) as i64]));
         }
-        // Schedule (per-run §7(3) reuse + cross-run cache).
-        let sched = self.schedule_for(m, &reqs, g.local_only, false)?;
+        // Schedule (per-run §7(3) reuse + cross-run cache); the driver
+        // maps (fast_path, read) onto the schedule kind.
+        let sched = driver::schedule(m, &mut self.sched, &reqs, g.local_only, false)?;
         schedule::execute_read(m, &sched, &src_name, &tmp_name)?;
         Ok(())
     }
@@ -1477,30 +1414,116 @@ impl Engine {
                 }
             }
         }
-        let sched = self.schedule_for(m, &reqs, invertible, true)?;
+        let sched = driver::schedule(m, &mut self.sched, &reqs, invertible, true)?;
         schedule::execute_write(m, &sched, &buf_name, &dst_name)?;
         Ok(())
     }
+}
 
-    /// Build (or reuse) the schedule for a request list. For reads,
-    /// `fast_path` (= `local_only`) selects `schedule1` over `schedule2`;
-    /// for writes (`is_write`), it (= `invertible`) selects `schedule1`
-    /// over `schedule3`.
-    fn schedule_for(
-        &mut self,
-        m: &mut Machine,
-        reqs: &[ElementReq],
-        fast_path: bool,
-        is_write: bool,
-    ) -> VmResult<Arc<Schedule>> {
-        let kind = if fast_path {
-            ScheduleKind::LocalOnly
-        } else if is_write {
-            ScheduleKind::SenderDriven
-        } else {
-            ScheduleKind::FanInRequests
-        };
-        Ok(self.sched.schedule(m, kind, reqs, is_write)?)
+/// The bytecode engine's [`ComputeSink`]: the shared driver decides
+/// *when* ghost exchanges post, complete, and commit; this sink runs the
+/// interior/boundary element loops ([`run_forall_rank`], uncommitted)
+/// under the machine's `ExecMode` via `local_phase_map`, which charges
+/// interior ranks as usual and each rank's boundary slabs as one summed
+/// lump (the tree walker charges identically, keeping backend virtual
+/// time bit-equal).
+struct VmSink<'a> {
+    prog: &'a VmProgram,
+    f: &'a VmForall,
+    resolved: &'a [Vec<Option<ResolvedAcc>>],
+    vars: &'a [i64],
+    scalars: &'a [Value],
+    max_regs: usize,
+    staged: Vec<StagedWrites>,
+}
+
+impl ComputeSink for VmSink<'_> {
+    type Error = VmError;
+
+    fn interior(&mut self, m: &mut Machine, lists: &[Vec<Vec<i64>>]) -> VmResult<()> {
+        let (prog, f, resolved, vars, scalars, max_regs) = (
+            self.prog,
+            self.f,
+            self.resolved,
+            self.vars,
+            self.scalars,
+            self.max_regs,
+        );
+        let results: Vec<Result<StagedWrites, String>> = m.local_phase_map(|rank, mem| {
+            match run_forall_rank(
+                prog,
+                f,
+                rank,
+                mem,
+                &lists[rank as usize],
+                &resolved[rank as usize],
+                vars,
+                scalars,
+                max_regs,
+                false,
+            ) {
+                Ok((_, staged, ops)) => (Ok(staged), ops),
+                Err(e) => (Err(e), 0),
+            }
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            self.staged[rank].extend(r.map_err(VmError)?);
+        }
+        Ok(())
+    }
+
+    fn boundary(&mut self, m: &mut Machine, slabs: &[Vec<Vec<Vec<i64>>>]) -> VmResult<()> {
+        let (prog, f, resolved, vars, scalars, max_regs) = (
+            self.prog,
+            self.f,
+            self.resolved,
+            self.vars,
+            self.scalars,
+            self.max_regs,
+        );
+        let results: Vec<Result<StagedWrites, String>> = m.local_phase_map(|rank, mem| {
+            let mut staged = StagedWrites::new();
+            let mut ops = 0i64;
+            for slab in &slabs[rank as usize] {
+                match run_forall_rank(
+                    prog,
+                    f,
+                    rank,
+                    mem,
+                    slab,
+                    &resolved[rank as usize],
+                    vars,
+                    scalars,
+                    max_regs,
+                    false,
+                ) {
+                    Ok((_, st, o)) => {
+                        staged.extend(st);
+                        ops += o;
+                    }
+                    Err(e) => return (Err(e), 0),
+                }
+            }
+            (Ok(staged), ops)
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            self.staged[rank].extend(r.map_err(VmError)?);
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, m: &mut Machine) -> VmResult<()> {
+        let name = &self.prog.arrays[self.f.body[0].arr].name;
+        for (rank, writes) in std::mem::take(&mut self.staged).into_iter().enumerate() {
+            if writes.is_empty() {
+                continue;
+            }
+            let arr = m.mems[rank].array_mut(name);
+            for (off, v) in writes {
+                arr.set_flat(off, v);
+            }
+        }
+        Ok(())
     }
 }
 

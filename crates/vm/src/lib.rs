@@ -14,7 +14,12 @@
 //! machine, mapping, communication and runtime crates but *not* on the
 //! compiler. The lowering pass (tree IR → bytecode) lives in
 //! `f90d-core::vmlower`; selecting the backend happens through
-//! `CompileOptions::backend` there.
+//! `CompileOptions::backend` there. FORALL communication — ghost
+//! exchanges, phase batching, the overlap split, schedule selection,
+//! quiescence — is *not* re-implemented here: the engine drives the
+//! shared `f90d_comm::driver` (plugging in element evaluation through
+//! its `ComputeSink` contract), exactly like the tree walker, so the
+//! two backends sequence communication from one code path.
 //!
 //! * [`bytecode`] — instruction set, expression code, program tables.
 //! * [`engine`] — the execution engine (mirrors the tree walker's

@@ -499,12 +499,26 @@ fn match_template(e: &NExpr) -> (&'static str, ElemFn) {
         }
     }
     if let Bin(Add, l, r) = e {
+        // r0 + r1 — reduction accumulate, the partial-sum FORALL feeding
+        // a SUM-into-scalar reduction.
+        if let (Read(i0), Read(i1)) = (&**l, &**r) {
+            let (i0, i1) = (*i0, *i1);
+            let f: ElemFn = Arc::new(move |a: &ElemArgs| a.reads[i0] + a.reads[i1]);
+            return ("reduce_accumulate", f);
+        }
         if let (Read(i0), Bin(Mul, m1, m2)) = (&**l, &**r) {
             // r0 + c*r1 — axpy.
             if let (Lit(c), Read(i1)) = (&**m1, &**m2) {
                 let (c, i0, i1) = (*c, *i0, *i1);
                 let f: ElemFn = Arc::new(move |a: &ElemArgs| a.reads[i0] + c * a.reads[i1]);
                 return ("axpy", f);
+            }
+            // r0 + s*r1 — scalar-weighted reduction accumulate.
+            if let (Scalar(s), Read(i1)) = (&**m1, &**m2) {
+                let (s, i0, i1) = (*s, *i0, *i1);
+                let f: ElemFn =
+                    Arc::new(move |a: &ElemArgs| a.reads[i0] + a.scalars[s] * a.reads[i1]);
+                return ("reduce_accumulate", f);
             }
             // r0 + r1*r2 — reduction/product accumulate.
             if let (Read(i1), Read(i2)) = (&**m1, &**m2) {
@@ -612,5 +626,28 @@ mod tests {
         let (name, f) = match_template(&odd);
         assert_eq!(name, "generic");
         assert_eq!(f(&args), 1.0f64.powf(2.0));
+    }
+
+    #[test]
+    fn reduce_accumulate_matches_both_shapes() {
+        use NExpr::*;
+        // r0 + r1 — the plain partial-sum accumulate.
+        let (name, f) = match_template(&Bin(BinOp::Add, Box::new(Read(0)), Box::new(Read(1))));
+        assert_eq!(name, "reduce_accumulate");
+        let args = ElemArgs {
+            reads: &[1.5, 2.25],
+            lins: &[],
+            scalars: &[4.0],
+        };
+        assert_eq!(f(&args), 1.5 + 2.25);
+
+        // r0 + s*r1 — scalar-weighted accumulate.
+        let (name, f) = match_template(&Bin(
+            BinOp::Add,
+            Box::new(Read(0)),
+            Box::new(Bin(BinOp::Mul, Box::new(Scalar(0)), Box::new(Read(1)))),
+        ));
+        assert_eq!(name, "reduce_accumulate");
+        assert_eq!(f(&args), 1.5 + 4.0 * 2.25);
     }
 }
